@@ -1,0 +1,43 @@
+"""Micro-benchmarks of the core maintenance loop (per-update cost).
+
+These are not tied to one paper artefact; they back the complexity discussion
+in DESIGN.md by measuring the amortised per-update cost of each maintenance
+algorithm on a fixed power-law workload.  Unlike the table/figure benchmarks
+they use multiple rounds, so pytest-benchmark's statistics are meaningful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DyOneSwap, DyTwoSwap
+from repro.baselines import DGTwoDIS, DyARW
+from repro.generators import power_law_random_graph
+from repro.updates import mixed_update_stream
+
+_GRAPH = power_law_random_graph(800, 2.2, seed=123)
+_STREAM = mixed_update_stream(_GRAPH, 400, seed=321, edge_fraction=0.8)
+
+
+def _run(algorithm_class, **kwargs):
+    algo = algorithm_class(_GRAPH.copy(), **kwargs)
+    algo.apply_stream(_STREAM)
+    return algo.solution_size
+
+
+@pytest.mark.parametrize(
+    "algorithm_class,kwargs",
+    [
+        (DyOneSwap, {}),
+        (DyOneSwap, {"lazy": True}),
+        (DyTwoSwap, {}),
+        (DyARW, {}),
+        (DGTwoDIS, {}),
+    ],
+    ids=["DyOneSwap", "DyOneSwap-lazy", "DyTwoSwap", "DyARW", "DGTwoDIS"],
+)
+def test_per_update_cost(benchmark, algorithm_class, kwargs):
+    size = benchmark.pedantic(
+        _run, args=(algorithm_class,), kwargs=kwargs, rounds=3, iterations=1
+    )
+    assert size > 0

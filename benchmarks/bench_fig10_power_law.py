@@ -1,0 +1,25 @@
+"""Benchmark E11 — Fig 10: power-law random graphs with β from 1.9 to 2.7.
+
+Expected shape (paper): the swap-based algorithms beat DGOneDIS/DGTwoDIS in
+both accuracy and response time, with the largest margins at small β (denser
+graphs).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments import figure10_power_law
+
+
+def test_figure10_power_law(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(figure10_power_law, args=(profile,), rounds=1, iterations=1)
+    betas = sorted({row["beta"] for row in rows})
+    assert betas[0] == 1.9 and betas[-1] == 2.7
+    sizes = defaultdict(dict)
+    for row in rows:
+        sizes[row["beta"]][row["algorithm"]] = row["final_size"]
+    for beta, per_algorithm in sizes.items():
+        assert per_algorithm["DyTwoSwap"] >= per_algorithm["DGTwoDIS"]
+        assert per_algorithm["DyOneSwap"] >= per_algorithm["DGOneDIS"]
+    show_rows("Fig 10 — power-law random graphs", rows)

@@ -1,0 +1,28 @@
+"""Benchmark E5/E6 — Fig 5: response time and memory on easy graphs.
+
+Expected shape (paper): DyOneSwap is the fastest maintenance algorithm, DyARW
+slightly slower (ordering overhead), DyTwoSwap a little slower still, and the
+memory footprint orders as DyTwoSwap > DyOneSwap ≈ DyARW > DGTwoDIS ≥ DGOneDIS.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure5_easy_performance
+
+
+def test_figure5_easy_performance(benchmark, profile, show_rows):
+    result = benchmark.pedantic(
+        figure5_easy_performance, args=(profile,), rounds=1, iterations=1
+    )
+    assert set(result) == {"response_time_small", "memory", "response_time_large"}
+    memory = {}
+    for row in result["memory"]:
+        memory.setdefault(row["algorithm"], 0)
+        memory[row["algorithm"]] += row["memory"]
+    # Memory ordering: the eager hierarchical bookkeeping of DyTwoSwap costs
+    # more than DyOneSwap, which costs more than the DGDIS index.
+    assert memory["DyTwoSwap"] >= memory["DyOneSwap"]
+    assert memory["DyOneSwap"] >= memory["DGOneDIS"]
+    show_rows("Fig 5(a) — response time, small stream", result["response_time_small"])
+    show_rows("Fig 5(b) — memory", result["memory"])
+    show_rows("Fig 5(c) — response time, large stream", result["response_time_large"])

@@ -1,0 +1,18 @@
+"""Benchmark E7 — Fig 6: response time and memory on hard graphs (large stream)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure6_hard_performance
+
+
+def test_figure6_hard_performance(benchmark, profile, show_rows):
+    result = benchmark.pedantic(
+        figure6_hard_performance, args=(profile,), rounds=1, iterations=1
+    )
+    assert set(result) == {"response_time", "memory"}
+    rows = result["response_time"]
+    assert len(rows) == 5 * len(profile.hard_datasets)
+    finished = [row for row in rows if row["finished"]]
+    assert finished, "at least some runs must finish within the time limit"
+    show_rows("Fig 6(a) — response time on hard graphs", rows)
+    show_rows("Fig 6(b) — memory on hard graphs", result["memory"])

@@ -1,0 +1,28 @@
+"""Benchmark E8 — Fig 7: the lazy-collection and perturbation optimizations.
+
+Expected shape (paper): lazy collection cuts memory sharply and can speed up
+small-k maintenance, but its recomputation cost grows with k; perturbation
+adds a little time for slightly better quality.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure7_optimizations
+
+
+def test_figure7_optimizations(benchmark, profile, show_rows):
+    result = benchmark.pedantic(
+        figure7_optimizations, args=(profile,), rounds=1, iterations=1
+    )
+    assert set(result) == {"lazy_time_and_memory", "perturbation_time", "k_tradeoff"}
+    memory = {}
+    for row in result["lazy_time_and_memory"]:
+        memory.setdefault(row["algorithm"], 0)
+        memory[row["algorithm"]] += row["memory"]
+    assert memory["DyOneSwap+lazy"] < memory["DyOneSwap"]
+    assert memory["DyTwoSwap+lazy"] < memory["DyTwoSwap"]
+    tradeoff = result["k_tradeoff"]
+    assert {row["k"] for row in tradeoff} == {1, 2, 3}
+    show_rows("Fig 7(a/b) — lazy collection: time and memory", result["lazy_time_and_memory"])
+    show_rows("Fig 7(c) — perturbation: time", result["perturbation_time"])
+    show_rows("Fig 7(d) — lazy/eager trade-off as k grows", tradeoff)

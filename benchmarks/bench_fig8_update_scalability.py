@@ -1,0 +1,29 @@
+"""Benchmark E9 — Fig 8: scalability in the number of updates.
+
+Expected shape (paper): response time grows roughly linearly with the update
+count for every algorithm, accuracy degrades slowly for DyOneSwap/DyTwoSwap
+and faster for the index-based baselines.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments import figure8_update_scalability
+
+
+def test_figure8_update_scalability(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(
+        figure8_update_scalability, args=(profile,), rounds=1, iterations=1
+    )
+    assert rows
+    # Response time must be (weakly) increasing in the update count per algorithm.
+    by_algorithm = defaultdict(list)
+    for row in rows:
+        by_algorithm[(row["dataset"], row["algorithm"])].append(row)
+    for runs in by_algorithm.values():
+        runs.sort(key=lambda r: r["fraction"])
+        assert runs[-1]["updates"] >= runs[0]["updates"]
+        if runs[0]["finished"] and runs[-1]["finished"]:
+            assert runs[-1]["time_s"] >= 0.5 * runs[0]["time_s"]
+    show_rows("Fig 8 — scalability in the number of updates", rows)

@@ -1,0 +1,19 @@
+"""Benchmark E10 — Fig 9: effect of the swap depth k.
+
+Expected shape (paper): larger k means larger maintained solutions but higher
+response time; the accuracy is already high at k = 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure9_k_sweep
+
+
+def test_figure9_k_sweep(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(figure9_k_sweep, args=(profile,), rounds=1, iterations=1)
+    assert [row["k"] for row in rows] == [1, 2, 3, 4]
+    sizes = [row["final_size"] for row in rows]
+    # Quality never drops noticeably as k grows.
+    assert sizes[1] >= sizes[0] - 1
+    assert min(row["accuracy"] for row in rows) > 0.8
+    show_rows("Fig 9 — effect of the swap depth k", rows)

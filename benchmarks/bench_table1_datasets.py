@@ -1,0 +1,16 @@
+"""Benchmark E1 — Table I: dataset statistics (paper originals vs synthetic stand-ins)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_dataset_statistics
+
+
+def test_table1_dataset_statistics(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(
+        table1_dataset_statistics, args=(profile,), rounds=1, iterations=1
+    )
+    assert len(rows) == len(profile.easy_datasets) + len(profile.hard_datasets)
+    for row in rows:
+        assert row["repro_n"] > 0
+        assert row["scale_factor"] > 1
+    show_rows("Table I — dataset statistics", rows)

@@ -1,0 +1,25 @@
+"""Benchmark E2 — Table II: gap & accuracy on easy graphs after the small update stream.
+
+Expected shape (paper): DyTwoSwap achieves the smallest gaps, DyOneSwap and
+DyARW track each other closely, DGOneDIS/DGTwoDIS trail once updates accumulate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2_easy_quality
+from repro.experiments.runner import PAPER_ALGORITHMS
+
+
+def test_table2_easy_quality(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(table2_easy_quality, args=(profile,), rounds=1, iterations=1)
+    assert len(rows) == len(profile.easy_datasets)
+    for row in rows:
+        assert row["reference"] > 0
+        for algorithm in PAPER_ALGORITHMS:
+            accuracy = row[f"{algorithm}_acc"]
+            assert accuracy is None or 0 < accuracy <= 1.0001
+        # Paper shape: the 2-maximal solution is at least as accurate as the
+        # index-based baselines.
+        if row["DyTwoSwap_acc"] is not None and row["DGOneDIS_acc"] is not None:
+            assert row["DyTwoSwap_acc"] >= row["DGOneDIS_acc"] - 0.02
+    show_rows("Table II — gap & accuracy on easy graphs", rows)

@@ -1,0 +1,19 @@
+"""Benchmark E3 — Table III: gap & accuracy after the large ("1M updates") stream.
+
+Expected shape (paper): with many updates the advantage of DyOneSwap/DyTwoSwap
+over DGOneDIS/DGTwoDIS widens.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table3_many_updates
+
+
+def test_table3_many_updates(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(table3_many_updates, args=(profile,), rounds=1, iterations=1)
+    assert rows, "at least one dataset must be evaluated"
+    for row in rows:
+        assert row["updates"] == profile.updates_large
+        if row["DyTwoSwap_acc"] is not None and row["DGTwoDIS_acc"] is not None:
+            assert row["DyTwoSwap_acc"] >= row["DGTwoDIS_acc"] - 0.02
+    show_rows("Table III — gap & accuracy after the large update stream", rows)

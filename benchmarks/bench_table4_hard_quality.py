@@ -1,0 +1,21 @@
+"""Benchmark E4 — Table IV: gap to the ARW best result on hard graphs.
+
+Expected shape (paper): DyTwoSwap closes most of the gap (sometimes beating
+the static reference, marked with ↑); DGOneDIS/DGTwoDIS may fail to finish
+within the time limit on the largest instances (rendered as "-").
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table4_hard_quality
+from repro.experiments.runner import PAPER_ALGORITHMS
+
+
+def test_table4_hard_quality(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(table4_hard_quality, args=(profile,), rounds=1, iterations=1)
+    assert len(rows) == len(profile.hard_datasets)
+    for row in rows:
+        assert row["best_result"] > 0
+        assert row["initial_solution"] == "arw"
+        assert any(row[f"{algorithm}_gap"] is not None for algorithm in PAPER_ALGORITHMS)
+    show_rows("Table IV — gap to the ARW best result on hard graphs", rows)

@@ -1,0 +1,23 @@
+"""Benchmarks E12/E13 — Theorem 3 worst-case families and the Theorem 2/4 bound checks."""
+
+from __future__ import annotations
+
+from repro.experiments import theorem3_worst_case_table, theory_bound_check
+
+
+def test_theorem3_worst_case_families(benchmark, show_rows):
+    rows = benchmark.pedantic(theorem3_worst_case_table, rounds=1, iterations=1)
+    assert rows
+    for row in rows:
+        # The measured ratio equals Δ/2 exactly: the Theorem 2 bound is tight.
+        assert abs(row["measured_ratio"] - row["delta_over_2"]) < 1e-9
+    show_rows("Theorem 3 — worst-case families", rows)
+
+
+def test_theorem2_and_theorem4_bounds(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(theory_bound_check, args=(profile,), rounds=1, iterations=1)
+    assert rows
+    for row in rows:
+        assert row["within_theorem2"] is True
+        assert row["measured_ratio"] <= row["theorem2_bound"] + 1e-9
+    show_rows("Theorem 2/4 — bound checks on maintained solutions", rows)

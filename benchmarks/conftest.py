@@ -1,0 +1,71 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures using the
+``quick`` experiment profile (scaled-down datasets and update streams) so the
+whole suite finishes in minutes on a laptop.  The reproduced rows are written
+to ``benchmarks/results/reproduction_report.txt`` (pytest captures stdout, so
+a durable artifact is more useful than prints); EXPERIMENTS.md references that
+file.  Pass a different profile by setting the ``REPRO_BENCH_PROFILE``
+environment variable to ``standard`` or ``full``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_profile
+from repro.experiments.reporting import format_table
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPORT_PATH = RESULTS_DIR / "reproduction_report.txt"
+
+
+def _resolve_profile():
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    profile = get_profile(name)
+    if profile.name == "quick":
+        # Trim the reference budget a little further for benchmarking: the
+        # exact solver's timeout dominates otherwise.
+        profile = replace(profile, reference_node_budget=8_000, arw_iterations=3)
+    return profile
+
+
+BENCH_PROFILE = _resolve_profile()
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile shared by every benchmark."""
+    return BENCH_PROFILE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_report():
+    """Start a fresh reproduction report for every benchmark session."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    REPORT_PATH.write_text(
+        f"Reproduction report (profile: {BENCH_PROFILE.name})\n"
+        f"easy vertices: {BENCH_PROFILE.easy_vertices}, "
+        f"hard vertices: {BENCH_PROFILE.hard_vertices}, "
+        f"updates: {BENCH_PROFILE.updates_small}/{BENCH_PROFILE.updates_large}\n",
+        encoding="utf-8",
+    )
+    yield
+
+
+@pytest.fixture
+def show_rows():
+    """Append a result table to the reproduction report (and echo it to stdout)."""
+
+    def _show(title: str, rows) -> None:
+        text = format_table(rows, title=title)
+        with REPORT_PATH.open("a", encoding="utf-8") as handle:
+            handle.write("\n" + "=" * 100 + "\n" + text + "\n")
+        print()
+        print(text)
+
+    return _show

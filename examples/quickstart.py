@@ -1,0 +1,56 @@
+"""Quickstart: maintain an approximate maximum independent set over a dynamic graph.
+
+This example builds a small power-law graph (the regime the paper targets),
+streams a few hundred random updates through DyOneSwap and DyTwoSwap, and
+compares the maintained solutions against the exact independence number and
+the theoretical guarantee of Theorem 2.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DyOneSwap, DyTwoSwap, mixed_update_stream, theorem2_ratio_bound
+from repro.baselines import exact_independence_number
+from repro.generators import power_law_random_graph
+
+
+def main() -> None:
+    # 1. A synthetic social-network-like graph: power-law degrees, beta = 2.3.
+    graph = power_law_random_graph(500, 2.3, seed=7)
+    print(f"initial graph: n={graph.num_vertices}, m={graph.num_edges}, "
+          f"avg degree={graph.average_degree():.2f}")
+
+    # 2. A random stream of edge/vertex insertions and deletions.
+    stream = mixed_update_stream(graph, 1_000, edge_fraction=0.8, seed=11)
+    print(f"update stream: {len(stream)} operations "
+          f"({stream.counts_by_kind()})")
+
+    # 3. Maintain 1-maximal and 2-maximal independent sets while replaying it.
+    one_swap = DyOneSwap(graph.copy())
+    two_swap = DyTwoSwap(graph.copy())
+    print(f"initial solutions: DyOneSwap={one_swap.solution_size}, "
+          f"DyTwoSwap={two_swap.solution_size}")
+
+    one_swap.apply_stream(stream)
+    two_swap.apply_stream(stream)
+
+    print(f"after {len(stream)} updates: DyOneSwap={one_swap.solution_size} "
+          f"({one_swap.stats.total_swaps} swaps), "
+          f"DyTwoSwap={two_swap.solution_size} "
+          f"({two_swap.stats.total_swaps} swaps)")
+
+    # 4. Compare against the exact independence number of the final graph.
+    final_graph = one_swap.graph
+    alpha = exact_independence_number(final_graph, node_budget=300_000)
+    bound = theorem2_ratio_bound(final_graph.max_degree())
+    print(f"exact independence number of the final graph: {alpha}")
+    print(f"DyOneSwap accuracy: {one_swap.solution_size / alpha:.4f}  "
+          f"DyTwoSwap accuracy: {two_swap.solution_size / alpha:.4f}")
+    print(f"Theorem 2 guarantees accuracy of at least {1 / bound:.4f} "
+          f"(ratio bound Δ/2 + 1 = {bound:.1f}); both algorithms are far better "
+          f"in practice, as the paper reports.")
+
+
+if __name__ == "__main__":
+    main()

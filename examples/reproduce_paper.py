@@ -1,0 +1,80 @@
+"""Reproduce the paper's tables and figures with the quick experiment profile.
+
+This is the one-stop driver behind EXPERIMENTS.md: it regenerates a scaled
+version of every table and figure of the paper's evaluation section and prints
+them as text tables.  Pass ``standard`` or ``full`` as the first argument to
+run larger (slower) configurations.
+
+Run with:  python examples/reproduce_paper.py [quick|standard|full]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    figure5_easy_performance,
+    figure6_hard_performance,
+    figure7_optimizations,
+    figure8_update_scalability,
+    figure9_k_sweep,
+    figure10_power_law,
+    format_table,
+    get_profile,
+    table1_dataset_statistics,
+    table2_easy_quality,
+    table3_many_updates,
+    table4_hard_quality,
+    theorem3_worst_case_table,
+)
+
+
+def show(title: str, rows) -> None:
+    print()
+    print("=" * 100)
+    print(format_table(rows, title=title))
+
+
+def main() -> None:
+    profile_name = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    profile = get_profile(profile_name)
+    print(f"Reproducing the evaluation with the '{profile.name}' profile "
+          f"(easy graphs: {profile.easy_vertices} vertices, "
+          f"{profile.updates_small}/{profile.updates_large} updates).")
+
+    show("Table I — dataset statistics (paper vs. synthetic stand-in)",
+         table1_dataset_statistics(profile))
+    show("Table II — gap & accuracy on easy graphs (small update stream)",
+         table2_easy_quality(profile))
+    show("Table III — gap & accuracy after the large update stream",
+         table3_many_updates(profile))
+    show("Table IV — gap to the ARW best result on hard graphs",
+         table4_hard_quality(profile))
+
+    fig5 = figure5_easy_performance(profile)
+    show("Fig 5(a) — response time on easy graphs (small stream)",
+         fig5["response_time_small"])
+    show("Fig 5(b) — memory on easy graphs", fig5["memory"])
+    show("Fig 5(c) — response time on easy graphs (large stream)",
+         fig5["response_time_large"])
+
+    fig6 = figure6_hard_performance(profile)
+    show("Fig 6(a) — response time on hard graphs", fig6["response_time"])
+    show("Fig 6(b) — memory on hard graphs", fig6["memory"])
+
+    fig7 = figure7_optimizations(profile)
+    show("Fig 7(a/b) — lazy collection: time and memory", fig7["lazy_time_and_memory"])
+    show("Fig 7(c) — perturbation: time", fig7["perturbation_time"])
+    show("Fig 7(d) — lazy/eager trade-off as k grows", fig7["k_tradeoff"])
+
+    show("Fig 8 — scalability in the number of updates",
+         figure8_update_scalability(profile))
+    show("Fig 9 — effect of the swap depth k", figure9_k_sweep(profile))
+    show("Fig 10 — power-law random graphs, varying β",
+         figure10_power_law(profile))
+    show("Theorem 3 — worst-case families (measured ratio vs Δ/2)",
+         theorem3_worst_case_table())
+
+
+if __name__ == "__main__":
+    main()

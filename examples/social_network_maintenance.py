@@ -1,0 +1,71 @@
+"""Social-network scenario: highly dynamic graphs with bursty "hot topic" updates.
+
+The paper's introduction motivates dynamic MaxIS maintenance with social
+networks whose structure changes massively in minutes (reads/comments on hot
+topics approaching the number of vertices).  This example reproduces that
+regime: a power-law social graph receives bursts of new interactions centred
+on random hubs, and we track how the maintained independent set (a natural
+model for, e.g., selecting a set of non-conflicting influencers or a
+collusion-free committee) degrades for the index-based baseline DGTwoDIS
+while the swap-based DyTwoSwap keeps its quality.
+
+Run with:  python examples/social_network_maintenance.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import DyTwoSwap
+from repro.baselines import DGTwoDIS, arw_best_result
+from repro.generators import power_law_random_graph
+from repro.updates import burst_stream
+
+
+def main() -> None:
+    graph = power_law_random_graph(800, 2.1, seed=3)
+    print(f"social graph: n={graph.num_vertices}, m={graph.num_edges}, "
+          f"avg degree={graph.average_degree():.2f}")
+
+    # Both methods start from the same strong initial solution.
+    initial = arw_best_result(graph, max_iterations=10, seed=3)
+    print(f"initial (ARW) independent set: {len(initial)} vertices")
+
+    ours = DyTwoSwap(graph.copy(), initial_solution=initial)
+    baseline = DGTwoDIS(graph.copy(), initial_solution=initial)
+
+    # Four waves of hot-topic bursts, each roughly half the size of the graph.
+    checkpoints = []
+    total_updates = 0
+    for wave in range(1, 5):
+        stream = burst_stream(ours.graph, 400, burst_size=25, seed=100 + wave)
+        total_updates += len(stream)
+
+        start = time.perf_counter()
+        ours.apply_stream(stream)
+        ours_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        baseline.apply_stream(stream)
+        baseline_time = time.perf_counter() - start
+
+        checkpoints.append(
+            (wave, total_updates, ours.solution_size, ours_time,
+             baseline.solution_size, baseline_time)
+        )
+
+    print("\nwave  updates  DyTwoSwap(size)  time(s)  DGTwoDIS(size)  time(s)")
+    for wave, updates, ours_size, ours_time, base_size, base_time in checkpoints:
+        print(f"{wave:4d}  {updates:7d}  {ours_size:15d}  {ours_time:7.3f}  "
+              f"{base_size:14d}  {base_time:7.3f}")
+
+    advantage = ours.solution_size - baseline.solution_size
+    print(f"\nAfter {total_updates} bursty updates DyTwoSwap maintains "
+          f"{ours.solution_size} vertices versus {baseline.solution_size} for "
+          f"DGTwoDIS ({'+' if advantage >= 0 else ''}{advantage}), matching the "
+          f"paper's observation that swap-based maintenance wins when the graph "
+          f"is highly dynamic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Streaming scenario: maintain an independent set over a sliding window of interactions.
+
+Many applications (automated map labelling, interval scheduling, wireless
+channel assignment) need a large conflict-free set over the *recent* state of
+a graph whose edges expire.  This example streams interactions through a
+sliding window — every inserted edge is deleted again ``window`` operations
+later — and tracks the maintained solution size and the per-update latency of
+DyOneSwap, illustrating the linear-time guarantee of the paper: latency stays
+flat no matter how many updates have been processed.
+
+Run with:  python examples/streaming_window.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import DyOneSwap
+from repro.generators import power_law_random_graph
+from repro.updates import sliding_window_stream
+
+
+def main() -> None:
+    graph = power_law_random_graph(600, 2.4, seed=17)
+    print(f"interaction graph: n={graph.num_vertices}, m={graph.num_edges}")
+
+    stream = sliding_window_stream(graph, 3_000, window=150, seed=18)
+    algo = DyOneSwap(graph.copy())
+    print(f"initial solution: {algo.solution_size} vertices")
+
+    batch = 500
+    print("\nprocessed  solution  swaps  avg latency per update (µs)")
+    processed = 0
+    for start in range(0, len(stream), batch):
+        operations = stream[start:start + batch]
+        began = time.perf_counter()
+        for operation in operations:
+            algo.apply_update(operation)
+        elapsed = time.perf_counter() - began
+        processed += len(operations)
+        latency_us = 1e6 * elapsed / max(1, len(operations))
+        print(f"{processed:9d}  {algo.solution_size:8d}  {algo.stats.total_swaps:5d}  "
+              f"{latency_us:10.1f}")
+
+    print("\nThe per-update latency stays essentially constant across the whole "
+          "stream — the O(m) total / O(d) amortised bound of the paper — while "
+          "the solution size follows the density of the active window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,222 @@
+"""Exact data-reduction rules for the maximum independent set problem.
+
+These are the classic rules used both by the exact branch-and-reduce solver
+(our VCSolver stand-in) and by the DGOneDIS/DGTwoDIS baselines, whose
+dependency-graph index is built from the degree-one and degree-two rules:
+
+* **degree-0**: an isolated vertex is always in some MaxIS,
+* **degree-1** (pendant): a degree-one vertex can be taken greedily; its
+  neighbour is excluded,
+* **degree-2 folding**: a degree-two vertex ``v`` with non-adjacent neighbours
+  ``a``, ``b`` can be *folded*: either ``v`` is in the MaxIS, or both ``a``
+  and ``b`` are; the three vertices are contracted into one and the optimum
+  size shifts by one,
+* **degree-2 triangle**: if the two neighbours are adjacent, ``v`` is always
+  in some MaxIS,
+* **domination**: if ``N[u] ⊆ N[v]`` then some MaxIS avoids ``v``.
+
+The reducer works on a *copy* of the input graph and records a trace that
+:func:`ReductionResult.reconstruct` replays backwards to lift a solution of
+the reduced graph to one of the original graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+
+
+@dataclass
+class ReductionTraceEntry:
+    """One applied reduction, with enough context to undo it on a solution."""
+
+    rule: str
+    vertex: Vertex
+    #: Vertices forced into the solution by the rule (degree-0/1/triangle).
+    taken: Tuple[Vertex, ...] = ()
+    #: Vertices forced out of the solution by the rule.
+    removed: Tuple[Vertex, ...] = ()
+    #: For folding: the two neighbours merged into ``vertex``.
+    fold_neighbors: Tuple[Vertex, ...] = ()
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of exhaustively applying reduction rules to a graph."""
+
+    reduced_graph: DynamicGraph
+    trace: List[ReductionTraceEntry] = field(default_factory=list)
+    #: Size credit already earned by the reductions (vertices fixed into the solution).
+    solution_offset: int = 0
+
+    def reconstruct(self, reduced_solution: Set[Vertex]) -> Set[Vertex]:
+        """Lift an independent set of the reduced graph to the original graph.
+
+        The trace is replayed in reverse.  For folded vertices, membership of
+        the *fold representative* decides whether the folded vertex or its two
+        neighbours enter the lifted solution.
+        """
+        solution = set(reduced_solution)
+        for entry in reversed(self.trace):
+            if entry.rule == "fold":
+                v = entry.vertex
+                a, b = entry.fold_neighbors
+                if v in solution:
+                    # Representative selected means both original neighbours go in.
+                    solution.discard(v)
+                    solution.add(a)
+                    solution.add(b)
+                else:
+                    solution.add(v)
+            else:
+                solution.update(entry.taken)
+                for w in entry.removed:
+                    solution.discard(w)
+        return solution
+
+
+def apply_reductions(
+    graph: DynamicGraph,
+    *,
+    use_degree_two: bool = True,
+    use_domination: bool = True,
+    max_rounds: Optional[int] = None,
+) -> ReductionResult:
+    """Exhaustively apply the reduction rules to a copy of ``graph``.
+
+    Parameters
+    ----------
+    use_degree_two:
+        Enable degree-2 folding / triangle elimination.
+    use_domination:
+        Enable the domination rule (quadratic in the worst case; cheap on the
+        sparse graphs used here).
+    max_rounds:
+        Optional cap on the number of full passes, for use in tests.
+    """
+    work = graph.copy()
+    result = ReductionResult(reduced_graph=work)
+    rounds = 0
+    changed = True
+    while changed:
+        changed = False
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            break
+        changed |= _apply_low_degree_rules(work, result, use_degree_two=use_degree_two)
+        if use_domination and not changed:
+            changed |= _apply_domination_rule(work, result)
+    return result
+
+
+def _apply_low_degree_rules(
+    work: DynamicGraph, result: ReductionResult, *, use_degree_two: bool
+) -> bool:
+    changed = False
+    # Iterate over a snapshot: rules mutate the graph.
+    queue = sorted(work.vertices(), key=lambda v: (work.degree(v), repr(v)))
+    for v in queue:
+        if not work.has_vertex(v):
+            continue
+        degree = work.degree(v)
+        if degree == 0:
+            work.remove_vertex(v)
+            result.trace.append(ReductionTraceEntry(rule="degree0", vertex=v, taken=(v,)))
+            result.solution_offset += 1
+            changed = True
+        elif degree == 1:
+            (neighbor,) = tuple(work.neighbors(v))
+            work.remove_vertex(v)
+            work.remove_vertex(neighbor)
+            result.trace.append(
+                ReductionTraceEntry(
+                    rule="degree1", vertex=v, taken=(v,), removed=(neighbor,)
+                )
+            )
+            result.solution_offset += 1
+            changed = True
+        elif degree == 2 and use_degree_two:
+            a, b = tuple(work.neighbors(v))
+            if work.has_edge(a, b):
+                # Triangle: v is in some MaxIS; a and b are excluded.
+                work.remove_vertex(v)
+                work.remove_vertex(a)
+                work.remove_vertex(b)
+                result.trace.append(
+                    ReductionTraceEntry(
+                        rule="degree2_triangle", vertex=v, taken=(v,), removed=(a, b)
+                    )
+                )
+                result.solution_offset += 1
+            else:
+                _fold_degree_two(work, v, a, b, result)
+            changed = True
+    return changed
+
+
+def _fold_degree_two(
+    work: DynamicGraph, v: Vertex, a: Vertex, b: Vertex, result: ReductionResult
+) -> None:
+    """Fold ``{v, a, b}`` into the representative ``v``.
+
+    After folding, ``v`` (the representative) is adjacent to
+    ``(N(a) ∪ N(b)) \\ {v}``.  Selecting the representative in the reduced
+    graph corresponds to selecting both ``a`` and ``b`` originally; not
+    selecting it corresponds to selecting ``v``.  Either way one vertex is
+    gained, accounted for in ``solution_offset``.
+    """
+    merged_neighbors = (work.neighbors_copy(a) | work.neighbors_copy(b)) - {v, a, b}
+    work.remove_vertex(a)
+    work.remove_vertex(b)
+    for u in list(work.neighbors_copy(v)):
+        work.remove_edge(v, u)
+    for u in merged_neighbors:
+        if work.has_vertex(u):
+            work.add_edge(v, u)
+    result.trace.append(
+        ReductionTraceEntry(rule="fold", vertex=v, fold_neighbors=(a, b))
+    )
+    result.solution_offset += 1
+
+
+def _apply_domination_rule(work: DynamicGraph, result: ReductionResult) -> bool:
+    """Remove one dominated vertex, if any (``N[u] ⊆ N[v]`` allows dropping ``v``)."""
+    for u in sorted(work.vertices(), key=lambda x: (work.degree(x), repr(x))):
+        closed_u = work.neighbors_copy(u)
+        closed_u.add(u)
+        for v in work.neighbors_copy(u):
+            closed_v = work.neighbors_copy(v)
+            closed_v.add(v)
+            if closed_u <= closed_v:
+                work.remove_vertex(v)
+                result.trace.append(
+                    ReductionTraceEntry(rule="domination", vertex=v, removed=(v,))
+                )
+                return True
+    return False
+
+
+def degree_one_dependencies(graph: DynamicGraph) -> Dict[Vertex, Set[Vertex]]:
+    """Return the dependency map produced by degree-one reductions alone.
+
+    For every vertex ``x`` eliminated because its pendant neighbour ``p`` was
+    taken, the map records ``x -> {p}``: ``x`` can re-enter a solution when
+    ``p`` leaves it.  This is the information the DGOneDIS index is built
+    from.
+    """
+    work = graph.copy()
+    dependencies: Dict[Vertex, Set[Vertex]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for v in sorted(work.vertices(), key=lambda x: (work.degree(x), repr(x))):
+            if not work.has_vertex(v) or work.degree(v) != 1:
+                continue
+            (neighbor,) = tuple(work.neighbors(v))
+            dependencies.setdefault(neighbor, set()).add(v)
+            work.remove_vertex(v)
+            work.remove_vertex(neighbor)
+            changed = True
+    return dependencies

@@ -1,0 +1,397 @@
+"""Shared machinery of all dynamic k-maximal independent-set algorithms.
+
+:class:`DynamicMISBase` implements everything Algorithm 1 (the maintenance
+framework), Algorithm 2 (DyOneSwap) and Algorithm 3 (DyTwoSwap) have in
+common:
+
+* installing and validating an initial independent set and extending it to a
+  maximal one,
+* applying the four structural update kinds while keeping the solution
+  maximal ("``G_t ← G_{t-1} ⊕ op`` and keep ``I`` maximal" — line 1 of every
+  algorithm in the paper),
+* turning count-change events into *candidates*: pairs ``(S, C(S))`` of a
+  solution subset and the vertices newly added to ``¯I_{|S|}(S)``,
+* the ``MOVEIN`` / ``MOVEOUT`` primitives with maximality repair,
+* statistics, invariant checking, and the memory-footprint proxy.
+
+Concrete algorithms override :meth:`_process_candidates` (how swaps are
+searched) and :meth:`_on_edge_deleted_outside` (the only update case whose
+new swaps are not signalled by a count change).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.core.lazy import LazyMISState
+from repro.core.state import CountEvent, MISState
+from repro.exceptions import SolutionInvariantError, UpdateError
+from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+from repro.updates.operations import UpdateKind, UpdateOperation
+
+
+@dataclass
+class AlgorithmStatistics:
+    """Counters describing the work an algorithm instance has performed."""
+
+    updates_processed: int = 0
+    swaps_performed: Dict[int, int] = field(default_factory=dict)
+    perturbations: int = 0
+    candidates_processed: int = 0
+
+    def record_swap(self, size: int) -> None:
+        """Record one successful ``size``-swap."""
+        self.swaps_performed[size] = self.swaps_performed.get(size, 0) + 1
+
+    @property
+    def total_swaps(self) -> int:
+        """Total number of swaps of any size performed so far."""
+        return sum(self.swaps_performed.values())
+
+
+class DynamicMISBase(abc.ABC):
+    """Base class of the dynamic k-maximal independent set algorithms.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic graph to maintain a solution on.  The algorithm takes
+        ownership: all further structural updates must go through
+        :meth:`apply_update` so graph and bookkeeping stay in sync.
+    k:
+        The swap depth: the maintained set is guaranteed ``k``-maximal after
+        every update.
+    initial_solution:
+        Optional independent set to start from (the experiments seed the
+        algorithms with an exact or near-optimal solution, as in the paper).
+        It is validated, installed, and extended to a maximal set.
+    lazy:
+        Use the lazy-collection state (optimization 1) instead of the eager
+        hierarchical bookkeeping.
+    perturbation:
+        Enable the degree-based perturbation heuristic (optimization 2).
+    check_invariants:
+        Verify all solution invariants after every update (slow; for tests).
+    stabilize:
+        Run a full swap pass after installation so the initial solution is
+        already ``k``-maximal before the first update arrives.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        *,
+        k: int = 1,
+        initial_solution: Optional[Iterable[Vertex]] = None,
+        lazy: bool = False,
+        perturbation: bool = False,
+        check_invariants: bool = False,
+        stabilize: bool = True,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.lazy = lazy
+        self.perturbation = perturbation
+        self.check_invariants = check_invariants
+        self.state = LazyMISState(graph, k) if lazy else MISState(graph, k)
+        self.stats = AlgorithmStatistics()
+        # _candidates[j] maps a solution subset S of size j to C(S), the set
+        # of vertices that were newly added to ¯I_j(S) and may enable a swap.
+        self._candidates: List[Dict[FrozenSet[Vertex], Set[Vertex]]] = [
+            {} for _ in range(k + 1)
+        ]
+        self._install_initial_solution(initial_solution)
+        if stabilize:
+            self._stabilize()
+        if self.check_invariants:
+            self._verify()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> DynamicGraph:
+        """The underlying dynamic graph."""
+        return self.state.graph
+
+    @property
+    def solution_size(self) -> int:
+        """Current size of the maintained independent set."""
+        return self.state.solution_size
+
+    def solution(self) -> Set[Vertex]:
+        """Return a copy of the maintained independent set."""
+        return self.state.solution()
+
+    def approximation_ratio_bound(self) -> float:
+        """Return the worst-case bound ``Δ/2 + 1`` on ``α(G) / |I|`` (Theorem 2)."""
+        return self.graph.max_degree() / 2.0 + 1.0
+
+    def memory_footprint(self) -> int:
+        """Approximate number of stored references (state + candidate queues)."""
+        size = self.state.structure_size()
+        for level in self._candidates:
+            size += len(level)
+            size += sum(len(c) for c in level.values())
+        return size
+
+    def apply_update(self, operation: UpdateOperation) -> None:
+        """Apply one structural update and restore k-maximality of the solution."""
+        kind = operation.kind
+        if kind is UpdateKind.INSERT_VERTEX:
+            self._handle_insert_vertex(operation.vertex, operation.neighbors)
+        elif kind is UpdateKind.DELETE_VERTEX:
+            self._handle_delete_vertex(operation.vertex)
+        elif kind is UpdateKind.INSERT_EDGE:
+            self._handle_insert_edge(*operation.edge)
+        elif kind is UpdateKind.DELETE_EDGE:
+            self._handle_delete_edge(*operation.edge)
+        else:  # pragma: no cover - exhaustive enum
+            raise UpdateError(f"unknown update kind {kind!r}")
+        self._process_candidates()
+        self.stats.updates_processed += 1
+        if self.check_invariants:
+            self._verify()
+
+    def apply_stream(self, operations: Iterable[UpdateOperation]) -> None:
+        """Apply a whole update stream in order."""
+        for operation in operations:
+            self.apply_update(operation)
+
+    # ------------------------------------------------------------------ #
+    # Hooks for concrete algorithms
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _process_candidates(self) -> None:
+        """Drain the candidate queues, performing every swap they reveal."""
+
+    def _on_edge_deleted_outside(self, u: Vertex, v: Vertex) -> None:
+        """Handle deletion of an edge whose endpoints are both outside the solution.
+
+        This is the only update whose new swap opportunities are invisible to
+        the count-change bookkeeping (no count changes, yet the complement of
+        ``G[¯I_{≤k}(S)]`` gains the edge ``(u, v)``).  The default
+        implementation registers both endpoints when they are tight on the
+        same solution vertex, which is sufficient for ``k = 1``; deeper
+        algorithms override it.
+        """
+        if self.state.count(u) == 1 and self.state.count(v) == 1:
+            owners_u = self.state.solution_neighbors(u)
+            if owners_u == self.state.solution_neighbors(v):
+                key = frozenset(owners_u)
+                self._add_candidate(key, u)
+                self._add_candidate(key, v)
+
+    # ------------------------------------------------------------------ #
+    # Update-case handlers (shared by every algorithm)
+    # ------------------------------------------------------------------ #
+    def _handle_insert_vertex(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
+        count = self.state.add_vertex(vertex, neighbors)
+        if count == 0:
+            self.state.move_in(vertex)
+        elif count <= self.k:
+            self._register_vertex(vertex)
+
+    def _handle_delete_vertex(self, vertex: Vertex) -> None:
+        was_in_solution, neighbors, events = self.state.remove_vertex(vertex)
+        if was_in_solution:
+            self._repair_and_register(events)
+        # Deleting a non-solution vertex cannot create swaps: no count changes
+        # and the candidate pools only shrink.
+
+    def _handle_insert_edge(self, u: Vertex, v: Vertex) -> None:
+        u_in = self.state.is_in_solution(u)
+        v_in = self.state.is_in_solution(v)
+        events = self.state.add_edge(u, v)
+        if u_in and v_in:
+            evicted = self._choose_eviction(u, v)
+            out_events = self.state.move_out(evicted)
+            self._repair_and_register(out_events)
+            self._register_vertex(evicted)
+        # Otherwise counts can only increase, which never creates new swaps.
+        del events
+
+    def _handle_delete_edge(self, u: Vertex, v: Vertex) -> None:
+        u_in = self.state.is_in_solution(u)
+        v_in = self.state.is_in_solution(v)
+        events = self.state.remove_edge(u, v)
+        if u_in != v_in:
+            self._repair_and_register(events)
+        elif not u_in and not v_in:
+            self._on_edge_deleted_outside(u, v)
+        # u_in and v_in cannot both hold because the solution is independent.
+
+    # ------------------------------------------------------------------ #
+    # Candidate bookkeeping
+    # ------------------------------------------------------------------ #
+    def _add_candidate(self, owners: FrozenSet[Vertex], vertex: Vertex) -> None:
+        """Record ``vertex`` as newly relevant for the solution subset ``owners``."""
+        level = len(owners)
+        if not 1 <= level <= self.k:
+            return
+        self._candidates[level].setdefault(owners, set()).add(vertex)
+
+    def _register_vertex(self, vertex: Vertex) -> None:
+        """Register ``vertex`` under its own solution-neighbour set if in range."""
+        if self.state.is_in_solution(vertex):
+            return
+        count = self.state.count(vertex)
+        if 1 <= count <= self.k:
+            owners = frozenset(self.state.solution_neighbors(vertex))
+            self._add_candidate(owners, vertex)
+
+    def _register_from_events(self, events: Iterable[CountEvent]) -> None:
+        """Register every vertex whose count *decreased* into ``[1, k]``.
+
+        Count increases never create new swap opportunities (the vertex was
+        already a member of every ``¯I_{≤j}(S)`` it now belongs to), so only
+        decreases matter.
+        """
+        for vertex, old, new in events:
+            if self.state.is_in_solution(vertex):
+                continue
+            if old is not None and new >= old:
+                continue
+            if 1 <= new <= self.k:
+                self._register_vertex(vertex)
+
+    def _collect_candidates_around(self, vertices: Iterable[Vertex]) -> None:
+        """Register every vertex with count in ``[1, k]`` in the closed neighbourhood.
+
+        This mirrors FIND_CANDIDATES of the paper: after a swap around the
+        removed set ``S``, every vertex of ``N[S]`` whose count is small
+        enough is (re-)registered.  Re-registering vertices that were already
+        known is harmless: processing simply finds no swap for them.
+        """
+        for v in vertices:
+            if not self.graph.has_vertex(v):
+                continue
+            self._register_vertex(v)
+            for w in self.graph.neighbors_copy(v):
+                self._register_vertex(w)
+
+    def _pop_candidate(self, level: int):
+        """Pop one ``(S, C(S))`` pair from the given level, or ``None`` if empty."""
+        queue = self._candidates[level]
+        if not queue:
+            return None
+        owners, members = queue.popitem()
+        self.stats.candidates_processed += 1
+        return owners, members
+
+    def has_pending_candidates(self) -> bool:
+        """Return ``True`` while any candidate queue is non-empty."""
+        return any(self._candidates[level] for level in range(1, self.k + 1))
+
+    # ------------------------------------------------------------------ #
+    # Solution manipulation helpers
+    # ------------------------------------------------------------------ #
+    def _repair_and_register(self, events: Iterable[CountEvent]) -> None:
+        """Restore maximality after count decreases and register new candidates.
+
+        Any vertex whose count dropped to zero is moved into the solution
+        (maximality); any vertex whose count dropped into ``[1, k]`` becomes a
+        candidate.
+        """
+        decreased: List[Vertex] = []
+        for vertex, old, new in events:
+            if old is not None and new >= old:
+                continue
+            decreased.append(vertex)
+        # Move zero-count vertices in first (smallest degree first, the usual
+        # greedy tie-break), re-checking the count right before each move
+        # because earlier moves may have raised it again.
+        zero_candidates = [
+            v
+            for v in decreased
+            if self.graph.has_vertex(v)
+            and not self.state.is_in_solution(v)
+            and self.state.count(v) == 0
+        ]
+        for v in sorted(zero_candidates, key=self._greedy_order_key):
+            if (
+                self.graph.has_vertex(v)
+                and not self.state.is_in_solution(v)
+                and self.state.count(v) == 0
+            ):
+                self.state.move_in(v)
+        for v in decreased:
+            if self.graph.has_vertex(v) and not self.state.is_in_solution(v):
+                self._register_vertex(v)
+
+    def _extend_maximal_over(self, vertices: Iterable[Vertex]) -> List[Vertex]:
+        """Move every listed vertex whose count is zero into the solution.
+
+        Returns the vertices that were actually inserted.
+        """
+        inserted: List[Vertex] = []
+        for v in sorted(
+            (w for w in vertices if self.graph.has_vertex(w)), key=self._greedy_order_key
+        ):
+            if not self.state.is_in_solution(v) and self.state.count(v) == 0:
+                self.state.move_in(v)
+                inserted.append(v)
+        return inserted
+
+    def _choose_eviction(self, u: Vertex, v: Vertex) -> Vertex:
+        """Pick which endpoint of a newly conflicting edge leaves the solution.
+
+        Following the paper: prefer an endpoint with a non-empty ``¯I_1``
+        (its tight neighbours can take its place), otherwise evict the one
+        with the higher degree.
+        """
+        u_tight = bool(self.state.tight_vertices(frozenset((u,)), 1))
+        v_tight = bool(self.state.tight_vertices(frozenset((v,)), 1))
+        if u_tight != v_tight:
+            return u if u_tight else v
+        du, dv = self.graph.degree(u), self.graph.degree(v)
+        if du != dv:
+            return u if du > dv else v
+        return max(u, v, key=repr)
+
+    def _greedy_order_key(self, vertex: Vertex):
+        """Deterministic ordering for greedy insertions: smallest degree first."""
+        return (self.graph.degree(vertex), repr(vertex))
+
+    # ------------------------------------------------------------------ #
+    # Initialisation
+    # ------------------------------------------------------------------ #
+    def _install_initial_solution(self, initial_solution: Optional[Iterable[Vertex]]) -> None:
+        graph = self.graph
+        if initial_solution is not None:
+            members = [v for v in initial_solution]
+            member_set = set(members)
+            for v in members:
+                if not graph.has_vertex(v):
+                    raise SolutionInvariantError(
+                        f"initial solution vertex {v!r} is not in the graph"
+                    )
+                if graph.neighbors(v) & member_set:
+                    raise SolutionInvariantError(
+                        f"initial solution is not independent around {v!r}"
+                    )
+            for v in sorted(members, key=self._greedy_order_key):
+                if self.state.count(v) == 0 and not self.state.is_in_solution(v):
+                    self.state.move_in(v)
+        # Extend to a maximal independent set greedily (smallest degree first).
+        for v in sorted(graph.vertices(), key=self._greedy_order_key):
+            if not self.state.is_in_solution(v) and self.state.count(v) == 0:
+                self.state.move_in(v)
+
+    def _stabilize(self) -> None:
+        """Make the freshly installed solution k-maximal by a full candidate sweep."""
+        for level in range(1, self.k + 1):
+            for vertex in self.state.nonsolution_vertices_with_count(level):
+                self._register_vertex(vertex)
+        self._process_candidates()
+
+    # ------------------------------------------------------------------ #
+    # Verification
+    # ------------------------------------------------------------------ #
+    def _verify(self) -> None:
+        self.state.check_invariants()
+        if not self.state.is_maximal():
+            raise SolutionInvariantError("maintained solution is not maximal")

@@ -1,0 +1,229 @@
+"""The generic k-maximal maintenance framework (Algorithm 1 of the paper).
+
+:class:`KSwapFramework` maintains a k-maximal independent set for a
+user-specified ``k``.  DyOneSwap and DyTwoSwap are hand-optimised
+instantiations for ``k = 1`` and ``k = 2``; this class provides the general
+mechanism used by the k-sweep experiment (Fig 9) for ``k >= 3`` and serves as
+the reference implementation against which the specialised algorithms are
+tested.
+
+The processing loop follows Algorithm 1: candidates are handled bottom-up
+(smallest level first), each candidate ``(S, C(S))`` is examined by searching
+an independent set of size ``|S|`` inside ``¯I_{≤|S|}(S) \\ N[v]`` for some
+newly added vertex ``v ∈ C(S)``, and a candidate that yields no swap is
+promoted to the supersets of ``S`` of size ``|S| + 1`` that could still admit
+one.
+
+Guarantee
+---------
+For ``k <= 2`` the candidate propagation is complete and the maintained set
+is exactly k-maximal after every update (the same guarantee as DyOneSwap and
+DyTwoSwap).  For ``k >= 3`` the promotion step is the natural generalisation
+of Algorithm 3's level-1-to-level-2 promotion (it requires a witness of count
+``j + 1``), which is no longer exhaustive: deep swaps whose swap-in sets
+consist solely of lower-count vertices can be missed.  The paper's framework
+leaves the general promotion unspecified and only instantiates ``k <= 2``;
+accordingly this class guarantees 2-maximality for every ``k >= 2`` and finds
+deeper swaps best-effort, which is how the Fig 9 k-sweep experiment uses it
+(solution quality still improves monotonically with ``k`` in practice).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+from repro.core.base import DynamicMISBase
+from repro.core.perturbation import pick_perturbation_partner
+from repro.graphs.dynamic_graph import Vertex
+
+#: Safety cap on the number of nodes explored by the independent-set search
+#: inside one candidate pool.  Pools are tiny in practice (their size is the
+#: τ of the paper's analysis); the cap only guards against adversarial
+#: inputs and is counted in the statistics when hit.
+_SEARCH_NODE_LIMIT = 50_000
+
+
+class KSwapFramework(DynamicMISBase):
+    """Maintain a k-maximal independent set for arbitrary ``k`` (Algorithm 1).
+
+    See :class:`repro.core.base.DynamicMISBase` for constructor parameters.
+
+    Examples
+    --------
+    >>> from repro.graphs import DynamicGraph
+    >>> g = DynamicGraph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+    >>> algo = KSwapFramework(g, k=3)
+    >>> len(algo.solution())
+    2
+    """
+
+    def __init__(self, graph, *, k: int = 1, **kwargs) -> None:
+        super().__init__(graph, k=k, **kwargs)
+        self.search_limit_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Bottom-up candidate processing
+    # ------------------------------------------------------------------ #
+    def _process_candidates(self) -> None:
+        while self.has_pending_candidates():
+            level = self._smallest_pending_level()
+            popped = self._pop_candidate(level)
+            if popped is None:
+                continue
+            owners, members = popped
+            self._examine_candidate(level, owners, members)
+
+    def _smallest_pending_level(self) -> int:
+        for level in range(1, self.k + 1):
+            if self._candidates[level]:
+                return level
+        return self.k
+
+    def _examine_candidate(
+        self, level: int, owners: FrozenSet[Vertex], members: Set[Vertex]
+    ) -> None:
+        if len(owners) != level:
+            return
+        if not all(self.state.is_in_solution(s) for s in owners):
+            return
+        pool = self.state.tight_up_to(owners, level)
+        valid_members = [m for m in members if self._is_valid_member(m, owners, level)]
+        for vertex in valid_members:
+            swap_in = self._search_swap_in(vertex, owners, pool, level)
+            if swap_in is not None:
+                self._perform_swap(owners, vertex, swap_in, pool)
+                return
+        if valid_members and level + 1 <= self.k:
+            self._promote(owners, valid_members, level)
+        if self.perturbation and level == 1 and len(owners) == 1:
+            (v,) = tuple(owners)
+            tight = self.state.tight_vertices(owners, 1)
+            partner = pick_perturbation_partner(self.graph, v, tight)
+            if partner is not None:
+                self.state.move_out(v)
+                self.state.move_in(partner)
+                self._extend_maximal_over(w for w in tight if w != partner)
+                self.stats.perturbations += 1
+                self._collect_candidates_around([v])
+
+    def _is_valid_member(self, vertex: Vertex, owners: FrozenSet[Vertex], level: int) -> bool:
+        """A member is usable when it is outside the solution and dominated only by ``owners``."""
+        if not self.graph.has_vertex(vertex) or self.state.is_in_solution(vertex):
+            return False
+        count = self.state.count(vertex)
+        if count == 0 or count > level:
+            return False
+        return self.state.solution_neighbors(vertex) <= set(owners)
+
+    # ------------------------------------------------------------------ #
+    # Swap search
+    # ------------------------------------------------------------------ #
+    def _search_swap_in(
+        self,
+        vertex: Vertex,
+        owners: FrozenSet[Vertex],
+        pool: Set[Vertex],
+        level: int,
+    ) -> Optional[List[Vertex]]:
+        """Find an independent set of size ``level`` in ``pool \\ N[vertex]``.
+
+        Together with ``vertex`` it forms the swap-in set of a ``level``-swap
+        replacing ``owners``.  Returns ``None`` when no such set exists (or
+        the bounded search gives up).
+        """
+        vertex_neighbors = self.graph.neighbors(vertex)
+        candidates = [w for w in pool if w != vertex and w not in vertex_neighbors]
+        if len(candidates) < level:
+            return None
+        candidates.sort(key=self._greedy_order_key)
+        chosen: List[Vertex] = []
+        budget = [_SEARCH_NODE_LIMIT]
+
+        def backtrack(start: int) -> bool:
+            if len(chosen) == level:
+                return True
+            if budget[0] <= 0:
+                return False
+            for index in range(start, len(candidates)):
+                budget[0] -= 1
+                if budget[0] <= 0:
+                    return False
+                candidate = candidates[index]
+                candidate_neighbors = self.graph.neighbors(candidate)
+                if any(previous in candidate_neighbors for previous in chosen):
+                    continue
+                chosen.append(candidate)
+                if backtrack(index + 1):
+                    return True
+                chosen.pop()
+            return False
+
+        found = backtrack(0)
+        if budget[0] <= 0:
+            self.search_limit_hits += 1
+        return list(chosen) if found else None
+
+    def _perform_swap(
+        self,
+        owners: FrozenSet[Vertex],
+        vertex: Vertex,
+        swap_in: Sequence[Vertex],
+        pool: Set[Vertex],
+    ) -> None:
+        for owner in owners:
+            self.state.move_out(owner)
+        if self.state.count(vertex) == 0 and not self.state.is_in_solution(vertex):
+            self.state.move_in(vertex)
+        for w in swap_in:
+            if not self.state.is_in_solution(w) and self.state.count(w) == 0:
+                self.state.move_in(w)
+        self._extend_maximal_over(w for w in pool if w != vertex and w not in swap_in)
+        self.stats.record_swap(len(owners))
+        self._collect_candidates_around(list(owners))
+
+    # ------------------------------------------------------------------ #
+    # Promotion to the next level
+    # ------------------------------------------------------------------ #
+    def _promote(
+        self, owners: FrozenSet[Vertex], members: Sequence[Vertex], level: int
+    ) -> None:
+        """Register supersets ``S' ⊃ owners`` of size ``level + 1`` that may admit a swap.
+
+        By the bottom-up invariant the solution is ``level``-maximal here, so
+        a new ``(level+1)``-swap for ``S'`` must include a vertex ``w`` with
+        ``I(w) = S'`` that is not adjacent to at least one of the newly added
+        members.  Such ``w`` is found by scanning the neighbourhoods of the
+        owners.
+        """
+        owner_set = set(owners)
+        seen: Set[Vertex] = set()
+        for owner in owners:
+            if not self.graph.has_vertex(owner):
+                continue
+            for w in self.graph.neighbors_copy(owner):
+                if w in seen or self.state.is_in_solution(w):
+                    continue
+                seen.add(w)
+                if self.state.count(w) != level + 1:
+                    continue
+                w_owners = self.state.solution_neighbors(w)
+                if not owner_set < w_owners:
+                    continue
+                w_neighbors = self.graph.neighbors(w)
+                if any(m != w and m not in w_neighbors for m in members):
+                    self._add_candidate(frozenset(w_owners), w)
+
+    # ------------------------------------------------------------------ #
+    # Edge deletion between two non-solution vertices
+    # ------------------------------------------------------------------ #
+    def _on_edge_deleted_outside(self, u: Vertex, v: Vertex) -> None:
+        """A removed non-edge can only enable swaps whose swap-in contains both endpoints."""
+        count_u = self.state.count(u)
+        count_v = self.state.count(v)
+        if count_u > self.k or count_v > self.k:
+            return
+        owners = frozenset(self.state.solution_neighbors(u) | self.state.solution_neighbors(v))
+        if not owners or len(owners) > self.k:
+            return
+        self._add_candidate(owners, u)
+        self._add_candidate(owners, v)

@@ -1,0 +1,237 @@
+"""Lazy-collection solution state (optimization 1 of Section III).
+
+The eager :class:`~repro.core.state.MISState` maintains ``I(v)`` sets and the
+hierarchical ``¯I_j(S)`` buckets explicitly so they can be queried in O(1).
+The lazy variant only keeps the membership set and the integer ``count(v)``
+per non-solution vertex; everything else is *recomputed on demand* by scanning
+the relevant neighbourhoods.  As the paper observes, this slashes memory and
+even improves wall-clock time for small ``k``, at the price of losing the
+worst-case time bound (and getting slower as ``k`` grows) — exactly the
+trade-off evaluated in Fig 7.
+
+The class exposes the same interface as :class:`MISState`, so every
+maintenance algorithm can be instantiated on either state by passing
+``lazy=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.core.state import CountEvent, StateStatistics
+from repro.exceptions import SolutionInvariantError
+from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+
+
+class LazyMISState:
+    """Count-only bookkeeping of an independent set over a dynamic graph.
+
+    Interface-compatible with :class:`repro.core.state.MISState`; see that
+    class for method semantics.
+    """
+
+    def __init__(self, graph: DynamicGraph, k: int = 1) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.graph = graph
+        self.k = k
+        self._in_solution: Set[Vertex] = set()
+        self._count: Dict[Vertex, int] = {v: 0 for v in graph.vertices()}
+        self.stats = StateStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def solution_size(self) -> int:
+        return len(self._in_solution)
+
+    def solution(self) -> Set[Vertex]:
+        return set(self._in_solution)
+
+    def is_in_solution(self, vertex: Vertex) -> bool:
+        return vertex in self._in_solution
+
+    def count(self, vertex: Vertex) -> int:
+        if vertex in self._in_solution:
+            return 0
+        return self._count[vertex]
+
+    def solution_neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Recompute ``I(v)`` by scanning the neighbourhood of ``vertex``."""
+        if vertex in self._in_solution:
+            return set()
+        return {n for n in self.graph.neighbors(vertex) if n in self._in_solution}
+
+    def tight_vertices(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
+        """Recompute ``¯I_level(owners)`` by scanning the owners' neighbourhoods."""
+        if level != len(owners):
+            raise ValueError("level must equal the size of the owner set")
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        result: Set[Vertex] = set()
+        for owner in owners:
+            if not self.graph.has_vertex(owner):
+                continue
+            for v in self.graph.neighbors(owner):
+                if v in self._in_solution:
+                    continue
+                if self._count.get(v) == level and self.solution_neighbors(v) == set(owners):
+                    result.add(v)
+        return result
+
+    def tight_up_to(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
+        """Recompute ``¯I_{≤level}(owners)`` by scanning the owners' neighbourhoods."""
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        owner_set = set(owners)
+        result: Set[Vertex] = set()
+        for owner in owners:
+            if not self.graph.has_vertex(owner):
+                continue
+            for v in self.graph.neighbors(owner):
+                if v in self._in_solution:
+                    continue
+                c = self._count.get(v, 0)
+                if 1 <= c <= level and self.solution_neighbors(v) <= owner_set:
+                    result.add(v)
+        return result
+
+    def nonsolution_vertices_with_count(self, level: int) -> Set[Vertex]:
+        """Scan all vertices for the requested count (lazy: O(n))."""
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        return {
+            v
+            for v, c in self._count.items()
+            if c == level and v not in self._in_solution
+        }
+
+    def structure_size(self) -> int:
+        """Memory proxy: only the membership set and one counter per vertex."""
+        return len(self._in_solution) + len(self._count)
+
+    # ------------------------------------------------------------------ #
+    # Solution mutation
+    # ------------------------------------------------------------------ #
+    def move_in(self, vertex: Vertex) -> List[CountEvent]:
+        if vertex in self._in_solution:
+            raise SolutionInvariantError(f"{vertex!r} is already in the solution")
+        if self._count[vertex] != 0:
+            raise SolutionInvariantError(
+                f"cannot MOVEIN {vertex!r}: count is {self._count[vertex]}"
+            )
+        self.stats.move_in_calls += 1
+        self._in_solution.add(vertex)
+        events: List[CountEvent] = []
+        for nbr in self.graph.neighbors(vertex):
+            old = self._count[nbr]
+            self._count[nbr] = old + 1
+            self.stats.count_updates += 1
+            events.append((nbr, old, old + 1))
+        return events
+
+    def move_out(self, vertex: Vertex) -> List[CountEvent]:
+        if vertex not in self._in_solution:
+            raise SolutionInvariantError(f"{vertex!r} is not in the solution")
+        self.stats.move_out_calls += 1
+        self._in_solution.discard(vertex)
+        events: List[CountEvent] = []
+        own_count = 0
+        for nbr in self.graph.neighbors(vertex):
+            if nbr in self._in_solution:
+                own_count += 1
+                continue
+            old = self._count[nbr]
+            self._count[nbr] = old - 1
+            self.stats.count_updates += 1
+            events.append((nbr, old, old - 1))
+        self._count[vertex] = own_count
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Structural mutation
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: Vertex, neighbors: Iterable[Vertex]) -> int:
+        self.graph.add_vertex(vertex)
+        for nbr in neighbors:
+            self.graph.add_edge(vertex, nbr)
+        count = sum(1 for n in self.graph.neighbors(vertex) if n in self._in_solution)
+        self._count[vertex] = count
+        return count
+
+    def remove_vertex(self, vertex: Vertex) -> Tuple[bool, Set[Vertex], List[CountEvent]]:
+        was_in_solution = vertex in self._in_solution
+        events: List[CountEvent] = []
+        neighbors = self.graph.neighbors_copy(vertex)
+        if was_in_solution:
+            self._in_solution.discard(vertex)
+            for nbr in neighbors:
+                if nbr in self._in_solution:
+                    continue
+                old = self._count[nbr]
+                self._count[nbr] = old - 1
+                self.stats.count_updates += 1
+                events.append((nbr, old, old - 1))
+        self.graph.remove_vertex(vertex)
+        self._count.pop(vertex, None)
+        return was_in_solution, neighbors, events
+
+    def add_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
+        self.graph.add_edge(u, v)
+        events: List[CountEvent] = []
+        u_in, v_in = u in self._in_solution, v in self._in_solution
+        if u_in and not v_in:
+            old = self._count[v]
+            self._count[v] = old + 1
+            self.stats.count_updates += 1
+            events.append((v, old, old + 1))
+        elif v_in and not u_in:
+            old = self._count[u]
+            self._count[u] = old + 1
+            self.stats.count_updates += 1
+            events.append((u, old, old + 1))
+        return events
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
+        self.graph.remove_edge(u, v)
+        events: List[CountEvent] = []
+        u_in, v_in = u in self._in_solution, v in self._in_solution
+        if u_in and not v_in:
+            old = self._count[v]
+            self._count[v] = old - 1
+            self.stats.count_updates += 1
+            events.append((v, old, old - 1))
+        elif v_in and not u_in:
+            old = self._count[u]
+            self._count[u] = old - 1
+            self.stats.count_updates += 1
+            events.append((u, old, old - 1))
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Invariant checking
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        for v in self._in_solution:
+            if not self.graph.has_vertex(v):
+                raise SolutionInvariantError(f"solution vertex {v!r} missing from graph")
+            conflict = self.graph.neighbors(v) & self._in_solution
+            if conflict:
+                raise SolutionInvariantError(
+                    f"solution vertices {v!r} and {next(iter(conflict))!r} are adjacent"
+                )
+        for v in self.graph.vertices():
+            if v in self._in_solution:
+                continue
+            expected = sum(1 for n in self.graph.neighbors(v) if n in self._in_solution)
+            if self._count.get(v) != expected:
+                raise SolutionInvariantError(
+                    f"count({v!r}) is {self._count.get(v)!r} but the graph says {expected}"
+                )
+
+    def is_maximal(self) -> bool:
+        for v in self.graph.vertices():
+            if v not in self._in_solution and self._count.get(v, 0) == 0:
+                return False
+        return True

@@ -1,0 +1,116 @@
+"""DyOneSwap — Algorithm 2 of the paper.
+
+Maintains a *1-maximal* independent set over a dynamic graph: after every
+update there is no vertex ``v ∈ I`` that could be exchanged for two or more
+of its neighbours.  By Theorem 2 this guarantees an approximation ratio of
+``Δ/2 + 1`` on general graphs, and by Theorem 4 a parameter-dependent
+constant on power-law bounded graphs.  Each update is processed in time
+proportional to the neighbourhoods it touches, giving the linear total bound
+``O(m_t)`` of the paper.
+
+A solution vertex ``v`` contributes a 1-swap exactly when the subgraph
+induced by its tight neighbours ``¯I_1(v)`` is not a clique: two non-adjacent
+tight neighbours can replace ``v``.  The algorithm therefore re-examines
+``¯I_1(v)`` only for vertices ``v`` that gained new tight neighbours
+(the candidates ``C(v)``), checking the clique property by counting each
+candidate's neighbours inside ``¯I_1(v)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from repro.core.base import DynamicMISBase
+from repro.core.perturbation import pick_perturbation_partner
+from repro.graphs.dynamic_graph import Vertex
+
+
+class DyOneSwap(DynamicMISBase):
+    """Dynamic (Δ/2 + 1)-approximation maintaining a 1-maximal independent set.
+
+    See :class:`repro.core.base.DynamicMISBase` for the constructor
+    parameters.  ``k`` is fixed to one.
+
+    Examples
+    --------
+    >>> from repro.graphs import DynamicGraph
+    >>> from repro.updates import UpdateOperation
+    >>> g = DynamicGraph(edges=[(1, 2), (2, 3), (3, 4)])
+    >>> algo = DyOneSwap(g)
+    >>> sorted(algo.solution())
+    [1, 3]
+    >>> algo.apply_update(UpdateOperation.insert_edge(1, 3))
+    >>> len(algo.solution()) >= 2
+    True
+    """
+
+    def __init__(self, graph, **kwargs) -> None:
+        kwargs.pop("k", None)
+        super().__init__(graph, k=1, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Swap processing
+    # ------------------------------------------------------------------ #
+    def _process_candidates(self) -> None:
+        while True:
+            popped = self._pop_candidate(1)
+            if popped is None:
+                break
+            owners, members = popped
+            self._examine_candidate(owners, members)
+
+    def _examine_candidate(self, owners: FrozenSet[Vertex], members: Set[Vertex]) -> None:
+        """Check whether the solution vertex in ``owners`` still forms a clique barrier."""
+        (v,) = tuple(owners)
+        if not self.state.is_in_solution(v):
+            return
+        tight = self.state.tight_vertices(owners, 1)
+        if len(tight) < 2:
+            # A single tight neighbour can never yield a 1-swap; it may still
+            # be a useful perturbation partner.
+            if self.perturbation and tight:
+                self._maybe_perturb(v, tight)
+            return
+        for u in list(members):
+            if not self._is_valid_candidate(u, v):
+                continue
+            if self._has_nonneighbor_within(u, tight):
+                self._perform_one_swap(v, u, tight)
+                return
+        if self.perturbation:
+            self._maybe_perturb(v, tight)
+
+    def _is_valid_candidate(self, u: Vertex, v: Vertex) -> bool:
+        """A candidate is still usable when it is tight on exactly ``{v}``."""
+        if not self.graph.has_vertex(u) or self.state.is_in_solution(u):
+            return False
+        if self.state.count(u) != 1:
+            return False
+        return v in self.state.solution_neighbors(u)
+
+    def _has_nonneighbor_within(self, u: Vertex, tight: Set[Vertex]) -> bool:
+        """Return ``True`` when ``|N[u] ∩ ¯I_1(v)| < |¯I_1(v)|``."""
+        neighbors = self.graph.neighbors(u)
+        return any(w != u and w not in neighbors for w in tight)
+
+    def _perform_one_swap(self, v: Vertex, u: Vertex, tight: Set[Vertex]) -> None:
+        """Swap ``v`` out for ``u`` plus every tight neighbour that becomes free."""
+        self.state.move_out(v)
+        self.state.move_in(u)
+        self._extend_maximal_over(w for w in tight if w != u)
+        self.stats.record_swap(1)
+        # New candidates can only involve vertices around the removed vertex.
+        self._collect_candidates_around([v])
+
+    # ------------------------------------------------------------------ #
+    # Perturbation (optimization 2)
+    # ------------------------------------------------------------------ #
+    def _maybe_perturb(self, v: Vertex, tight: Set[Vertex]) -> None:
+        partner: Optional[Vertex] = pick_perturbation_partner(self.graph, v, tight)
+        if partner is None:
+            return
+        self.state.move_out(v)
+        self.state.move_in(partner)
+        self._extend_maximal_over(w for w in tight if w != partner)
+        self.stats.perturbations += 1
+        self._collect_candidates_around([v])

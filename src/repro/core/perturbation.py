@@ -1,0 +1,46 @@
+"""Perturbation heuristic (optimization 2 of Section III).
+
+Local-search methods get stuck in local optima; the paper proposes a cheap,
+dynamic-setting-friendly perturbation: when a solution vertex ``v`` is
+examined and no swap is found, it may be exchanged for its *smallest-degree*
+tight neighbour, based on the intuition that high-degree vertices are less
+likely to appear in a maximum independent set.
+
+To guarantee termination of the candidate-processing loop the exchange is
+only performed when it strictly decreases the degree of the solution vertex:
+the sum of solution degrees is then a strictly decreasing potential, so the
+number of perturbations between two structural updates is finite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+
+
+def pick_perturbation_partner(
+    graph: DynamicGraph,
+    solution_vertex: Vertex,
+    tight_neighbors: Iterable[Vertex],
+) -> Optional[Vertex]:
+    """Choose the tight neighbour to swap ``solution_vertex`` with, if any.
+
+    Returns the tight neighbour of smallest degree (ties broken by ``repr``
+    for determinism) provided that degree is strictly smaller than the degree
+    of ``solution_vertex``; returns ``None`` otherwise, including when there
+    are no tight neighbours.
+    """
+    best: Optional[Vertex] = None
+    best_key = None
+    for candidate in tight_neighbors:
+        if not graph.has_vertex(candidate):
+            continue
+        key = (graph.degree(candidate), repr(candidate))
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    if best is None:
+        return None
+    if graph.degree(best) < graph.degree(solution_vertex):
+        return best
+    return None

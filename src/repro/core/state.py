@@ -1,0 +1,371 @@
+"""Solution-state bookkeeping shared by all maintenance algorithms.
+
+The framework of the paper (Section III-B) keeps, for the maintained
+independent set ``I``:
+
+* a boolean ``status(v)`` per vertex (membership in ``I``),
+* for every non-solution vertex ``v``, the list ``I(v)`` of its neighbours in
+  ``I`` and the counter ``count(v) = |I(v)|``,
+* for every subset ``S ⊆ I`` of size ``j ≤ k``, the set
+  ``¯I_j(S) = {v ∉ I : I(v) = S}`` stored hierarchically so membership moves
+  in constant time when a count changes.
+
+:class:`MISState` is the eager implementation of this bookkeeping; the lazy
+variant (Section III optimization 1) lives in :mod:`repro.core.lazy` and
+exposes the same interface, so every algorithm can run on either.
+
+Counts and hierarchy levels are only tracked up to the configured ``k``; the
+framework never needs ``I(v)`` for vertices with ``count(v) > k`` beyond the
+counter itself, but the eager state stores the full ``I(v)`` sets because that
+is what gives the O(d) update bound in the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import SolutionInvariantError
+from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+
+#: A count-change event ``(vertex, old_count, new_count)``.  ``old_count`` is
+#: ``None`` when the vertex had no tracked count before the event (it was in
+#: the solution, or did not exist).
+CountEvent = Tuple[Vertex, Optional[int], int]
+
+
+@dataclass
+class StateStatistics:
+    """Running counters describing the work a state instance has performed."""
+
+    move_in_calls: int = 0
+    move_out_calls: int = 0
+    count_updates: int = 0
+
+
+class MISState:
+    """Eager bookkeeping of an independent set over a dynamic graph.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic graph; the state mutates it through its own
+        ``add_vertex`` / ``add_edge`` / … methods so graph and bookkeeping
+        never diverge.
+    k:
+        Highest hierarchy level to maintain (the ``k`` of the k-maximal
+        framework).
+    """
+
+    def __init__(self, graph: DynamicGraph, k: int = 1) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.graph = graph
+        self.k = k
+        self._in_solution: Set[Vertex] = set()
+        self._solution_neighbors: Dict[Vertex, Set[Vertex]] = {
+            v: set() for v in graph.vertices()
+        }
+        # _tight[j] maps frozenset(S) (|S| == j) to the set ¯I_j(S).
+        self._tight: List[Dict[FrozenSet[Vertex], Set[Vertex]]] = [
+            {} for _ in range(k + 1)
+        ]
+        self.stats = StateStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def solution_size(self) -> int:
+        """Size of the maintained independent set."""
+        return len(self._in_solution)
+
+    def solution(self) -> Set[Vertex]:
+        """Return a copy of the maintained independent set."""
+        return set(self._in_solution)
+
+    def is_in_solution(self, vertex: Vertex) -> bool:
+        """Return ``True`` when ``vertex`` is currently in the solution."""
+        return vertex in self._in_solution
+
+    def count(self, vertex: Vertex) -> int:
+        """Return ``count(v) = |N(v) ∩ I|`` (0 for solution vertices)."""
+        if vertex in self._in_solution:
+            return 0
+        return len(self._solution_neighbors[vertex])
+
+    def solution_neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Return a copy of ``I(v)``, the solution neighbours of ``vertex``."""
+        if vertex in self._in_solution:
+            return set()
+        return set(self._solution_neighbors[vertex])
+
+    def tight_vertices(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
+        """Return a copy of ``¯I_level(owners) = {v ∉ I : I(v) = owners}``.
+
+        ``level`` must equal ``len(owners)`` and be at most ``k``.
+        """
+        if level != len(owners):
+            raise ValueError("level must equal the size of the owner set")
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        return set(self._tight[level].get(owners, ()))
+
+    def tight_up_to(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
+        """Return ``¯I_{≤level}(owners) = {v ∉ I : I(v) ⊆ owners, count(v) ≤ level}``.
+
+        Computed as the union over subsets of ``owners`` of the stored exact
+        level sets — the "depth-first traversal over the hierarchy" of the
+        paper, which is cheap because ``|owners| ≤ k`` is tiny.
+        """
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        result: Set[Vertex] = set()
+        owner_list = sorted(owners, key=repr)
+        for size in range(1, min(level, len(owner_list)) + 1):
+            for subset in _subsets_of_size(owner_list, size):
+                bucket = self._tight[size].get(subset)
+                if bucket:
+                    result.update(bucket)
+        return result
+
+    def nonsolution_vertices_with_count(self, level: int) -> Set[Vertex]:
+        """Return every non-solution vertex with ``count == level`` (level ≤ k)."""
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        result: Set[Vertex] = set()
+        for bucket in self._tight[level].values():
+            result.update(bucket)
+        return result
+
+    def structure_size(self) -> int:
+        """Approximate memory footprint (number of stored vertex references).
+
+        Used by the experiment harness as the deterministic stand-in for the
+        paper's ``/usr/bin/time`` heap measurements: it counts the entries of
+        every dictionary and set the state maintains.
+        """
+        size = len(self._in_solution)
+        size += len(self._solution_neighbors)
+        size += sum(len(s) for s in self._solution_neighbors.values())
+        for level in self._tight:
+            size += len(level)
+            size += sum(len(bucket) for bucket in level.values())
+        return size
+
+    # ------------------------------------------------------------------ #
+    # Solution mutation
+    # ------------------------------------------------------------------ #
+    def move_in(self, vertex: Vertex) -> List[CountEvent]:
+        """Insert ``vertex`` into the solution (its count must be zero).
+
+        Returns the count-change events of its neighbours.
+        """
+        if vertex in self._in_solution:
+            raise SolutionInvariantError(f"{vertex!r} is already in the solution")
+        if self._solution_neighbors[vertex]:
+            raise SolutionInvariantError(
+                f"cannot MOVEIN {vertex!r}: it has solution neighbours "
+                f"{self._solution_neighbors[vertex]!r}"
+            )
+        self.stats.move_in_calls += 1
+        self._in_solution.add(vertex)
+        self._solution_neighbors[vertex].clear()
+        events: List[CountEvent] = []
+        for nbr in self.graph.neighbors(vertex):
+            # No neighbour can be in the solution (count was zero), so every
+            # neighbour gains a solution neighbour.
+            old, new = self._add_solution_neighbor(nbr, vertex)
+            events.append((nbr, old, new))
+        return events
+
+    def move_out(self, vertex: Vertex) -> List[CountEvent]:
+        """Remove ``vertex`` from the solution.
+
+        After the call ``vertex`` is an ordinary non-solution vertex whose
+        ``I(v)`` reflects any solution neighbours it currently has (normally
+        none, but an adjacent solution vertex can exist transiently while a
+        conflicting edge insertion is being repaired).
+
+        Returns the count-change events of its non-solution neighbours.
+        """
+        if vertex not in self._in_solution:
+            raise SolutionInvariantError(f"{vertex!r} is not in the solution")
+        self.stats.move_out_calls += 1
+        self._in_solution.discard(vertex)
+        events: List[CountEvent] = []
+        own_neighbors: Set[Vertex] = set()
+        for nbr in self.graph.neighbors(vertex):
+            if nbr in self._in_solution:
+                own_neighbors.add(nbr)
+                continue
+            old, new = self._remove_solution_neighbor(nbr, vertex)
+            events.append((nbr, old, new))
+        self._solution_neighbors[vertex] = own_neighbors
+        self._position(vertex)
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Structural mutation (keeps graph and bookkeeping in sync)
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: Vertex, neighbors: Iterable[Vertex]) -> int:
+        """Insert a vertex together with its incident edges; return its count."""
+        self.graph.add_vertex(vertex)
+        self._solution_neighbors[vertex] = set()
+        for nbr in neighbors:
+            self.graph.add_edge(vertex, nbr)
+        in_solution = {n for n in self.graph.neighbors(vertex) if n in self._in_solution}
+        self._solution_neighbors[vertex] = in_solution
+        self._position(vertex)
+        return len(in_solution)
+
+    def remove_vertex(self, vertex: Vertex) -> Tuple[bool, Set[Vertex], List[CountEvent]]:
+        """Delete a vertex; return ``(was_in_solution, old_neighbors, events)``."""
+        was_in_solution = vertex in self._in_solution
+        events: List[CountEvent] = []
+        neighbors = self.graph.neighbors_copy(vertex)
+        if was_in_solution:
+            self._in_solution.discard(vertex)
+            for nbr in neighbors:
+                if nbr in self._in_solution:
+                    continue
+                old, new = self._remove_solution_neighbor(nbr, vertex)
+                events.append((nbr, old, new))
+        else:
+            self._unposition(vertex)
+        self.graph.remove_vertex(vertex)
+        self._solution_neighbors.pop(vertex, None)
+        return was_in_solution, neighbors, events
+
+    def add_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
+        """Insert an edge; update counts when exactly one endpoint is in the solution.
+
+        When both endpoints are in the solution no bookkeeping changes here —
+        the caller is responsible for evicting one of them afterwards.
+        """
+        self.graph.add_edge(u, v)
+        events: List[CountEvent] = []
+        u_in, v_in = u in self._in_solution, v in self._in_solution
+        if u_in and not v_in:
+            old, new = self._add_solution_neighbor(v, u)
+            events.append((v, old, new))
+        elif v_in and not u_in:
+            old, new = self._add_solution_neighbor(u, v)
+            events.append((u, old, new))
+        return events
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
+        """Delete an edge; update counts when exactly one endpoint is in the solution."""
+        self.graph.remove_edge(u, v)
+        events: List[CountEvent] = []
+        u_in, v_in = u in self._in_solution, v in self._in_solution
+        if u_in and not v_in:
+            old, new = self._remove_solution_neighbor(v, u)
+            events.append((v, old, new))
+        elif v_in and not u_in:
+            old, new = self._remove_solution_neighbor(u, v)
+            events.append((u, old, new))
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Invariant checking
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Verify independence, count and hierarchy invariants.
+
+        Raises :class:`SolutionInvariantError` on the first violation.  Used
+        by the checked mode of the algorithms and by the test suite.
+        """
+        for v in self._in_solution:
+            if not self.graph.has_vertex(v):
+                raise SolutionInvariantError(f"solution vertex {v!r} missing from graph")
+            conflict = self.graph.neighbors(v) & self._in_solution
+            if conflict:
+                raise SolutionInvariantError(
+                    f"solution vertices {v!r} and {next(iter(conflict))!r} are adjacent"
+                )
+        for v in self.graph.vertices():
+            if v in self._in_solution:
+                continue
+            expected = {n for n in self.graph.neighbors(v) if n in self._in_solution}
+            stored = self._solution_neighbors.get(v)
+            if stored != expected:
+                raise SolutionInvariantError(
+                    f"I({v!r}) is {stored!r} but the graph says {expected!r}"
+                )
+        for level in range(1, self.k + 1):
+            for owners, bucket in self._tight[level].items():
+                for v in bucket:
+                    if v in self._in_solution:
+                        raise SolutionInvariantError(
+                            f"solution vertex {v!r} recorded in ¯I_{level}({set(owners)!r})"
+                        )
+                    if self._solution_neighbors.get(v) != set(owners):
+                        raise SolutionInvariantError(
+                            f"{v!r} recorded in ¯I_{level}({set(owners)!r}) but I(v) = "
+                            f"{self._solution_neighbors.get(v)!r}"
+                        )
+
+    def is_maximal(self) -> bool:
+        """Return ``True`` when no non-solution vertex has count zero."""
+        for v in self.graph.vertices():
+            if v not in self._in_solution and not self._solution_neighbors[v]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _add_solution_neighbor(self, vertex: Vertex, solution_vertex: Vertex) -> Tuple[int, int]:
+        self.stats.count_updates += 1
+        nbrs = self._solution_neighbors[vertex]
+        old = len(nbrs)
+        self._unposition(vertex)
+        nbrs.add(solution_vertex)
+        self._position(vertex)
+        return old, len(nbrs)
+
+    def _remove_solution_neighbor(
+        self, vertex: Vertex, solution_vertex: Vertex
+    ) -> Tuple[int, int]:
+        self.stats.count_updates += 1
+        nbrs = self._solution_neighbors[vertex]
+        old = len(nbrs)
+        self._unposition(vertex)
+        nbrs.discard(solution_vertex)
+        self._position(vertex)
+        return old, len(nbrs)
+
+    def _position(self, vertex: Vertex) -> None:
+        """Insert ``vertex`` into the hierarchy bucket matching its current I(v)."""
+        if vertex in self._in_solution:
+            return
+        nbrs = self._solution_neighbors[vertex]
+        level = len(nbrs)
+        if 1 <= level <= self.k:
+            key = frozenset(nbrs)
+            self._tight[level].setdefault(key, set()).add(vertex)
+
+    def _unposition(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` from the hierarchy bucket of its current I(v)."""
+        if vertex in self._in_solution:
+            return
+        nbrs = self._solution_neighbors.get(vertex)
+        if nbrs is None:
+            return
+        level = len(nbrs)
+        if 1 <= level <= self.k:
+            key = frozenset(nbrs)
+            bucket = self._tight[level].get(key)
+            if bucket is not None:
+                bucket.discard(vertex)
+                if not bucket:
+                    del self._tight[level][key]
+
+
+def _subsets_of_size(items: List[Vertex], size: int) -> Iterable[FrozenSet[Vertex]]:
+    """Yield all subsets of ``items`` of the given size as frozensets."""
+    from itertools import combinations
+
+    for combo in combinations(items, size):
+        yield frozenset(combo)

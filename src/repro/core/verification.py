@@ -1,0 +1,147 @@
+"""Reference checkers for independence, maximality and k-maximality.
+
+These brute-force checkers are deliberately simple and independent of the
+maintenance algorithms' bookkeeping; the test-suite uses them as ground truth
+(including inside Hypothesis property tests), and the experiment harness uses
+them to validate solutions before reporting quality numbers.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+
+
+def is_independent_set(graph: DynamicGraph, vertices: Iterable[Vertex]) -> bool:
+    """Return ``True`` when ``vertices`` form an independent set of ``graph``."""
+    return graph.is_independent_set(vertices)
+
+
+def is_maximal_independent_set(graph: DynamicGraph, vertices: Iterable[Vertex]) -> bool:
+    """Return ``True`` when ``vertices`` form a *maximal* independent set."""
+    members = set(vertices)
+    if not graph.is_independent_set(members):
+        return False
+    for v in graph.vertices():
+        if v in members:
+            continue
+        if not (graph.neighbors(v) & members):
+            return False
+    return True
+
+
+def find_j_swap(
+    graph: DynamicGraph, solution: Set[Vertex], j: int
+) -> Optional[Tuple[Tuple[Vertex, ...], Tuple[Vertex, ...]]]:
+    """Search exhaustively for a j-swap in ``solution``.
+
+    A j-swap removes ``j`` solution vertices and inserts at least ``j + 1``
+    non-solution vertices while keeping the set independent.  Returns a pair
+    ``(swap_out, swap_in)`` or ``None``.  Exponential in ``j`` — intended for
+    the small graphs used in tests.
+    """
+    if j < 1:
+        raise ValueError("j must be at least 1")
+    outside = [v for v in graph.vertices() if v not in solution]
+    for swap_out in combinations(sorted(solution, key=repr), j):
+        removed = set(swap_out)
+        remaining = solution - removed
+        # Vertices that become available: not adjacent to the remaining solution.
+        available = [
+            v
+            for v in outside
+            if not (graph.neighbors(v) & remaining)
+        ]
+        swap_in = _greedy_then_exact_independent_subset(graph, available, j + 1)
+        if swap_in is not None:
+            return swap_out, tuple(swap_in)
+    return None
+
+
+def is_k_maximal_independent_set(
+    graph: DynamicGraph, vertices: Iterable[Vertex], k: int
+) -> bool:
+    """Return ``True`` when ``vertices`` is a k-maximal independent set.
+
+    k-maximal means maximal and admitting no j-swap for any ``j <= k``.
+    """
+    members = set(vertices)
+    if not is_maximal_independent_set(graph, members):
+        return False
+    for j in range(1, k + 1):
+        if find_j_swap(graph, members, j) is not None:
+            return False
+    return True
+
+
+def find_one_swap(
+    graph: DynamicGraph, solution: Set[Vertex]
+) -> Optional[Tuple[Vertex, Tuple[Vertex, Vertex]]]:
+    """Direct search for a 1-swap: a solution vertex with two non-adjacent tight neighbours."""
+    for v in solution:
+        tight = [
+            u
+            for u in graph.neighbors(v)
+            if u not in solution and len(graph.neighbors(u) & solution) == 1
+        ]
+        for a, b in combinations(tight, 2):
+            if not graph.has_edge(a, b):
+                return v, (a, b)
+    return None
+
+
+def independence_violations(graph: DynamicGraph, vertices: Iterable[Vertex]) -> List[Tuple[Vertex, Vertex]]:
+    """Return every edge of ``graph`` with both endpoints in ``vertices``."""
+    members = set(vertices)
+    violations: List[Tuple[Vertex, Vertex]] = []
+    for v in members:
+        if not graph.has_vertex(v):
+            continue
+        for u in graph.neighbors(v):
+            if u in members and repr(u) > repr(v):
+                violations.append((v, u))
+    return violations
+
+
+def greedy_independent_set(graph: DynamicGraph) -> Set[Vertex]:
+    """Smallest-degree-first greedy maximal independent set (reference heuristic)."""
+    solution: Set[Vertex] = set()
+    blocked: Set[Vertex] = set()
+    for v in sorted(graph.vertices(), key=lambda u: (graph.degree(u), repr(u))):
+        if v in blocked:
+            continue
+        solution.add(v)
+        blocked.add(v)
+        blocked.update(graph.neighbors(v))
+    return solution
+
+
+def _greedy_then_exact_independent_subset(
+    graph: DynamicGraph, candidates: List[Vertex], size: int
+) -> Optional[List[Vertex]]:
+    """Find an independent subset of ``candidates`` of the requested size.
+
+    Tries a cheap greedy pass first, then falls back to exhaustive search on
+    the (small) candidate pool.
+    """
+    if len(candidates) < size:
+        return None
+    # Greedy attempt.
+    chosen: List[Vertex] = []
+    chosen_set: Set[Vertex] = set()
+    for v in sorted(candidates, key=lambda u: (graph.degree(u), repr(u))):
+        if graph.neighbors(v) & chosen_set:
+            continue
+        chosen.append(v)
+        chosen_set.add(v)
+        if len(chosen) == size:
+            return chosen
+    # Exhaustive fallback (candidate pools in tests are tiny).
+    if len(candidates) > 22:
+        candidates = sorted(candidates, key=lambda u: (graph.degree(u), repr(u)))[:22]
+    for combo in combinations(candidates, size):
+        if graph.is_independent_set(combo):
+            return list(combo)
+    return None

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish graph-structure errors from algorithm-state errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph structure manipulation."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class VertexExistsError(GraphError, ValueError):
+    """Raised when inserting a vertex that already exists."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} already exists in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class EdgeExistsError(GraphError, ValueError):
+    """Raised when inserting an edge that already exists."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) already exists in the graph")
+        self.edge = (u, v)
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Raised when inserting a self loop, which independent-set algorithms forbid."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"self loop on vertex {vertex!r} is not allowed")
+        self.vertex = vertex
+
+
+class AlgorithmError(ReproError):
+    """Base class for errors raised by maintenance algorithms."""
+
+
+class SolutionInvariantError(AlgorithmError):
+    """Raised when an internal solution invariant is found to be violated.
+
+    The maintenance algorithms can optionally run in a checked mode in which
+    independence, maximality and bookkeeping invariants are verified after
+    every update.  A violation indicates a bug and is reported through this
+    exception rather than silently producing a wrong solution.
+    """
+
+
+class UpdateError(ReproError):
+    """Raised when an update operation cannot be applied to the current graph."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset cannot be found or generated."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is invalid."""
+
+
+class SolverTimeoutError(ReproError):
+    """Raised when an exact solver exceeds its configured budget."""
+
+    def __init__(self, message: str, best_known: int | None = None) -> None:
+        super().__init__(message)
+        self.best_known = best_known

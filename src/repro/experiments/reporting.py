@@ -1,0 +1,135 @@
+"""Plain-text rendering of experiment results.
+
+Every table/figure function in :mod:`repro.experiments.tables` and
+:mod:`repro.experiments.figures` returns plain data (lists of dictionaries or
+series); this module turns them into aligned text tables so the benchmark
+harness can print output directly comparable with the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_precision: int = 4,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        The data.  Missing cells are rendered as ``-``.
+    columns:
+        Column order; defaults to the union of keys in first-seen order.
+    title:
+        Optional title printed above the table.
+    float_precision:
+        Number of decimal places used for floats.
+    """
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([_render_cell(row.get(col), float_precision) for col in columns])
+    widths = [len(str(col)) for col in columns]
+    for rendered in rendered_rows:
+        for index, cell in enumerate(rendered):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    x_values: Optional[Sequence[object]] = None,
+    title: Optional[str] = None,
+    float_precision: int = 4,
+) -> str:
+    """Render a figure-style result (one numeric series per algorithm) as a table.
+
+    ``series`` maps a series name (e.g. an algorithm) to its y-values;
+    ``x_values`` supplies the shared x-axis.
+    """
+    length = max((len(values) for values in series.values()), default=0)
+    if x_values is None:
+        x_values = list(range(length))
+    rows = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else None
+        rows.append(row)
+    return format_table(rows, title=title, float_precision=float_precision)
+
+
+def summarize_comparison(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    group_key: str = "dataset",
+    value_key: str = "accuracy",
+    algorithm_key: str = "algorithm",
+) -> Dict[str, str]:
+    """Return, per group, the algorithm with the best value (used in EXPERIMENTS.md)."""
+    best: Dict[str, tuple] = {}
+    for row in rows:
+        group = str(row.get(group_key))
+        value = row.get(value_key)
+        if value is None:
+            continue
+        current = best.get(group)
+        if current is None or value > current[0]:
+            best[group] = (value, str(row.get(algorithm_key)))
+    return {group: name for group, (_value, name) in best.items()}
+
+
+def _render_cell(value: object, float_precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_precision}f}"
+    return str(value)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], *, columns: Optional[Iterable[str]] = None) -> str:
+    """Render rows as a small CSV string (used when persisting results)."""
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    columns = list(columns)
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(_csv_cell(row.get(col)) for col in columns))
+    return "\n".join(lines)
+
+
+def _csv_cell(value: object) -> str:
+    if value is None:
+        return ""
+    text = str(value)
+    if "," in text or '"' in text:
+        return '"' + text.replace('"', '""') + '"'
+    return text

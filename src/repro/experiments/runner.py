@@ -1,0 +1,280 @@
+"""Experiment runner: algorithms × datasets × update streams.
+
+The runner knows how to
+
+* instantiate every evaluated algorithm by name (the five algorithms of the
+  paper plus the generic framework and the optimization variants),
+* execute an update stream against an algorithm while timing it and honouring
+  an optional per-run time limit (the analogue of the paper's five-hour
+  cut-off after which DGOneDIS/DGTwoDIS are reported as "-"),
+* compute the reference solution size for a final graph — the exact
+  independence number when the branch-and-reduce solver finishes within its
+  node budget, and the best known solution otherwise (the paper's Table IV
+  convention).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.baselines.arw import ArwLocalSearch
+from repro.baselines.dgdis import DGOneDIS, DGTwoDIS
+from repro.baselines.dyn_arw import DyARW
+from repro.baselines.exact import BranchAndReduceSolver
+from repro.core.framework import KSwapFramework
+from repro.core.one_swap import DyOneSwap
+from repro.core.two_swap import DyTwoSwap
+from repro.exceptions import ExperimentError, SolverTimeoutError
+from repro.experiments.metrics import RunMeasurement, Stopwatch
+from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+from repro.updates.streams import UpdateStream
+
+#: Algorithm names in the order the paper's tables list them.
+PAPER_ALGORITHMS: Tuple[str, ...] = (
+    "DGOneDIS",
+    "DGTwoDIS",
+    "DyARW",
+    "DyOneSwap",
+    "DyTwoSwap",
+)
+
+
+def _make_factory(cls, **fixed):
+    def factory(graph: DynamicGraph, initial_solution, **options):
+        merged = dict(fixed)
+        merged.update(options)
+        return cls(graph, initial_solution=initial_solution, **merged)
+
+    return factory
+
+
+#: Registry mapping algorithm names to factories ``(graph, initial_solution, **options)``.
+ALGORITHM_FACTORIES: Dict[str, Callable] = {
+    "DGOneDIS": _make_factory(DGOneDIS),
+    "DGTwoDIS": _make_factory(DGTwoDIS),
+    "DyARW": _make_factory(DyARW),
+    "DyOneSwap": _make_factory(DyOneSwap),
+    "DyTwoSwap": _make_factory(DyTwoSwap),
+    "DyOneSwap+perturb": _make_factory(DyOneSwap, perturbation=True),
+    "DyTwoSwap+perturb": _make_factory(DyTwoSwap, perturbation=True),
+    "DyOneSwap+lazy": _make_factory(DyOneSwap, lazy=True),
+    "DyTwoSwap+lazy": _make_factory(DyTwoSwap, lazy=True),
+    "KSwapFramework": _make_factory(KSwapFramework),
+}
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """Names accepted by :func:`run_algorithm`."""
+    return tuple(ALGORITHM_FACTORIES)
+
+
+def create_algorithm(
+    name: str,
+    graph: DynamicGraph,
+    initial_solution: Optional[Iterable[Vertex]] = None,
+    **options,
+):
+    """Instantiate a registered algorithm on ``graph``."""
+    try:
+        factory = ALGORITHM_FACTORIES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHM_FACTORIES)}"
+        ) from None
+    return factory(graph, initial_solution, **options)
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """A reference solution size together with its provenance."""
+
+    size: int
+    kind: str  # "exact" or "best-known"
+
+
+def compute_reference(
+    graph: DynamicGraph,
+    *,
+    node_budget: int = 150_000,
+    arw_iterations: int = 25,
+    known_solutions: Sequence[Set[Vertex]] = (),
+    seed: int = 0,
+) -> ReferenceResult:
+    """Compute the quality reference for a (final) graph.
+
+    Tries the exact branch-and-reduce solver first; if it exceeds its node
+    budget, falls back to the best known solution: the largest of an ARW
+    local-search run and any solutions supplied by the caller (typically the
+    final solutions of the evaluated algorithms).  This mirrors the paper's
+    protocol: the independence number from VCSolver on easy graphs, the best
+    result of ARW on hard graphs.
+    """
+    solver = BranchAndReduceSolver(node_budget=node_budget)
+    try:
+        report = solver.solve(graph)
+        return ReferenceResult(size=report.independence_number, kind="exact")
+    except SolverTimeoutError:
+        pass
+    best = 0
+    for solution in known_solutions:
+        best = max(best, len(solution))
+    arw = ArwLocalSearch(max_iterations=arw_iterations, seed=seed).run(graph)
+    best = max(best, len(arw.solution))
+    return ReferenceResult(size=best, kind="best-known")
+
+
+def run_algorithm(
+    name: str,
+    graph: DynamicGraph,
+    stream: UpdateStream,
+    *,
+    dataset: str = "",
+    initial_solution: Optional[Iterable[Vertex]] = None,
+    time_limit_seconds: Optional[float] = None,
+    check_interval: int = 200,
+    **options,
+) -> RunMeasurement:
+    """Run one algorithm over one update stream and measure it.
+
+    The graph is copied, so the same input graph and stream can be reused for
+    several algorithms.  Only the stream-processing phase is timed; building
+    the initial solution and indexes is excluded, as in the paper.
+
+    Parameters
+    ----------
+    time_limit_seconds:
+        When set, the run is abandoned once this much time has been spent on
+        updates; the measurement is returned with ``finished=False`` (the
+        paper reports such runs as "-").
+    check_interval:
+        How often (in updates) the time limit is checked.
+    """
+    working_graph = graph.copy()
+    algorithm = create_algorithm(name, working_graph, initial_solution, **options)
+    initial_size = algorithm.solution_size
+    stopwatch = Stopwatch()
+    finished = True
+    processed = 0
+    with stopwatch:
+        for processed, operation in enumerate(stream, start=1):
+            algorithm.apply_update(operation)
+            if (
+                time_limit_seconds is not None
+                and processed % check_interval == 0
+                and stopwatch.peek() > time_limit_seconds
+            ):
+                finished = False
+                break
+    return RunMeasurement(
+        algorithm=name,
+        dataset=dataset,
+        num_updates=processed,
+        initial_size=initial_size,
+        final_size=algorithm.solution_size,
+        elapsed_seconds=stopwatch.elapsed,
+        memory_footprint=algorithm.memory_footprint(),
+        finished=finished,
+        extra=_algorithm_extras(algorithm),
+    )
+
+
+def run_competition(
+    graph: DynamicGraph,
+    stream: UpdateStream,
+    *,
+    dataset: str = "",
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    initial_solution: Optional[Iterable[Vertex]] = None,
+    time_limit_seconds: Optional[float] = None,
+    reference_node_budget: int = 150_000,
+    attach_reference: bool = True,
+    algorithm_options: Optional[Dict[str, Dict]] = None,
+) -> Dict[str, RunMeasurement]:
+    """Run several algorithms on the same dataset/stream and attach a shared reference.
+
+    Returns a mapping ``algorithm name -> RunMeasurement``.  When
+    ``attach_reference`` is true, the reference size of the *final* graph is
+    computed once (exact if possible, best-known otherwise, seeded with every
+    algorithm's final solution) and attached to each measurement.
+    """
+    algorithm_options = algorithm_options or {}
+    measurements: Dict[str, RunMeasurement] = {}
+    final_solutions = []
+    final_graph: Optional[DynamicGraph] = None
+    for name in algorithms:
+        options = algorithm_options.get(name, {})
+        working_graph = graph.copy()
+        algorithm = create_algorithm(name, working_graph, initial_solution, **options)
+        initial_size = algorithm.solution_size
+        stopwatch = Stopwatch()
+        finished = True
+        processed = 0
+        with stopwatch:
+            for processed, operation in enumerate(stream, start=1):
+                algorithm.apply_update(operation)
+                if (
+                    time_limit_seconds is not None
+                    and processed % 200 == 0
+                    and stopwatch.peek() > time_limit_seconds
+                ):
+                    finished = False
+                    break
+        measurements[name] = RunMeasurement(
+            algorithm=name,
+            dataset=dataset,
+            num_updates=processed,
+            initial_size=initial_size,
+            final_size=algorithm.solution_size,
+            elapsed_seconds=stopwatch.elapsed,
+            memory_footprint=algorithm.memory_footprint(),
+            finished=finished,
+            extra=_algorithm_extras(algorithm),
+        )
+        if finished:
+            final_solutions.append(algorithm.solution())
+            final_graph = working_graph
+    if attach_reference and final_graph is not None:
+        reference = compute_reference(
+            final_graph,
+            node_budget=reference_node_budget,
+            known_solutions=final_solutions,
+        )
+        for measurement in measurements.values():
+            if measurement.finished:
+                measurement.reference_size = reference.size
+                measurement.reference_kind = reference.kind
+    return measurements
+
+
+def apply_stream_to_graph(graph: DynamicGraph, stream: UpdateStream) -> DynamicGraph:
+    """Return a copy of ``graph`` with every operation of ``stream`` applied."""
+    final_graph = graph.copy()
+    stream.apply_all(final_graph)
+    return final_graph
+
+
+def _algorithm_extras(algorithm) -> Dict[str, float]:
+    """Pull algorithm-specific statistics into the measurement's extra fields."""
+    extra: Dict[str, float] = {}
+    stats = getattr(algorithm, "stats", None)
+    if stats is None:
+        return extra
+    swaps = getattr(stats, "swaps_performed", None)
+    if swaps is not None:
+        extra["swaps"] = float(sum(swaps.values()))
+    perturbations = getattr(stats, "perturbations", None)
+    if perturbations is not None:
+        extra["perturbations"] = float(perturbations)
+    scanned = getattr(stats, "index_entries_scanned", None)
+    if scanned is not None:
+        extra["index_scans"] = float(scanned)
+    return extra
+
+
+def elapsed_time_of(callable_, *args, **kwargs) -> Tuple[float, object]:
+    """Utility: run a callable and return ``(elapsed_seconds, result)``."""
+    start = time.perf_counter()
+    result = callable_(*args, **kwargs)
+    return time.perf_counter() - start, result

@@ -1,0 +1,135 @@
+"""Graphs with a planted (known) large independent set.
+
+The experiment harness needs instances whose independence number is known (or
+tightly bounded) without running the exact solver, both for tests of the exact
+solver itself and for accuracy measurements on instances that the exact solver
+cannot handle.  A *planted independent set graph* hides an independent set of
+a chosen size inside an otherwise random graph; with sufficiently high noise
+density the planted set is, with overwhelming probability, the unique maximum
+independent set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set, Tuple
+
+from repro.graphs.dynamic_graph import DynamicGraph
+
+
+def planted_independent_set_graph(
+    num_vertices: int,
+    planted_size: int,
+    edge_probability: float,
+    *,
+    seed: Optional[int] = None,
+) -> Tuple[DynamicGraph, Set[int]]:
+    """Generate a graph with a planted independent set.
+
+    Vertices ``0..planted_size-1`` form the planted set.  Every other vertex
+    pair (at least one endpoint outside the planted set) is connected
+    independently with probability ``edge_probability``.  To keep the planted
+    set maximal, every vertex outside it receives at least one edge into it.
+
+    Returns
+    -------
+    (graph, planted_set)
+    """
+    if planted_size > num_vertices:
+        raise ValueError("planted_size cannot exceed num_vertices")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    graph = DynamicGraph(vertices=range(num_vertices))
+    planted = set(range(planted_size))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if u in planted and v in planted:
+                continue
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    # Guarantee maximality of the planted set: every outside vertex must have
+    # a neighbour inside it.
+    for v in range(planted_size, num_vertices):
+        if planted_size and not (graph.neighbors(v) & planted):
+            graph.add_edge(v, rng.randrange(planted_size))
+    return graph, planted
+
+
+def planted_partition_graph(
+    num_groups: int,
+    group_size: int,
+    intra_probability: float,
+    inter_probability: float,
+    *,
+    seed: Optional[int] = None,
+) -> DynamicGraph:
+    """Generate a planted-partition (stochastic block model) graph.
+
+    Useful as a "community structured" workload in examples: independent sets
+    tend to pick at most a few vertices per dense community.
+    """
+    rng = random.Random(seed)
+    n = num_groups * group_size
+    graph = DynamicGraph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            same_group = (u // group_size) == (v // group_size)
+            p = intra_probability if same_group else inter_probability
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def disjoint_cliques_graph(num_cliques: int, clique_size: int) -> Tuple[DynamicGraph, int]:
+    """Generate a disjoint union of cliques.
+
+    The independence number is exactly ``num_cliques`` (one vertex per
+    clique), which makes this family a precise accuracy yardstick.
+
+    Returns
+    -------
+    (graph, independence_number)
+    """
+    graph = DynamicGraph()
+    vertex = 0
+    for _ in range(num_cliques):
+        members = list(range(vertex, vertex + clique_size))
+        vertex += clique_size
+        for v in members:
+            graph.add_vertex(v)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(u, v)
+    return graph, num_cliques
+
+
+def caterpillar_graph(spine_length: int, legs_per_vertex: int) -> Tuple[DynamicGraph, int]:
+    """Generate a caterpillar tree whose independence number is known.
+
+    A spine path of ``spine_length`` vertices where every spine vertex has
+    ``legs_per_vertex`` pendant leaves.  With at least one leg per spine
+    vertex, all leaves form a maximum independent set, so
+    ``α = spine_length * legs_per_vertex`` (plus alternate spine vertices when
+    ``legs_per_vertex == 0``).
+
+    Returns
+    -------
+    (graph, independence_number)
+    """
+    graph = DynamicGraph()
+    for v in range(spine_length):
+        graph.add_vertex_if_missing(v)
+        if v > 0:
+            graph.add_edge(v - 1, v)
+    next_id = spine_length
+    for v in range(spine_length):
+        for _ in range(legs_per_vertex):
+            graph.add_vertex(next_id)
+            graph.add_edge(v, next_id)
+            next_id += 1
+    if legs_per_vertex > 0:
+        alpha = spine_length * legs_per_vertex
+    else:
+        alpha = (spine_length + 1) // 2
+    return graph, alpha

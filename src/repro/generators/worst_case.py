@@ -1,0 +1,145 @@
+"""Worst-case graph families from Theorem 3 of the paper.
+
+Theorem 3 shows that for every ``k >= 2`` there is an infinite family of
+graphs on which a k-maximal independent set can be as small as ``2/Δ`` times
+the optimum, i.e. allowing more swap sizes does not improve the worst-case
+approximation ratio:
+
+* for ``k ∈ {2, 3}`` the witnesses are *subdivided complete graphs* ``K'_n``
+  (every edge of ``K_n`` replaced by a path of length two),
+* for ``k >= 4`` the witnesses are *subdivided hypercubes* ``Q'_n``.
+
+In both constructions the original vertices form a k-maximal independent set
+of size ``n`` (resp. ``2^n``) while the subdivision vertices form an
+independent set of size ``m`` — the number of original edges — which is the
+maximum.  These generators are used by the theory benchmarks and by tests
+verifying the bound of Theorem 2 is tight in the sense of Theorem 3.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Set, Tuple
+
+from repro.graphs.dynamic_graph import DynamicGraph
+
+
+def complete_graph(num_vertices: int) -> DynamicGraph:
+    """Return the complete graph ``K_n`` on vertices ``0..n-1``."""
+    graph = DynamicGraph(vertices=range(num_vertices))
+    for u, v in combinations(range(num_vertices), 2):
+        graph.add_edge(u, v)
+    return graph
+
+
+def hypercube_graph(dimension: int) -> DynamicGraph:
+    """Return the hypercube graph ``Q_n`` with ``2^dimension`` vertices.
+
+    Vertices are integers ``0..2^n - 1``; two vertices are adjacent when their
+    binary representations differ in exactly one bit.
+    """
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+    size = 1 << dimension
+    graph = DynamicGraph(vertices=range(size))
+    for v in range(size):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                graph.add_edge(v, u)
+    return graph
+
+
+def subdivide(graph: DynamicGraph) -> Tuple[DynamicGraph, Dict[Tuple[int, int], int], Set[int]]:
+    """Replace every edge ``(u, v)`` by a path ``u - w - v`` through a new vertex ``w``.
+
+    Returns
+    -------
+    (subdivided_graph, subdivision_map, original_vertices)
+        ``subdivision_map`` maps each original edge (canonically ordered) to
+        the id of the vertex inserted on it, and ``original_vertices`` is the
+        set of vertex ids carried over from the input graph.
+    """
+    original_vertices = set(graph.vertices())
+    if original_vertices and not all(isinstance(v, int) for v in original_vertices):
+        raise ValueError("subdivide requires integer vertex ids")
+    next_id = (max(original_vertices) + 1) if original_vertices else 0
+    result = DynamicGraph(vertices=original_vertices)
+    subdivision_map: Dict[Tuple[int, int], int] = {}
+    for u, v in graph.edges():
+        key = (u, v) if u <= v else (v, u)
+        w = next_id
+        next_id += 1
+        subdivision_map[key] = w
+        result.add_vertex(w)
+        result.add_edge(u, w)
+        result.add_edge(w, v)
+    return result, subdivision_map, original_vertices
+
+
+def subdivided_complete_graph(num_vertices: int) -> Tuple[DynamicGraph, Set[int], Set[int]]:
+    """Return ``K'_n``: the Theorem 3 witness for ``k ∈ {2, 3}``.
+
+    Returns the graph together with the set of original vertices (a k-maximal
+    independent set of size ``n``) and the set of subdivision vertices (a
+    maximum independent set of size ``n(n-1)/2``).
+    """
+    base = complete_graph(num_vertices)
+    subdivided, sub_map, originals = subdivide(base)
+    return subdivided, originals, set(sub_map.values())
+
+
+def subdivided_hypercube_graph(dimension: int) -> Tuple[DynamicGraph, Set[int], Set[int]]:
+    """Return ``Q'_n``: the Theorem 3 witness for ``k >= 4``.
+
+    Returns the graph together with the set of original vertices (a k-maximal
+    independent set of size ``2^n``) and the set of subdivision vertices (a
+    maximum independent set of size ``2^(n-1) n``).
+    """
+    base = hypercube_graph(dimension)
+    subdivided, sub_map, originals = subdivide(base)
+    return subdivided, originals, set(sub_map.values())
+
+
+def worst_case_ratio(num_original: int, num_subdivision: int) -> float:
+    """Return the achieved approximation ratio ``α(G') / |I|`` of a witness."""
+    if num_original == 0:
+        return 0.0
+    return num_subdivision / num_original
+
+
+def theorem3_witnesses(max_clique_size: int = 8, max_hypercube_dim: int = 5) -> List[dict]:
+    """Enumerate small Theorem 3 witnesses for benchmarking and tests.
+
+    Each entry records the family, the parameter, the size of the original
+    (k-maximal) independent set, the independence number and the maximum
+    degree, so callers can verify ``alpha / |I| = Δ / 2``.
+    """
+    witnesses: List[dict] = []
+    for n in range(4, max_clique_size + 1):
+        graph, originals, subdivisions = subdivided_complete_graph(n)
+        witnesses.append(
+            {
+                "family": "subdivided_complete",
+                "parameter": n,
+                "graph": graph,
+                "k_maximal_set": originals,
+                "optimal_set": subdivisions,
+                "max_degree": graph.max_degree(),
+                "ratio": worst_case_ratio(len(originals), len(subdivisions)),
+            }
+        )
+    for dim in range(4, max_hypercube_dim + 1):
+        graph, originals, subdivisions = subdivided_hypercube_graph(dim)
+        witnesses.append(
+            {
+                "family": "subdivided_hypercube",
+                "parameter": dim,
+                "graph": graph,
+                "k_maximal_set": originals,
+                "optimal_set": subdivisions,
+                "max_degree": graph.max_degree(),
+                "ratio": worst_case_ratio(len(originals), len(subdivisions)),
+            }
+        )
+    return witnesses

@@ -1,0 +1,38 @@
+"""Dynamic graph substrate: structure, I/O, and structural properties."""
+
+from repro.graphs.dynamic_graph import DynamicGraph, complement_edges
+from repro.graphs.io import (
+    edges_from_pairs,
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+from repro.graphs.properties import (
+    GraphStatistics,
+    PowerLawBoundedFit,
+    check_power_law_bounded,
+    degree_buckets,
+    degree_distribution_tail,
+    estimate_power_law_exponent,
+    graph_statistics,
+    independence_number_upper_bound,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "complement_edges",
+    "read_edge_list",
+    "write_edge_list",
+    "read_json_graph",
+    "write_json_graph",
+    "edges_from_pairs",
+    "GraphStatistics",
+    "graph_statistics",
+    "degree_buckets",
+    "degree_distribution_tail",
+    "estimate_power_law_exponent",
+    "PowerLawBoundedFit",
+    "check_power_law_bounded",
+    "independence_number_upper_bound",
+]

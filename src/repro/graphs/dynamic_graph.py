@@ -1,0 +1,401 @@
+"""A mutable, undirected, unweighted dynamic graph.
+
+This is the substrate every algorithm in the library runs on.  The paper's
+dynamic MaxIS maintenance algorithms need exactly four structural update
+primitives — vertex insertion, vertex deletion, edge insertion and edge
+deletion — plus constant-time adjacency queries.  The implementation keeps an
+adjacency-set representation (``dict`` of ``set``) which offers expected O(1)
+membership tests and O(d(v)) neighbourhood iteration, matching the cost model
+used in the paper's complexity analysis.
+
+Vertices are arbitrary hashable objects; the experiment code uses ``int``
+identifiers throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexExistsError,
+    VertexNotFoundError,
+)
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class DynamicGraph:
+    """An undirected graph supporting efficient incremental updates.
+
+    Parameters
+    ----------
+    vertices:
+        Optional iterable of initial vertices.
+    edges:
+        Optional iterable of initial edges given as ``(u, v)`` pairs.  Missing
+        endpoints are added automatically.
+
+    Examples
+    --------
+    >>> g = DynamicGraph(edges=[(1, 2), (2, 3)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.remove_edge(1, 2)
+    >>> g.has_edge(1, 2)
+    False
+    """
+
+    __slots__ = ("_adjacency", "_num_edges")
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] | None = None,
+        edges: Iterable[Edge] | None = None,
+    ) -> None:
+        self._adjacency: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges = 0
+        if vertices is not None:
+            for v in vertices:
+                if v not in self._adjacency:
+                    self._adjacency[v] = set()
+        if edges is not None:
+            for u, v in edges:
+                if u not in self._adjacency:
+                    self._adjacency[u] = set()
+                if v not in self._adjacency:
+                    self._adjacency[v] = set()
+                if u != v and v not in self._adjacency[u]:
+                    self._adjacency[u].add(v)
+                    self._adjacency[v].add(u)
+                    self._num_edges += 1
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the graph."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges currently in the graph."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adjacency)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges, yielding each undirected edge exactly once."""
+        seen: Set[Vertex] = set()
+        for u, nbrs in self._adjacency.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` if ``vertex`` is in the graph."""
+        return vertex in self._adjacency
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` is in the graph."""
+        nbrs = self._adjacency.get(u)
+        return nbrs is not None and v in nbrs
+
+    def neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Return the open neighbourhood ``N(v)`` of ``vertex``.
+
+        The returned set is the live internal adjacency set; callers must not
+        mutate it.  Use :meth:`neighbors_copy` when a stable snapshot is
+        needed while the graph is being modified.
+        """
+        try:
+            return self._adjacency[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def neighbors_copy(self, vertex: Vertex) -> Set[Vertex]:
+        """Return a copy of the open neighbourhood of ``vertex``."""
+        return set(self.neighbors(vertex))
+
+    def closed_neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Return the closed neighbourhood ``N[v] = N(v) ∪ {v}`` as a new set."""
+        closed = set(self.neighbors(vertex))
+        closed.add(vertex)
+        return closed
+
+    def degree(self, vertex: Vertex) -> int:
+        """Return the degree of ``vertex``."""
+        return len(self.neighbors(vertex))
+
+    def max_degree(self) -> int:
+        """Return the maximum degree Δ of the graph (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0
+        return max(len(nbrs) for nbrs in self._adjacency.values())
+
+    def min_degree(self) -> int:
+        """Return the minimum degree δ of the graph (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0
+        return min(len(nbrs) for nbrs in self._adjacency.values())
+
+    def average_degree(self) -> float:
+        """Return the average degree ``2m / n`` (0.0 for an empty graph)."""
+        if not self._adjacency:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adjacency)
+
+    # ------------------------------------------------------------------ #
+    # Mutation primitives
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Insert an isolated vertex.
+
+        Raises
+        ------
+        VertexExistsError
+            If the vertex is already present.
+        """
+        if vertex in self._adjacency:
+            raise VertexExistsError(vertex)
+        self._adjacency[vertex] = set()
+
+    def add_vertex_if_missing(self, vertex: Vertex) -> bool:
+        """Insert ``vertex`` if absent.  Return ``True`` when it was inserted."""
+        if vertex in self._adjacency:
+            return False
+        self._adjacency[vertex] = set()
+        return True
+
+    def remove_vertex(self, vertex: Vertex) -> Set[Vertex]:
+        """Delete ``vertex`` and all incident edges.
+
+        Returns
+        -------
+        set
+            The neighbourhood the vertex had immediately before deletion;
+            maintenance algorithms need it to repair their bookkeeping.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If the vertex is not present.
+        """
+        try:
+            nbrs = self._adjacency.pop(vertex)
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+        for u in nbrs:
+            self._adjacency[u].discard(vertex)
+        self._num_edges -= len(nbrs)
+        return nbrs
+
+    def add_edge(self, u: Vertex, v: Vertex, *, add_missing_vertices: bool = False) -> None:
+        """Insert the undirected edge ``(u, v)``.
+
+        Parameters
+        ----------
+        add_missing_vertices:
+            When ``True``, endpoints not yet in the graph are created instead
+            of raising :class:`VertexNotFoundError`.
+
+        Raises
+        ------
+        SelfLoopError
+            If ``u == v``.
+        EdgeExistsError
+            If the edge already exists.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        if u not in self._adjacency:
+            if not add_missing_vertices:
+                raise VertexNotFoundError(u)
+            self._adjacency[u] = set()
+        if v not in self._adjacency:
+            if not add_missing_vertices:
+                raise VertexNotFoundError(v)
+            self._adjacency[v] = set()
+        if v in self._adjacency[u]:
+            raise EdgeExistsError(u, v)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+
+    def add_edge_if_missing(self, u: Vertex, v: Vertex) -> bool:
+        """Insert edge ``(u, v)`` if absent (creating endpoints as needed).
+
+        Returns ``True`` when a new edge was created, ``False`` when the edge
+        already existed or ``u == v``.
+        """
+        if u == v:
+            return False
+        if u not in self._adjacency:
+            self._adjacency[u] = set()
+        if v not in self._adjacency:
+            self._adjacency[v] = set()
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Delete the undirected edge ``(u, v)``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        VertexNotFoundError
+            If either endpoint is not present.
+        """
+        if u not in self._adjacency:
+            raise VertexNotFoundError(u)
+        if v not in self._adjacency:
+            raise VertexNotFoundError(v)
+        if v not in self._adjacency[u]:
+            raise EdgeNotFoundError(u, v)
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "DynamicGraph":
+        """Return a deep copy of the graph structure."""
+        clone = DynamicGraph()
+        clone._adjacency = {v: set(nbrs) for v, nbrs in self._adjacency.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "DynamicGraph":
+        """Return the subgraph induced by ``vertices``.
+
+        Vertices not present in the graph are silently ignored, which makes it
+        convenient to project candidate sets that may reference stale ids.
+        """
+        keep = {v for v in vertices if v in self._adjacency}
+        sub = DynamicGraph()
+        sub._adjacency = {v: self._adjacency[v] & keep for v in keep}
+        sub._num_edges = sum(len(nbrs) for nbrs in sub._adjacency.values()) // 2
+        return sub
+
+    def degree_sequence(self) -> List[int]:
+        """Return the (unsorted) list of vertex degrees."""
+        return [len(nbrs) for nbrs in self._adjacency.values()]
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Return a mapping ``degree -> number of vertices with that degree``."""
+        histogram: Dict[int, int] = {}
+        for nbrs in self._adjacency.values():
+            d = len(nbrs)
+            histogram[d] = histogram.get(d, 0) + 1
+        return histogram
+
+    def is_independent_set(self, vertices: Iterable[Vertex]) -> bool:
+        """Return ``True`` if ``vertices`` form an independent set in the graph."""
+        members = set(vertices)
+        for v in members:
+            nbrs = self._adjacency.get(v)
+            if nbrs is None:
+                return False
+            if nbrs & members:
+                return False
+        return True
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        """Return ``True`` if ``vertices`` induce a complete subgraph."""
+        members = [v for v in vertices]
+        member_set = set(members)
+        for v in member_set:
+            nbrs = self._adjacency.get(v)
+            if nbrs is None:
+                return False
+            if len(member_set - nbrs - {v}) > 0:
+                return False
+        return True
+
+    def connected_components(self) -> List[Set[Vertex]]:
+        """Return the connected components as a list of vertex sets."""
+        seen: Set[Vertex] = set()
+        components: List[Set[Vertex]] = []
+        for start in self._adjacency:
+            if start in seen:
+                continue
+            stack = [start]
+            component: Set[Vertex] = {start}
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                for nbr in self._adjacency[node]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        component.add(nbr)
+                        stack.append(nbr)
+            components.append(component)
+        return components
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynamicGraph):
+            return NotImplemented
+        return self._adjacency == other._adjacency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DynamicGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def check_consistency(self) -> None:
+        """Verify the adjacency structure is symmetric and the edge count matches.
+
+        Intended for tests and debugging; raises ``AssertionError`` on failure.
+        """
+        total = 0
+        for u, nbrs in self._adjacency.items():
+            assert u not in nbrs, f"self loop on {u!r}"
+            for v in nbrs:
+                assert v in self._adjacency, f"dangling endpoint {v!r}"
+                assert u in self._adjacency[v], f"asymmetric edge ({u!r}, {v!r})"
+            total += len(nbrs)
+        assert total % 2 == 0, "odd sum of degrees"
+        assert total // 2 == self._num_edges, (
+            f"edge counter {self._num_edges} does not match structure {total // 2}"
+        )
+
+
+def complement_edges(graph: DynamicGraph, vertices: Iterable[Vertex]) -> List[Edge]:
+    """Return the edges of the complement of the subgraph induced by ``vertices``.
+
+    Used by the two-swap search, which looks for triangles in the complement of
+    ``G[¯I≤2(S)]``.
+    """
+    members = [v for v in vertices if graph.has_vertex(v)]
+    result: List[Edge] = []
+    for i, u in enumerate(members):
+        nbrs = graph.neighbors(u)
+        for v in members[i + 1 :]:
+            if v not in nbrs:
+                result.append((u, v))
+    return result

@@ -1,0 +1,133 @@
+"""Reading and writing graphs in simple interchange formats.
+
+The SNAP datasets used by the paper ship as whitespace-separated edge lists
+with ``#`` comment headers.  This module reads and writes that format plus a
+small JSON-based format that also preserves isolated vertices, which the edge
+list format cannot represent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.exceptions import GraphError
+from repro.graphs.dynamic_graph import DynamicGraph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    comment_prefix: str = "#",
+    directed_input: bool = False,
+) -> DynamicGraph:
+    """Read a whitespace-separated edge list (SNAP format) into a graph.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    comment_prefix:
+        Lines starting with this prefix are skipped.
+    directed_input:
+        SNAP files for undirected graphs sometimes list each edge in both
+        directions; duplicates are ignored either way, so this flag only
+        exists for documentation purposes.
+
+    Returns
+    -------
+    DynamicGraph
+        The parsed graph.  Vertex identifiers are integers.
+    """
+    del directed_input  # duplicates are tolerated regardless
+    graph = DynamicGraph()
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith(comment_prefix):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(
+                    f"{path}:{line_number}: expected two vertex ids, got {line!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(
+                    f"{path}:{line_number}: vertex ids must be integers, got {line!r}"
+                ) from exc
+            if u == v:
+                # Self loops carry no information for independent sets.
+                graph.add_vertex_if_missing(u)
+                continue
+            graph.add_edge_if_missing(u, v)
+    return graph
+
+
+def write_edge_list(graph: DynamicGraph, path: PathLike, *, header: str | None = None) -> None:
+    """Write ``graph`` as a whitespace-separated edge list.
+
+    Isolated vertices are lost by this format; use :func:`write_json_graph`
+    when they must be preserved.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# vertices: {graph.num_vertices} edges: {graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u}\t{v}\n")
+
+
+def write_json_graph(graph: DynamicGraph, path: PathLike) -> None:
+    """Write ``graph`` (including isolated vertices) as a JSON document."""
+    payload = {
+        "vertices": sorted(graph.vertices(), key=_sort_key),
+        "edges": sorted(((_canonical(u, v)) for u, v in graph.edges()), key=_sort_key_pair),
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def read_json_graph(path: PathLike) -> DynamicGraph:
+    """Read a graph previously written by :func:`write_json_graph`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "vertices" not in payload or "edges" not in payload:
+        raise GraphError(f"{path}: missing 'vertices' or 'edges' keys")
+    graph = DynamicGraph(vertices=payload["vertices"])
+    for u, v in payload["edges"]:
+        graph.add_edge_if_missing(u, v)
+    return graph
+
+
+def edges_from_pairs(pairs: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Normalise an iterable of pairs into a deduplicated, canonical edge list."""
+    seen = set()
+    result: List[Tuple[int, int]] = []
+    for u, v in pairs:
+        if u == v:
+            continue
+        edge = _canonical(u, v)
+        if edge not in seen:
+            seen.add(edge)
+            result.append(edge)
+    return result
+
+
+def _canonical(u, v):
+    return (u, v) if _sort_key(u) <= _sort_key(v) else (v, u)
+
+
+def _sort_key(value):
+    # Vertex ids are usually ints but may be strings; sort by type name first
+    # so heterogeneous graphs still serialise deterministically.
+    return (type(value).__name__, value)
+
+
+def _sort_key_pair(pair):
+    return (_sort_key(pair[0]), _sort_key(pair[1]))

@@ -1,0 +1,26 @@
+"""Update operations and update-stream generators for dynamic graphs."""
+
+from repro.updates.operations import UpdateKind, UpdateOperation, apply_update, invert_update
+from repro.updates.streams import (
+    UpdateStream,
+    burst_stream,
+    insertion_only_stream,
+    mixed_update_stream,
+    random_edge_stream,
+    random_vertex_stream,
+    sliding_window_stream,
+)
+
+__all__ = [
+    "UpdateKind",
+    "UpdateOperation",
+    "apply_update",
+    "invert_update",
+    "UpdateStream",
+    "random_edge_stream",
+    "random_vertex_stream",
+    "mixed_update_stream",
+    "sliding_window_stream",
+    "burst_stream",
+    "insertion_only_stream",
+]

@@ -1,0 +1,64 @@
+"""Tests for the library exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AlgorithmError,
+    DatasetError,
+    EdgeExistsError,
+    EdgeNotFoundError,
+    ExperimentError,
+    GraphError,
+    ReproError,
+    SelfLoopError,
+    SolutionInvariantError,
+    SolverTimeoutError,
+    UpdateError,
+    VertexExistsError,
+    VertexNotFoundError,
+)
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc_class in (
+            GraphError,
+            VertexNotFoundError,
+            VertexExistsError,
+            EdgeNotFoundError,
+            EdgeExistsError,
+            SelfLoopError,
+            AlgorithmError,
+            SolutionInvariantError,
+            UpdateError,
+            DatasetError,
+            ExperimentError,
+            SolverTimeoutError,
+        ):
+            assert issubclass(exc_class, ReproError)
+
+    def test_graph_errors_are_also_builtin_lookups(self):
+        assert issubclass(VertexNotFoundError, KeyError)
+        assert issubclass(EdgeNotFoundError, KeyError)
+        assert issubclass(VertexExistsError, ValueError)
+        assert issubclass(EdgeExistsError, ValueError)
+        assert issubclass(SelfLoopError, ValueError)
+
+    def test_messages_mention_offenders(self):
+        assert "42" in str(VertexNotFoundError(42))
+        assert "(1, 2)" in str(EdgeNotFoundError(1, 2)) or "1" in str(EdgeNotFoundError(1, 2))
+        assert "loop" in str(SelfLoopError(3)).lower()
+
+    def test_payload_attributes(self):
+        assert VertexNotFoundError(7).vertex == 7
+        assert EdgeExistsError(1, 2).edge == (1, 2)
+        assert SolverTimeoutError("budget", best_known=12).best_known == 12
+        assert SolverTimeoutError("budget").best_known is None
+
+    def test_catching_repro_error_catches_graph_errors(self, path_graph):
+        with pytest.raises(ReproError):
+            path_graph.neighbors(99)
+        with pytest.raises(ReproError):
+            path_graph.add_edge(0, 1)

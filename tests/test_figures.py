@@ -1,0 +1,149 @@
+"""Tests for the figure-reproduction harness (Figures 5-10 and the theory checks)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.datasets import QUICK_PROFILE
+from repro.experiments.figures import (
+    figure5_easy_performance,
+    figure6_hard_performance,
+    figure7_optimizations,
+    figure8_update_scalability,
+    figure9_k_sweep,
+    figure10_power_law,
+    performance_sweep,
+    theorem3_worst_case_table,
+    theory_bound_check,
+)
+from repro.experiments.runner import PAPER_ALGORITHMS
+
+TINY_PROFILE = replace(
+    QUICK_PROFILE,
+    name="tiny",
+    easy_vertices=250,
+    hard_vertices=300,
+    updates_small=200,
+    updates_large=500,
+    easy_datasets=("Email", "Epinions"),
+    hard_datasets=("soc-pokec",),
+    reference_node_budget=4_000,
+    arw_iterations=2,
+    time_limit_seconds=30.0,
+    plr_vertices=250,
+)
+
+
+class TestPerformanceSweeps:
+    def test_performance_sweep_rows(self):
+        rows = performance_sweep(TINY_PROFILE, ["Email"], 150)
+        assert len(rows) == len(PAPER_ALGORITHMS)
+        for row in rows:
+            assert row["time_s"] >= 0
+            assert row["memory"] > 0
+            assert row["final_size"] > 0
+
+    def test_figure5_structure(self):
+        result = figure5_easy_performance(TINY_PROFILE, datasets=["Email"])
+        assert set(result) == {"response_time_small", "memory", "response_time_large"}
+        assert len(result["response_time_small"]) == len(PAPER_ALGORITHMS)
+        assert len(result["memory"]) == len(PAPER_ALGORITHMS)
+
+    def test_figure5_large_stream_takes_longer(self):
+        result = figure5_easy_performance(TINY_PROFILE, datasets=["Epinions"])
+        small_total = sum(r["time_s"] for r in result["response_time_small"])
+        large_total = sum(r["time_s"] for r in result["response_time_large"])
+        assert large_total >= small_total * 0.8  # more updates should not be cheaper
+
+    def test_figure6_structure(self):
+        result = figure6_hard_performance(TINY_PROFILE, datasets=["soc-pokec"])
+        assert set(result) == {"response_time", "memory"}
+        assert len(result["response_time"]) == len(PAPER_ALGORITHMS)
+
+    def test_paper_shape_our_algorithms_use_more_memory_than_dgdis(self):
+        result = figure5_easy_performance(TINY_PROFILE, datasets=["Epinions"])
+        memory = {row["algorithm"]: row["memory"] for row in result["memory"]}
+        assert memory["DyTwoSwap"] >= memory["DyOneSwap"]
+        assert memory["DyOneSwap"] >= memory["DGOneDIS"]
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure7_optimizations(TINY_PROFILE, datasets=["Email"])
+
+    def test_structure(self, result):
+        assert set(result) == {"lazy_time_and_memory", "perturbation_time", "k_tradeoff"}
+
+    def test_lazy_variant_uses_less_memory(self, result):
+        rows = result["lazy_time_and_memory"]
+        memory = {row["algorithm"]: row["memory"] for row in rows}
+        assert memory["DyOneSwap+lazy"] < memory["DyOneSwap"]
+        assert memory["DyTwoSwap+lazy"] < memory["DyTwoSwap"]
+
+    def test_k_tradeoff_rows(self, result):
+        rows = result["k_tradeoff"]
+        assert {row["k"] for row in rows} == {1, 2, 3}
+        assert {row["lazy"] for row in rows} == {True, False}
+
+
+class TestFigure8:
+    def test_rows_cover_fractions_and_algorithms(self):
+        rows = figure8_update_scalability(
+            TINY_PROFILE, datasets=["Email"], fractions=(0.5, 1.0)
+        )
+        assert len(rows) == 2 * len(PAPER_ALGORITHMS)
+        fractions = {row["fraction"] for row in rows}
+        assert fractions == {0.5, 1.0}
+        for row in rows:
+            assert row["accuracy"] is None or row["accuracy"] <= 1.0001
+
+    def test_default_dataset_selection_prefers_hollywood(self):
+        profile = replace(TINY_PROFILE, easy_datasets=("hollywood",), updates_large=200)
+        rows = figure8_update_scalability(profile, fractions=(1.0,))
+        assert {row["dataset"] for row in rows} == {"hollywood"}
+
+
+class TestFigure9:
+    def test_k_sweep_shape(self):
+        rows = figure9_k_sweep(TINY_PROFILE, dataset="Email", k_values=(1, 2, 3))
+        assert [row["k"] for row in rows] == [1, 2, 3]
+        for row in rows:
+            assert 0 < row["accuracy"] <= 1.0
+            assert row["time_s"] >= 0
+
+    def test_quality_never_degrades_with_k(self):
+        rows = figure9_k_sweep(TINY_PROFILE, dataset="Epinions", k_values=(1, 2))
+        assert rows[1]["final_size"] >= rows[0]["final_size"] - 1
+
+
+class TestFigure10:
+    def test_rows_for_each_beta(self):
+        rows = figure10_power_law(TINY_PROFILE, betas=(2.0, 2.5))
+        assert len(rows) == 2 * len(PAPER_ALGORITHMS)
+        betas = {row["beta"] for row in rows}
+        assert betas == {2.0, 2.5}
+
+    def test_paper_shape_swap_algorithms_beat_dgdis(self):
+        rows = figure10_power_law(TINY_PROFILE, betas=(2.1,))
+        sizes = {row["algorithm"]: row["final_size"] for row in rows}
+        assert sizes["DyTwoSwap"] >= sizes["DGTwoDIS"]
+        assert sizes["DyOneSwap"] >= sizes["DGOneDIS"]
+
+
+class TestTheoryChecks:
+    def test_theorem3_table(self):
+        rows = theorem3_worst_case_table(max_clique_size=5, max_hypercube_dim=4)
+        assert len(rows) >= 3
+        for row in rows:
+            assert row["measured_ratio"] == pytest.approx(row["delta_over_2"])
+            assert row["optimal_size"] > row["k_maximal_size"]
+
+    def test_theory_bound_check_rows(self):
+        rows = theory_bound_check(TINY_PROFILE, datasets=["Email"])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["within_theorem2"] is True
+        assert row["measured_ratio"] <= row["theorem2_bound"]

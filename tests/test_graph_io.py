@@ -1,0 +1,87 @@
+"""Tests for graph serialisation (edge-list and JSON formats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.graphs.io import (
+    edges_from_pairs,
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, cycle_graph):
+        path = tmp_path / "cycle.txt"
+        write_edge_list(cycle_graph, path, header="test graph")
+        loaded = read_edge_list(path)
+        assert loaded == cycle_graph
+
+    def test_read_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment line\n\n1 2\n2\t3\n# trailing comment\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_read_ignores_duplicate_edges(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n2 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_read_self_loop_keeps_vertex_but_not_edge(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("5 5\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.has_vertex(5)
+        assert graph.num_edges == 1
+
+    def test_read_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_read_non_integer_ids_raise(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_write_contains_statistics_header(self, tmp_path, path_graph):
+        path = tmp_path / "out.txt"
+        write_edge_list(path_graph, path)
+        content = path.read_text()
+        assert "vertices: 5" in content
+        assert "edges: 4" in content
+
+
+class TestJsonGraph:
+    def test_roundtrip_preserves_isolated_vertices(self, tmp_path):
+        graph = DynamicGraph(vertices=[1, 2, 3], edges=[(1, 2)])
+        path = tmp_path / "graph.json"
+        write_json_graph(graph, path)
+        loaded = read_json_graph(path)
+        assert loaded == graph
+        assert loaded.has_vertex(3)
+
+    def test_read_missing_keys_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(GraphError):
+            read_json_graph(path)
+
+
+class TestEdgesFromPairs:
+    def test_deduplicates_and_drops_self_loops(self):
+        edges = edges_from_pairs([(1, 2), (2, 1), (3, 3), (2, 3)])
+        assert edges == [(1, 2), (2, 3)]
+
+    def test_empty_input(self):
+        assert edges_from_pairs([]) == []

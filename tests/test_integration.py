@@ -1,0 +1,128 @@
+"""End-to-end integration tests across substrates, algorithms and the harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DyOneSwap,
+    DyTwoSwap,
+    DynamicGraph,
+    KSwapFramework,
+    UpdateOperation,
+    mixed_update_stream,
+)
+from repro.baselines import DGOneDIS, DGTwoDIS, DyARW, arw_best_result, min_degree_greedy
+from repro.baselines.exact import exact_independence_number
+from repro.core.verification import is_k_maximal_independent_set
+from repro.experiments import (
+    compute_reference,
+    format_table,
+    run_competition,
+)
+from repro.generators import load_dataset, power_law_random_graph
+from repro.updates.streams import burst_stream, sliding_window_stream
+
+
+class TestFullPipelineOnDataset:
+    def test_dataset_to_quality_report(self):
+        """Load a stand-in, run the full competition, and check the paper's ordering."""
+        graph = load_dataset("Email", scaled_vertices=400)
+        stream = mixed_update_stream(graph, 600, seed=1, edge_fraction=0.8)
+        results = run_competition(
+            graph, stream, dataset="Email", reference_node_budget=100_000
+        )
+        # Every algorithm finished and produced a valid independent set size.
+        assert all(m.finished for m in results.values())
+        accuracies = {name: m.quality.accuracy for name, m in results.items()}
+        # Paper shape: DyTwoSwap at the top, index-based baselines at the bottom.
+        assert accuracies["DyTwoSwap"] >= accuracies["DGOneDIS"]
+        assert accuracies["DyTwoSwap"] >= accuracies["DGTwoDIS"]
+        assert accuracies["DyOneSwap"] >= accuracies["DGOneDIS"] - 0.02
+        # Rendering the rows must not fail.
+        table = format_table([m.as_row() for m in results.values()])
+        assert "DyTwoSwap" in table
+
+    def test_reference_is_consistent_with_exact_alpha_on_sparse_graph(self):
+        graph = load_dataset("WikiTalk", scaled_vertices=400)
+        reference = compute_reference(graph, node_budget=200_000)
+        assert reference.kind == "exact"
+        assert reference.size == exact_independence_number(graph, node_budget=200_000)
+
+
+class TestCrossAlgorithmConsistency:
+    def test_all_maintenance_algorithms_agree_on_final_graph(self):
+        """Every dynamic algorithm must end up on the same final graph structure."""
+        graph = power_law_random_graph(200, 2.2, seed=9)
+        stream = mixed_update_stream(graph, 500, seed=10)
+        final_expected = graph.copy()
+        stream.apply_all(final_expected)
+        for cls in (DyOneSwap, DyTwoSwap, DyARW, DGOneDIS, DGTwoDIS):
+            algo = cls(graph.copy())
+            algo.apply_stream(stream)
+            assert algo.graph == final_expected, cls.__name__
+
+    def test_quality_ordering_over_long_stream(self):
+        graph = power_law_random_graph(250, 2.0, seed=21)
+        stream = mixed_update_stream(graph, 1000, seed=22, edge_fraction=0.8)
+        sizes = {}
+        for name, cls in (
+            ("one", DyOneSwap),
+            ("two", DyTwoSwap),
+            ("dgdis", DGTwoDIS),
+        ):
+            algo = cls(graph.copy())
+            algo.apply_stream(stream)
+            sizes[name] = algo.solution_size
+        assert sizes["two"] >= sizes["one"]
+        assert sizes["two"] >= sizes["dgdis"]
+
+    def test_dynamic_result_close_to_static_recomputation(self):
+        """The maintained solution should track what static ARW finds from scratch."""
+        graph = power_law_random_graph(200, 2.3, seed=30)
+        stream = mixed_update_stream(graph, 600, seed=31)
+        algo = DyTwoSwap(graph.copy())
+        algo.apply_stream(stream)
+        final_graph = graph.copy()
+        stream.apply_all(final_graph)
+        static = arw_best_result(final_graph, max_iterations=10, seed=30)
+        assert algo.solution_size >= 0.95 * len(static)
+
+
+class TestAlternativeWorkloads:
+    def test_sliding_window_workload(self):
+        graph = power_law_random_graph(150, 2.4, seed=40)
+        stream = sliding_window_stream(graph, 400, window=50, seed=41)
+        algo = DyOneSwap(graph.copy(), check_invariants=True)
+        algo.apply_stream(stream)
+        assert is_k_maximal_independent_set(algo.graph, algo.solution(), 1)
+
+    def test_burst_workload(self):
+        graph = power_law_random_graph(150, 2.4, seed=42)
+        stream = burst_stream(graph, 300, burst_size=20, seed=43)
+        algo = DyTwoSwap(graph.copy(), check_invariants=True)
+        algo.apply_stream(stream)
+        assert is_k_maximal_independent_set(algo.graph, algo.solution(), 2)
+
+    def test_graph_rebuilt_from_empty(self):
+        """Theorem 1 construction: start from an edgeless graph and insert all edges."""
+        target = power_law_random_graph(120, 2.2, seed=44)
+        empty = DynamicGraph(vertices=target.vertices())
+        algo = DyOneSwap(empty)
+        assert algo.solution_size == empty.num_vertices
+        for u, v in target.edges():
+            algo.apply_update(UpdateOperation.insert_edge(u, v))
+        assert algo.graph == target
+        assert is_k_maximal_independent_set(algo.graph, algo.solution(), 1)
+        greedy = min_degree_greedy(target)
+        assert algo.solution_size >= 0.9 * len(greedy)
+
+
+class TestFrameworkAgainstSpecialisations:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_framework_has_same_guarantee_as_specialised(self, k):
+        graph = power_law_random_graph(150, 2.3, seed=50 + k)
+        stream = mixed_update_stream(graph, 400, seed=60 + k)
+        framework = KSwapFramework(graph.copy(), k=k)
+        framework.apply_stream(stream)
+        assert is_k_maximal_independent_set(framework.graph, framework.solution(), k)

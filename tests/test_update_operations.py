@@ -1,0 +1,104 @@
+"""Tests for update operations (apply / invert)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UpdateError
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.updates.operations import UpdateKind, UpdateOperation, apply_update, invert_update
+
+
+class TestConstruction:
+    def test_insert_vertex(self):
+        op = UpdateOperation.insert_vertex(5, [1, 2])
+        assert op.kind is UpdateKind.INSERT_VERTEX
+        assert op.vertex == 5
+        assert op.neighbors == (1, 2)
+        assert op.is_insertion and op.is_vertex_operation
+
+    def test_delete_vertex(self):
+        op = UpdateOperation.delete_vertex(3)
+        assert op.kind is UpdateKind.DELETE_VERTEX
+        assert op.is_deletion and op.is_vertex_operation
+
+    def test_insert_edge(self):
+        op = UpdateOperation.insert_edge(1, 2)
+        assert op.kind is UpdateKind.INSERT_EDGE
+        assert op.edge == (1, 2)
+        assert op.is_insertion and op.is_edge_operation
+
+    def test_insert_self_loop_rejected(self):
+        with pytest.raises(UpdateError):
+            UpdateOperation.insert_edge(1, 1)
+
+    def test_delete_edge(self):
+        op = UpdateOperation.delete_edge(1, 2)
+        assert op.is_deletion and op.is_edge_operation
+
+    def test_touched_vertices(self):
+        assert UpdateOperation.insert_vertex(5, [1]).touched_vertices() == (5, 1)
+        assert UpdateOperation.insert_edge(1, 2).touched_vertices() == (1, 2)
+
+    def test_str_representations(self):
+        assert "+v" in str(UpdateOperation.insert_vertex(1))
+        assert "-v" in str(UpdateOperation.delete_vertex(1))
+        assert "+e" in str(UpdateOperation.insert_edge(1, 2))
+        assert "-e" in str(UpdateOperation.delete_edge(1, 2))
+
+
+class TestApply:
+    def test_apply_insert_vertex_with_edges(self, path_graph):
+        apply_update(path_graph, UpdateOperation.insert_vertex(9, [0, 4]))
+        assert path_graph.has_vertex(9)
+        assert path_graph.has_edge(9, 0)
+        assert path_graph.has_edge(9, 4)
+
+    def test_apply_delete_vertex(self, path_graph):
+        apply_update(path_graph, UpdateOperation.delete_vertex(2))
+        assert not path_graph.has_vertex(2)
+
+    def test_apply_insert_edge(self, path_graph):
+        apply_update(path_graph, UpdateOperation.insert_edge(0, 4))
+        assert path_graph.has_edge(0, 4)
+
+    def test_apply_delete_edge(self, path_graph):
+        apply_update(path_graph, UpdateOperation.delete_edge(0, 1))
+        assert not path_graph.has_edge(0, 1)
+
+    def test_apply_invalid_operation_raises_update_error(self, path_graph):
+        with pytest.raises(UpdateError):
+            apply_update(path_graph, UpdateOperation.delete_vertex(99))
+        with pytest.raises(UpdateError):
+            apply_update(path_graph, UpdateOperation.insert_edge(0, 1))
+        with pytest.raises(UpdateError):
+            apply_update(path_graph, UpdateOperation.delete_edge(0, 4))
+
+
+class TestInvert:
+    def test_invert_insert_vertex(self, path_graph):
+        op = UpdateOperation.insert_vertex(9, [0])
+        inverse = invert_update(path_graph, op)
+        apply_update(path_graph, op)
+        apply_update(path_graph, inverse)
+        assert not path_graph.has_vertex(9)
+
+    def test_invert_delete_vertex_restores_edges(self, path_graph):
+        original = path_graph.copy()
+        op = UpdateOperation.delete_vertex(2)
+        inverse = invert_update(path_graph, op)
+        apply_update(path_graph, op)
+        apply_update(path_graph, inverse)
+        assert path_graph == original
+
+    def test_invert_delete_missing_vertex_raises(self, path_graph):
+        with pytest.raises(UpdateError):
+            invert_update(path_graph, UpdateOperation.delete_vertex(99))
+
+    def test_invert_edge_operations(self, path_graph):
+        original = path_graph.copy()
+        for op in (UpdateOperation.insert_edge(0, 4), UpdateOperation.delete_edge(1, 2)):
+            inverse = invert_update(path_graph, op)
+            apply_update(path_graph, op)
+            apply_update(path_graph, inverse)
+        assert path_graph == original

@@ -1,0 +1,146 @@
+"""Tests for the update-stream generators.
+
+Every generator must produce a *valid* stream: applying the operations in
+order to the originating graph must never raise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UpdateError
+from repro.generators.random_graphs import erdos_renyi_graph
+from repro.updates.operations import UpdateKind
+from repro.updates.streams import (
+    burst_stream,
+    insertion_only_stream,
+    mixed_update_stream,
+    random_edge_stream,
+    random_vertex_stream,
+    sliding_window_stream,
+)
+
+
+@pytest.fixture
+def base_graph():
+    return erdos_renyi_graph(50, 0.08, seed=21)
+
+
+def _assert_valid(graph, stream):
+    working = graph.copy()
+    stream.apply_all(working)
+    working.check_consistency()
+    return working
+
+
+class TestRandomEdgeStream:
+    def test_length_and_validity(self, base_graph):
+        stream = random_edge_stream(base_graph, 200, seed=1)
+        assert len(stream) == 200
+        _assert_valid(base_graph, stream)
+
+    def test_only_edge_operations(self, base_graph):
+        stream = random_edge_stream(base_graph, 100, seed=2)
+        assert all(op.is_edge_operation for op in stream)
+
+    def test_insert_ratio_extremes(self, base_graph):
+        inserts = random_edge_stream(base_graph, 100, insert_ratio=1.0, seed=3)
+        assert all(op.kind is UpdateKind.INSERT_EDGE for op in inserts)
+        deletes = random_edge_stream(base_graph, 40, insert_ratio=0.0, seed=3)
+        kinds = deletes.counts_by_kind()
+        assert kinds.get(UpdateKind.DELETE_EDGE, 0) > 0
+
+    def test_invalid_ratio_raises(self, base_graph):
+        with pytest.raises(UpdateError):
+            random_edge_stream(base_graph, 10, insert_ratio=2.0)
+
+    def test_deterministic_with_seed(self, base_graph):
+        a = random_edge_stream(base_graph, 50, seed=9)
+        b = random_edge_stream(base_graph, 50, seed=9)
+        assert [str(op) for op in a] == [str(op) for op in b]
+
+    def test_original_graph_untouched(self, base_graph):
+        before = base_graph.copy()
+        random_edge_stream(base_graph, 100, seed=4)
+        assert base_graph == before
+
+
+class TestRandomVertexStream:
+    def test_length_and_validity(self, base_graph):
+        stream = random_vertex_stream(base_graph, 150, seed=5)
+        assert len(stream) == 150
+        _assert_valid(base_graph, stream)
+
+    def test_only_vertex_operations(self, base_graph):
+        stream = random_vertex_stream(base_graph, 80, seed=6)
+        assert all(op.is_vertex_operation for op in stream)
+
+    def test_new_vertices_get_fresh_ids(self, base_graph):
+        stream = random_vertex_stream(base_graph, 60, insert_ratio=1.0, seed=7)
+        inserted = [op.vertex for op in stream if op.kind is UpdateKind.INSERT_VERTEX]
+        assert len(inserted) == len(set(inserted))
+        assert all(v not in base_graph for v in inserted)
+
+
+class TestMixedStream:
+    def test_contains_both_classes(self, base_graph):
+        stream = mixed_update_stream(base_graph, 300, edge_fraction=0.5, seed=8)
+        kinds = stream.counts_by_kind()
+        edge_ops = kinds.get(UpdateKind.INSERT_EDGE, 0) + kinds.get(UpdateKind.DELETE_EDGE, 0)
+        vertex_ops = kinds.get(UpdateKind.INSERT_VERTEX, 0) + kinds.get(
+            UpdateKind.DELETE_VERTEX, 0
+        )
+        assert edge_ops > 0
+        assert vertex_ops > 0
+        _assert_valid(base_graph, stream)
+
+    def test_invalid_fraction_raises(self, base_graph):
+        with pytest.raises(UpdateError):
+            mixed_update_stream(base_graph, 10, edge_fraction=-0.1)
+
+    def test_prefix(self, base_graph):
+        stream = mixed_update_stream(base_graph, 100, seed=10)
+        prefix = stream.prefix(30)
+        assert len(prefix) == 30
+        assert [str(op) for op in prefix] == [str(op) for op in stream[:30]]
+        _assert_valid(base_graph, prefix)
+
+    def test_metadata_recorded(self, base_graph):
+        stream = mixed_update_stream(base_graph, 20, edge_fraction=0.6, insert_ratio=0.4, seed=1)
+        assert stream.metadata["edge_fraction"] == 0.6
+        assert stream.metadata["insert_ratio"] == 0.4
+        assert "mixed_update_stream" in stream.description
+
+
+class TestOtherWorkloads:
+    def test_sliding_window_stream_valid(self, base_graph):
+        stream = sliding_window_stream(base_graph, 150, window=30, seed=11)
+        assert len(stream) == 150
+        _assert_valid(base_graph, stream)
+
+    def test_sliding_window_contains_deletions(self, base_graph):
+        stream = sliding_window_stream(base_graph, 200, window=20, seed=12)
+        kinds = stream.counts_by_kind()
+        assert kinds.get(UpdateKind.DELETE_EDGE, 0) > 0
+
+    def test_burst_stream_valid(self, base_graph):
+        stream = burst_stream(base_graph, 120, burst_size=15, seed=13)
+        assert len(stream) <= 120
+        assert len(stream) > 0
+        _assert_valid(base_graph, stream)
+
+    def test_insertion_only_stream(self, base_graph):
+        stream = insertion_only_stream([(0, 5), (1, 7)])
+        assert len(stream) == 2
+        assert all(op.kind is UpdateKind.INSERT_EDGE for op in stream)
+
+
+class TestStreamContainer:
+    def test_iteration_and_indexing(self, base_graph):
+        stream = random_edge_stream(base_graph, 25, seed=14)
+        assert len(list(stream)) == 25
+        assert stream[0] is stream.operations[0]
+
+    def test_counts_by_kind_sums_to_length(self, base_graph):
+        stream = mixed_update_stream(base_graph, 90, seed=15)
+        assert sum(stream.counts_by_kind().values()) == len(stream)

@@ -4,40 +4,198 @@ These are not tied to one paper artefact; they back the complexity discussion
 in DESIGN.md by measuring the amortised per-update cost of each maintenance
 algorithm on a fixed power-law workload.  Unlike the table/figure benchmarks
 they use multiple rounds, so pytest-benchmark's statistics are meaningful.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_core_operations.py`` — pytest-benchmark suite
+  (algorithm-level per-update cost plus state-level hot-path throughput).
+* ``python benchmarks/bench_core_operations.py`` — the *quick profile*: runs
+  the same workloads with ``time.perf_counter`` best-of-N timing and writes
+  machine-readable results to ``BENCH_core.json`` at the repository root, so
+  the performance trajectory is tracked across PRs (compare against the
+  committed file from the previous PR before overwriting it).
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
 
 from repro.core import DyOneSwap, DyTwoSwap
-from repro.baselines import DGTwoDIS, DyARW
+from repro.core.state import MISState
 from repro.generators import power_law_random_graph
 from repro.updates import mixed_update_stream
 
 _GRAPH = power_law_random_graph(800, 2.2, seed=123)
 _STREAM = mixed_update_stream(_GRAPH, 400, seed=321, edge_fraction=0.8)
 
+#: The quick-profile workload is larger so best-of-N per-update numbers are
+#: stable enough to compare across PRs.
+_QUICK_UPDATES = 2000
+_QUICK_ROUNDS = 5
 
-def _run(algorithm_class, **kwargs):
+#: Algorithm configurations measured by both entry points.
+_ALGORITHMS = [
+    ("DyOneSwap", DyOneSwap, {}),
+    ("DyOneSwap-lazy", DyOneSwap, {"lazy": True}),
+    ("DyTwoSwap", DyTwoSwap, {}),
+    ("DyTwoSwap-batch16", DyTwoSwap, {"batch_size": 16}),
+]
+
+
+def _run(algorithm_class, *, batch_size=1, **kwargs):
     algo = algorithm_class(_GRAPH.copy(), **kwargs)
-    algo.apply_stream(_STREAM)
+    if batch_size > 1:
+        algo.apply_stream(_STREAM, batch_size=batch_size)
+    else:
+        # The DGDIS baselines expose plain apply_stream without batching.
+        algo.apply_stream(_STREAM)
     return algo.solution_size
 
 
-@pytest.mark.parametrize(
-    "algorithm_class,kwargs",
-    [
-        (DyOneSwap, {}),
-        (DyOneSwap, {"lazy": True}),
-        (DyTwoSwap, {}),
-        (DyARW, {}),
-        (DGTwoDIS, {}),
-    ],
-    ids=["DyOneSwap", "DyOneSwap-lazy", "DyTwoSwap", "DyARW", "DGTwoDIS"],
-)
-def test_per_update_cost(benchmark, algorithm_class, kwargs):
-    size = benchmark.pedantic(
-        _run, args=(algorithm_class,), kwargs=kwargs, rounds=3, iterations=1
+# --------------------------------------------------------------------------- #
+# pytest-benchmark suite (guarded so the standalone quick profile below works
+# in environments without pytest)
+# --------------------------------------------------------------------------- #
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone quick-profile mode
+    pytest = None
+
+if pytest is not None:
+    from repro.baselines import DGTwoDIS, DyARW
+
+    @pytest.mark.parametrize(
+        "algorithm_class,kwargs",
+        [
+            (DyOneSwap, {}),
+            (DyOneSwap, {"lazy": True}),
+            (DyTwoSwap, {}),
+            (DyARW, {}),
+            (DGTwoDIS, {}),
+        ],
+        ids=["DyOneSwap", "DyOneSwap-lazy", "DyTwoSwap", "DyARW", "DGTwoDIS"],
     )
-    assert size > 0
+    def test_per_update_cost(benchmark, algorithm_class, kwargs):
+        size = benchmark.pedantic(
+            _run, args=(algorithm_class,), kwargs=kwargs, rounds=3, iterations=1
+        )
+        assert size > 0
+
+    def test_state_hot_ops(benchmark):
+        rates = benchmark.pedantic(
+            _state_hot_op_rates, kwargs={"cycles": 200}, rounds=3, iterations=1
+        )
+        assert all(rate > 0 for rate in rates.values())
+
+
+# --------------------------------------------------------------------------- #
+# State-level hot-path micro-benchmark
+# --------------------------------------------------------------------------- #
+def _state_hot_op_rates(*, cycles: int = 2000, k: int = 2) -> dict:
+    """Measure move_in/move_out/add_edge/remove_edge throughput (ops/second).
+
+    Each pair of inverse operations is cycled on a fixed prepared state so
+    every timed call exercises the complete bookkeeping (counts, hierarchy
+    buckets, footprint counters) without growing the structures.
+    """
+    graph = power_law_random_graph(600, 2.2, seed=7)
+    state = MISState(graph, k=k)
+    for v in sorted(graph.vertices(), key=graph.degree_order_key):
+        if not state.is_in_solution(v) and state.count(v) == 0:
+            state.move_in(v)
+    # A sample of solution vertices for the move cycle and of edges with at
+    # least one solution endpoint for the edge cycle (those touch counts).
+    sample_vertices = sorted(state.solution(), key=graph.order_of)[:50]
+    sample_edges = [
+        (u, v)
+        for u, v in graph.edges()
+        if state.is_in_solution(u) != state.is_in_solution(v)
+    ][:50]
+
+    rates = {}
+    timer = time.perf_counter
+
+    start = timer()
+    for _ in range(cycles):
+        for v in sample_vertices:
+            state.move_out(v, collect_events=False)
+            state.move_in(v, collect_events=False)
+    elapsed = timer() - start
+    ops = 2 * cycles * len(sample_vertices)
+    rates["move_out_move_in"] = ops / elapsed if elapsed else float("inf")
+
+    start = timer()
+    for _ in range(cycles):
+        for u, v in sample_edges:
+            state.remove_edge(u, v)
+            state.add_edge(u, v, collect_events=False)
+    elapsed = timer() - start
+    ops = 2 * cycles * len(sample_edges)
+    rates["remove_edge_add_edge"] = ops / elapsed if elapsed else float("inf")
+
+    state.check_invariants()
+    return rates
+
+
+# --------------------------------------------------------------------------- #
+# Quick profile (standalone, writes BENCH_core.json)
+# --------------------------------------------------------------------------- #
+def run_quick_profile(rounds: int = _QUICK_ROUNDS) -> dict:
+    """Best-of-``rounds`` per-update cost on the canonical quick workload."""
+    rounds = max(1, rounds)
+    graph = power_law_random_graph(800, 2.2, seed=123)
+    stream = mixed_update_stream(graph, _QUICK_UPDATES, seed=321, edge_fraction=0.8)
+    results = {}
+    for name, algorithm_class, kwargs in _ALGORITHMS:
+        kwargs = dict(kwargs)
+        batch_size = kwargs.pop("batch_size", 1)
+        best = float("inf")
+        size = 0
+        for _ in range(rounds):
+            algo = algorithm_class(graph.copy(), **kwargs)
+            start = time.perf_counter()
+            algo.apply_stream(stream, batch_size=batch_size)
+            best = min(best, time.perf_counter() - start)
+            size = algo.solution_size
+        results[name] = {
+            "per_update_us": round(best / len(stream) * 1e6, 3),
+            "solution_size": size,
+        }
+    return results
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_core.json"),
+        help="where to write the machine-readable results",
+    )
+    parser.add_argument("--rounds", type=int, default=_QUICK_ROUNDS)
+    args = parser.parse_args(argv)
+
+    per_update = run_quick_profile(rounds=args.rounds)
+    hot_ops = _state_hot_op_rates()
+    payload = {
+        "benchmark": "bench_core_operations.quick_profile",
+        "workload": {
+            "graph": "power_law_random_graph(800, 2.2, seed=123)",
+            "stream": f"mixed_update_stream(n={_QUICK_UPDATES}, seed=321, edge_fraction=0.8)",
+            "timing": f"best of {args.rounds} rounds, apply_stream only (setup excluded)",
+        },
+        "python": platform.python_version(),
+        "per_update": per_update,
+        "state_hot_ops_per_sec": {k: round(v) for k, v in hot_ops.items()},
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwritten to {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI-style smoke check: tier-1 tests plus one quick benchmark run, so
+# correctness or performance-harness regressions fail fast locally.
+#
+# Usage: scripts/ci_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== quick benchmark (writes to a scratch file; compare against the"
+echo "   committed BENCH_core.json to spot per-update regressions) =="
+scratch="$(mktemp -t bench_core_ci.XXXXXX.json)"
+python benchmarks/bench_core_operations.py --rounds 2 --output "$scratch"
+
+echo
+echo "ci_check OK (benchmark results: $scratch)"

@@ -197,7 +197,7 @@ class DGOneDIS:
         self.graph.add_edge(u, v)
         u_in, v_in = u in self._solution, v in self._solution
         if u_in and v_in:
-            evicted = max((u, v), key=lambda w: (self.graph.degree(w), repr(w)))
+            evicted = max((u, v), key=self.graph.degree_order_key)
             self._solution.discard(evicted)
             dependants = self._dependants.pop(evicted, set())
             frontier = self.graph.neighbors_copy(evicted) | dependants
@@ -242,7 +242,7 @@ class DGOneDIS:
         inserted = 0
         for vertex in sorted(
             (w for w in frontier if self.graph.has_vertex(w) and w not in self._solution),
-            key=lambda w: (self.graph.degree(w), repr(w)),
+            key=self.graph.degree_order_key,
         ):
             if not (self.graph.neighbors(vertex) & self._solution):
                 self._insert_free_vertex(vertex)

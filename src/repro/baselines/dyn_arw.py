@@ -18,7 +18,7 @@ Fig 5(a) of the paper.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.base import DynamicMISBase
 from repro.graphs.dynamic_graph import Vertex
@@ -46,8 +46,7 @@ class DyARW(DynamicMISBase):
             popped = self._pop_candidate(1)
             if popped is None:
                 break
-            owners, _members = popped
-            (v,) = tuple(owners)
+            v, _members = popped
             if not self.state.is_in_solution(v):
                 continue
             swap_in = self._ordered_scan(v)
@@ -62,8 +61,8 @@ class DyARW(DynamicMISBase):
         is the maintenance overhead the paper attributes to DyARW.
         """
         tight: List[Vertex] = sorted(
-            self.state.tight_vertices(frozenset((vertex,)), 1),
-            key=lambda u: (self.graph.degree(u), repr(u)),
+            self.state.tight1_view(vertex),
+            key=self.graph.degree_order_key,
         )
         if len(tight) < 2:
             return None
@@ -75,13 +74,14 @@ class DyARW(DynamicMISBase):
         return None
 
     def _perform_swap(self, vertex: Vertex, swap_in: Tuple[Vertex, Vertex]) -> None:
-        tight: Set[Vertex] = self.state.tight_vertices(frozenset((vertex,)), 1)
-        self.state.move_out(vertex)
+        # Snapshot: move_out/move_in below dismantle the live bucket.
+        tight: Set[Vertex] = set(self.state.tight1_view(vertex))
+        self.state.move_out(vertex, collect_events=False)
         first, second = swap_in
         if self.state.count(first) == 0:
-            self.state.move_in(first)
+            self.state.move_in(first, collect_events=False)
         if not self.state.is_in_solution(second) and self.state.count(second) == 0:
-            self.state.move_in(second)
+            self.state.move_in(second, collect_events=False)
         self._extend_maximal_over(w for w in tight if w not in swap_in)
         self.stats.record_swap(1)
         self._collect_candidates_around([vertex])

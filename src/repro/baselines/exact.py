@@ -69,12 +69,15 @@ class _BudgetExceeded(Exception):
 class _Workspace:
     """Mutable adjacency structure with an undo stack for the search."""
 
-    __slots__ = ("adjacency", "_undo")
+    __slots__ = ("adjacency", "order", "_undo")
 
     def __init__(self, graph: DynamicGraph, vertices: Set[Vertex]) -> None:
         self.adjacency: Dict[Vertex, Set[Vertex]] = {
             v: graph.neighbors(v) & vertices for v in vertices
         }
+        # Interned insertion indices: O(1) deterministic tie-breaks for the
+        # kernelisation/branching orders (no per-comparison string building).
+        self.order: Dict[Vertex, int] = {v: graph.order_of(v) for v in vertices}
         self._undo: List[Tuple[Vertex, Set[Vertex]]] = []
 
     def __len__(self) -> int:
@@ -199,13 +202,14 @@ class BranchAndReduceSolver:
         budget.charge()
         checkpoint = workspace.checkpoint()
         local_chosen: Set[Vertex] = set()
+        order = workspace.order
         # --- kernelisation: repeatedly eliminate vertices of degree <= 2 ---
         try:
             while True:
                 adjacency = workspace.adjacency
                 if not adjacency:
                     break
-                vertex = min(adjacency, key=lambda v: (len(adjacency[v]), repr(v)))
+                vertex = min(adjacency, key=lambda v: (len(adjacency[v]), order[v]))
                 degree = len(adjacency[vertex])
                 if degree == 0:
                     local_chosen.add(vertex)
@@ -240,7 +244,7 @@ class BranchAndReduceSolver:
                 return self._finish(workspace, checkpoint, local_chosen)
             # --- branch on a maximum-degree vertex ---
             adjacency = workspace.adjacency
-            pivot = max(adjacency, key=lambda v: (len(adjacency[v]), repr(v)))
+            pivot = max(adjacency, key=lambda v: (len(adjacency[v]), order[v]))
             result = self._branch_pivot(workspace, pivot, current, best, budget)
             return self._finish(workspace, checkpoint, local_chosen | result)
         except _BudgetExceeded:
@@ -320,10 +324,11 @@ class BranchAndReduceSolver:
     def _greedy_on_workspace(workspace: _Workspace) -> Set[Vertex]:
         """Minimum-degree greedy incumbent computed directly on the workspace."""
         adjacency = {v: set(nbrs) for v, nbrs in workspace.adjacency.items()}
+        order = workspace.order
         solution: Set[Vertex] = set()
         remaining = set(adjacency)
         while remaining:
-            vertex = min(remaining, key=lambda v: (len(adjacency[v] & remaining), repr(v)))
+            vertex = min(remaining, key=lambda v: (len(adjacency[v] & remaining), order[v]))
             solution.add(vertex)
             remaining.discard(vertex)
             remaining -= adjacency[vertex]

@@ -26,8 +26,9 @@ def min_degree_greedy(graph: DynamicGraph) -> Set[Vertex]:
     # A simple bucket-less implementation: repeatedly scan for the minimum
     # degree vertex.  Adequate for the graph sizes used in this repository.
     while len(work) > 0:
-        best = min(work.vertices(), key=lambda v: (work.degree(v), repr(v)))
+        best = min(work.vertices(), key=work.degree_order_key)
         solution.add(best)
+        # Snapshot: deleting a neighbour mutates best's adjacency set.
         for nbr in work.neighbors_copy(best):
             work.remove_vertex(nbr)
         work.remove_vertex(best)
@@ -38,7 +39,7 @@ def static_degree_greedy(graph: DynamicGraph) -> Set[Vertex]:
     """Greedy maximal independent set scanning vertices by their original degree."""
     solution: Set[Vertex] = set()
     blocked: Set[Vertex] = set()
-    for v in sorted(graph.vertices(), key=lambda u: (graph.degree(u), repr(u))):
+    for v in sorted(graph.vertices(), key=graph.degree_order_key):
         if v in blocked:
             continue
         solution.add(v)
@@ -69,7 +70,7 @@ def extend_to_maximal(graph: DynamicGraph, partial: Iterable[Vertex]) -> Set[Ver
     blocked: Set[Vertex] = set(solution)
     for v in solution:
         blocked.update(graph.neighbors(v))
-    for v in sorted(graph.vertices(), key=lambda u: (graph.degree(u), repr(u))):
+    for v in sorted(graph.vertices(), key=graph.degree_order_key):
         if v in blocked:
             continue
         solution.add(v)

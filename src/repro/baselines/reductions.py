@@ -116,7 +116,7 @@ def _apply_low_degree_rules(
 ) -> bool:
     changed = False
     # Iterate over a snapshot: rules mutate the graph.
-    queue = sorted(work.vertices(), key=lambda v: (work.degree(v), repr(v)))
+    queue = sorted(work.vertices(), key=work.degree_order_key)
     for v in queue:
         if not work.has_vertex(v):
             continue
@@ -183,7 +183,7 @@ def _fold_degree_two(
 
 def _apply_domination_rule(work: DynamicGraph, result: ReductionResult) -> bool:
     """Remove one dominated vertex, if any (``N[u] ⊆ N[v]`` allows dropping ``v``)."""
-    for u in sorted(work.vertices(), key=lambda x: (work.degree(x), repr(x))):
+    for u in sorted(work.vertices(), key=work.degree_order_key):
         closed_u = work.neighbors_copy(u)
         closed_u.add(u)
         for v in work.neighbors_copy(u):
@@ -211,7 +211,7 @@ def degree_one_dependencies(graph: DynamicGraph) -> Dict[Vertex, Set[Vertex]]:
     changed = True
     while changed:
         changed = False
-        for v in sorted(work.vertices(), key=lambda x: (work.degree(x), repr(x))):
+        for v in sorted(work.vertices(), key=work.degree_order_key):
             if not work.has_vertex(v) or work.degree(v) != 1:
                 continue
             (neighbor,) = tuple(work.neighbors(v))

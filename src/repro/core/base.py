@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.core.lazy import LazyMISState
 from repro.core.state import CountEvent, MISState
@@ -100,7 +100,9 @@ class DynamicMISBase(abc.ABC):
         self.stats = AlgorithmStatistics()
         # _candidates[j] maps a solution subset S of size j to C(S), the set
         # of vertices that were newly added to ¯I_j(S) and may enable a swap.
-        self._candidates: List[Dict[FrozenSet[Vertex], Set[Vertex]]] = [
+        # Level 1 is keyed by the owner vertex directly (no frozenset is ever
+        # built on the 1-swap path); levels >= 2 use frozenset keys.
+        self._candidates: List[Dict[Any, Set[Vertex]]] = [
             {} for _ in range(k + 1)
         ]
         self._install_initial_solution(initial_solution)
@@ -140,26 +142,81 @@ class DynamicMISBase(abc.ABC):
 
     def apply_update(self, operation: UpdateOperation) -> None:
         """Apply one structural update and restore k-maximality of the solution."""
-        kind = operation.kind
-        if kind is UpdateKind.INSERT_VERTEX:
-            self._handle_insert_vertex(operation.vertex, operation.neighbors)
-        elif kind is UpdateKind.DELETE_VERTEX:
-            self._handle_delete_vertex(operation.vertex)
-        elif kind is UpdateKind.INSERT_EDGE:
-            self._handle_insert_edge(*operation.edge)
-        elif kind is UpdateKind.DELETE_EDGE:
-            self._handle_delete_edge(*operation.edge)
-        else:  # pragma: no cover - exhaustive enum
-            raise UpdateError(f"unknown update kind {kind!r}")
+        self._dispatch(operation)
         self._process_candidates()
         self.stats.updates_processed += 1
         if self.check_invariants:
             self._verify()
 
-    def apply_stream(self, operations: Iterable[UpdateOperation]) -> None:
-        """Apply a whole update stream in order."""
+    def apply_stream(
+        self, operations: Iterable[UpdateOperation], *, batch_size: int = 1
+    ) -> None:
+        """Apply a whole update stream in order.
+
+        ``batch_size`` generalises the paper's lazy-collection idea to the
+        stream level: structural updates (with their maximality repair) are
+        applied immediately, but the swap-searching candidate drain is
+        deferred until ``batch_size`` operations have been absorbed.  The
+        solution is maximal after every single operation and k-maximal at
+        every batch boundary — in particular at the end of the stream.  With
+        the default ``batch_size=1`` the semantics are identical to calling
+        :meth:`apply_update` per operation.
+        """
+        if batch_size <= 1:
+            # Inlined apply_update: one dispatch per operation with all
+            # attribute lookups hoisted out of the loop (this is the hot loop
+            # of every streaming workload).
+            stats = self.stats
+            process = self._process_candidates
+            handle_insert_edge = self._handle_insert_edge
+            handle_delete_edge = self._handle_delete_edge
+            handle_insert_vertex = self._handle_insert_vertex
+            handle_delete_vertex = self._handle_delete_vertex
+            for operation in operations:
+                kind = operation.kind
+                if kind is UpdateKind.INSERT_EDGE:
+                    handle_insert_edge(*operation.edge)
+                elif kind is UpdateKind.DELETE_EDGE:
+                    handle_delete_edge(*operation.edge)
+                elif kind is UpdateKind.INSERT_VERTEX:
+                    handle_insert_vertex(operation.vertex, operation.neighbors)
+                elif kind is UpdateKind.DELETE_VERTEX:
+                    handle_delete_vertex(operation.vertex)
+                else:  # pragma: no cover - exhaustive enum
+                    raise UpdateError(f"unknown update kind {kind!r}")
+                process()
+                stats.updates_processed += 1
+                if self.check_invariants:
+                    self._verify()
+            return
+        pending = 0
         for operation in operations:
-            self.apply_update(operation)
+            self._dispatch(operation)
+            self.stats.updates_processed += 1
+            pending += 1
+            if pending >= batch_size:
+                self._process_candidates()
+                pending = 0
+                if self.check_invariants:
+                    self._verify()
+        if pending:
+            self._process_candidates()
+            if self.check_invariants:
+                self._verify()
+
+    def _dispatch(self, operation: UpdateOperation) -> None:
+        """Apply the structural part of one update (no candidate drain)."""
+        kind = operation.kind
+        if kind is UpdateKind.INSERT_EDGE:
+            self._handle_insert_edge(*operation.edge)
+        elif kind is UpdateKind.DELETE_EDGE:
+            self._handle_delete_edge(*operation.edge)
+        elif kind is UpdateKind.INSERT_VERTEX:
+            self._handle_insert_vertex(operation.vertex, operation.neighbors)
+        elif kind is UpdateKind.DELETE_VERTEX:
+            self._handle_delete_vertex(operation.vertex)
+        else:  # pragma: no cover - exhaustive enum
+            raise UpdateError(f"unknown update kind {kind!r}")
 
     # ------------------------------------------------------------------ #
     # Hooks for concrete algorithms
@@ -178,12 +235,13 @@ class DynamicMISBase(abc.ABC):
         same solution vertex, which is sufficient for ``k = 1``; deeper
         algorithms override it.
         """
-        if self.state.count(u) == 1 and self.state.count(v) == 1:
-            owners_u = self.state.solution_neighbors(u)
-            if owners_u == self.state.solution_neighbors(v):
-                key = frozenset(owners_u)
-                self._add_candidate(key, u)
-                self._add_candidate(key, v)
+        counts = self.state.counts_view()
+        if counts[u] == 1 and counts[v] == 1:
+            owners_u = self.state.solution_neighbors_view(u)
+            if owners_u == self.state.solution_neighbors_view(v):
+                (owner,) = owners_u
+                self._add_candidate1(owner, u)
+                self._add_candidate1(owner, v)
 
     # ------------------------------------------------------------------ #
     # Update-case handlers (shared by every algorithm)
@@ -191,7 +249,7 @@ class DynamicMISBase(abc.ABC):
     def _handle_insert_vertex(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
         count = self.state.add_vertex(vertex, neighbors)
         if count == 0:
-            self.state.move_in(vertex)
+            self.state.move_in(vertex, collect_events=False)
         elif count <= self.k:
             self._register_vertex(vertex)
 
@@ -203,23 +261,33 @@ class DynamicMISBase(abc.ABC):
         # and the candidate pools only shrink.
 
     def _handle_insert_edge(self, u: Vertex, v: Vertex) -> None:
-        u_in = self.state.is_in_solution(u)
-        v_in = self.state.is_in_solution(v)
-        events = self.state.add_edge(u, v)
+        in_solution = self.state.solution_view()
+        u_in = u in in_solution
+        v_in = v in in_solution
+        # Count events are skipped: counts can only increase on insertion,
+        # which never creates new swaps.
+        self.state.add_edge(u, v, collect_events=False)
         if u_in and v_in:
             evicted = self._choose_eviction(u, v)
             out_events = self.state.move_out(evicted)
             self._repair_and_register(out_events)
             self._register_vertex(evicted)
-        # Otherwise counts can only increase, which never creates new swaps.
-        del events
 
     def _handle_delete_edge(self, u: Vertex, v: Vertex) -> None:
-        u_in = self.state.is_in_solution(u)
-        v_in = self.state.is_in_solution(v)
-        events = self.state.remove_edge(u, v)
+        state = self.state
+        in_solution = state.solution_view()
+        u_in = u in in_solution
+        v_in = v in in_solution
+        events = state.remove_edge(u, v)
         if u_in != v_in:
-            self._repair_and_register(events)
+            # Exactly one count changed: the outside endpoint lost its
+            # solution neighbour.  Specialised single-event repair (the
+            # generic _repair_and_register path costs several list builds).
+            vertex, _old, new = events[0]
+            if new == 0:
+                state.move_in(vertex, collect_events=False)
+            elif new <= self.k:
+                self._register_vertex(vertex)
         elif not u_in and not v_in:
             self._on_edge_deleted_outside(u, v)
         # u_in and v_in cannot both hold because the solution is independent.
@@ -230,33 +298,28 @@ class DynamicMISBase(abc.ABC):
     def _add_candidate(self, owners: FrozenSet[Vertex], vertex: Vertex) -> None:
         """Record ``vertex`` as newly relevant for the solution subset ``owners``."""
         level = len(owners)
-        if not 1 <= level <= self.k:
-            return
-        self._candidates[level].setdefault(owners, set()).add(vertex)
+        if level == 1:
+            (owner,) = owners
+            self._candidates[1].setdefault(owner, set()).add(vertex)
+        elif level <= self.k:
+            self._candidates[level].setdefault(owners, set()).add(vertex)
+
+    def _add_candidate1(self, owner: Vertex, vertex: Vertex) -> None:
+        """Fast path of :meth:`_add_candidate` for a single owner vertex."""
+        self._candidates[1].setdefault(owner, set()).add(vertex)
 
     def _register_vertex(self, vertex: Vertex) -> None:
         """Register ``vertex`` under its own solution-neighbour set if in range."""
-        if self.state.is_in_solution(vertex):
+        state = self.state
+        if vertex in state.solution_view():
             return
-        count = self.state.count(vertex)
-        if 1 <= count <= self.k:
-            owners = frozenset(self.state.solution_neighbors(vertex))
-            self._add_candidate(owners, vertex)
-
-    def _register_from_events(self, events: Iterable[CountEvent]) -> None:
-        """Register every vertex whose count *decreased* into ``[1, k]``.
-
-        Count increases never create new swap opportunities (the vertex was
-        already a member of every ``¯I_{≤j}(S)`` it now belongs to), so only
-        decreases matter.
-        """
-        for vertex, old, new in events:
-            if self.state.is_in_solution(vertex):
-                continue
-            if old is not None and new >= old:
-                continue
-            if 1 <= new <= self.k:
-                self._register_vertex(vertex)
+        count = state.counts_view()[vertex]
+        if count == 1:
+            (owner,) = state.solution_neighbors_view(vertex)
+            self._add_candidate1(owner, vertex)
+        elif 2 <= count <= self.k:
+            owners = frozenset(state.solution_neighbors_view(vertex))
+            self._candidates[count].setdefault(owners, set()).add(vertex)
 
     def _collect_candidates_around(self, vertices: Iterable[Vertex]) -> None:
         """Register every vertex with count in ``[1, k]`` in the closed neighbourhood.
@@ -266,15 +329,22 @@ class DynamicMISBase(abc.ABC):
         enough is (re-)registered.  Re-registering vertices that were already
         known is harmless: processing simply finds no swap for them.
         """
+        graph = self.graph
         for v in vertices:
-            if not self.graph.has_vertex(v):
+            if not graph.has_vertex(v):
                 continue
             self._register_vertex(v)
-            for w in self.graph.neighbors_copy(v):
+            # Registering never mutates the graph, so the live neighbour view
+            # is safe to iterate.
+            for w in graph.neighbors(v):
                 self._register_vertex(w)
 
     def _pop_candidate(self, level: int):
-        """Pop one ``(S, C(S))`` pair from the given level, or ``None`` if empty."""
+        """Pop one ``(S, C(S))`` pair from the given level, or ``None`` if empty.
+
+        At level 1 the returned key is the owner *vertex*; at deeper levels it
+        is the frozenset of owners.
+        """
         queue = self._candidates[level]
         if not queue:
             return None
@@ -296,43 +366,58 @@ class DynamicMISBase(abc.ABC):
         (maximality); any vertex whose count dropped into ``[1, k]`` becomes a
         candidate.
         """
-        decreased: List[Vertex] = []
-        for vertex, old, new in events:
-            if old is not None and new >= old:
-                continue
-            decreased.append(vertex)
+        state, graph = self.state, self.graph
+        in_solution = state.solution_view()
+        counts = state.counts_view()
+        vertices = graph.vertices_view()
+        decreased: List[Vertex] = [
+            vertex for vertex, old, new in events if old is None or new < old
+        ]
+        if not decreased:
+            return
         # Move zero-count vertices in first (smallest degree first, the usual
         # greedy tie-break), re-checking the count right before each move
         # because earlier moves may have raised it again.
         zero_candidates = [
             v
             for v in decreased
-            if self.graph.has_vertex(v)
-            and not self.state.is_in_solution(v)
-            and self.state.count(v) == 0
+            if v in vertices and v not in in_solution and counts[v] == 0
         ]
-        for v in sorted(zero_candidates, key=self._greedy_order_key):
-            if (
-                self.graph.has_vertex(v)
-                and not self.state.is_in_solution(v)
-                and self.state.count(v) == 0
-            ):
-                self.state.move_in(v)
+        if zero_candidates:
+            if len(zero_candidates) > 1:
+                zero_candidates.sort(key=graph.degree_order_key)
+            for v in zero_candidates:
+                if v in vertices and v not in in_solution and counts[v] == 0:
+                    state.move_in(v, collect_events=False)
+        # Inlined _register_vertex: register every decreased vertex that is
+        # still outside the solution with count in [1, k].
+        k = self.k
+        candidates1 = self._candidates[1]
         for v in decreased:
-            if self.graph.has_vertex(v) and not self.state.is_in_solution(v):
-                self._register_vertex(v)
+            if v not in vertices or v in in_solution:
+                continue
+            c = counts[v]
+            if c == 1:
+                (owner,) = state.solution_neighbors_view(v)
+                candidates1.setdefault(owner, set()).add(v)
+            elif 2 <= c <= k:
+                owners = frozenset(state.solution_neighbors_view(v))
+                self._candidates[c].setdefault(owners, set()).add(v)
 
     def _extend_maximal_over(self, vertices: Iterable[Vertex]) -> List[Vertex]:
         """Move every listed vertex whose count is zero into the solution.
 
         Returns the vertices that were actually inserted.
         """
+        state, graph = self.state, self.graph
+        in_solution = state.solution_view()
+        counts = state.counts_view()
         inserted: List[Vertex] = []
         for v in sorted(
-            (w for w in vertices if self.graph.has_vertex(w)), key=self._greedy_order_key
+            (w for w in vertices if graph.has_vertex(w)), key=graph.degree_order_key
         ):
-            if not self.state.is_in_solution(v) and self.state.count(v) == 0:
-                self.state.move_in(v)
+            if v not in in_solution and counts[v] == 0:
+                state.move_in(v, collect_events=False)
                 inserted.append(v)
         return inserted
 
@@ -343,18 +428,20 @@ class DynamicMISBase(abc.ABC):
         (its tight neighbours can take its place), otherwise evict the one
         with the higher degree.
         """
-        u_tight = bool(self.state.tight_vertices(frozenset((u,)), 1))
-        v_tight = bool(self.state.tight_vertices(frozenset((v,)), 1))
+        u_tight = bool(self.state.tight1_view(u))
+        v_tight = bool(self.state.tight1_view(v))
         if u_tight != v_tight:
             return u if u_tight else v
         du, dv = self.graph.degree(u), self.graph.degree(v)
         if du != dv:
             return u if du > dv else v
-        return max(u, v, key=repr)
+        return max(u, v, key=self.graph.order_of)
 
     def _greedy_order_key(self, vertex: Vertex):
-        """Deterministic ordering for greedy insertions: smallest degree first."""
-        return (self.graph.degree(vertex), repr(vertex))
+        """Deterministic ordering for greedy insertions: smallest degree first,
+        ties broken by the graph's interned insertion index (O(1), no string
+        building)."""
+        return self.graph.degree_order_key(vertex)
 
     # ------------------------------------------------------------------ #
     # Initialisation
@@ -375,16 +462,21 @@ class DynamicMISBase(abc.ABC):
                     )
             for v in sorted(members, key=self._greedy_order_key):
                 if self.state.count(v) == 0 and not self.state.is_in_solution(v):
-                    self.state.move_in(v)
+                    self.state.move_in(v, collect_events=False)
         # Extend to a maximal independent set greedily (smallest degree first).
         for v in sorted(graph.vertices(), key=self._greedy_order_key):
             if not self.state.is_in_solution(v) and self.state.count(v) == 0:
-                self.state.move_in(v)
+                self.state.move_in(v, collect_events=False)
 
     def _stabilize(self) -> None:
         """Make the freshly installed solution k-maximal by a full candidate sweep."""
+        order = self.graph.order_of
         for level in range(1, self.k + 1):
-            for vertex in self.state.nonsolution_vertices_with_count(level):
+            # Sorted registration keeps the candidate-queue insertion (and
+            # hence processing) order identical for eager and lazy states.
+            for vertex in sorted(
+                self.state.nonsolution_vertices_with_count(level), key=order
+            ):
                 self._register_vertex(vertex)
         self._process_candidates()
 

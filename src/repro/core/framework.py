@@ -71,6 +71,9 @@ class KSwapFramework(DynamicMISBase):
             if popped is None:
                 continue
             owners, members = popped
+            if level == 1:
+                # Level-1 queues are keyed by the owner vertex directly.
+                owners = frozenset((owners,))
             self._examine_candidate(level, owners, members)
 
     def _smallest_pending_level(self) -> int:
@@ -97,11 +100,11 @@ class KSwapFramework(DynamicMISBase):
             self._promote(owners, valid_members, level)
         if self.perturbation and level == 1 and len(owners) == 1:
             (v,) = tuple(owners)
-            tight = self.state.tight_vertices(owners, 1)
+            tight = self.state.tight_vertices(owners, 1)  # snapshot: mutated below
             partner = pick_perturbation_partner(self.graph, v, tight)
             if partner is not None:
-                self.state.move_out(v)
-                self.state.move_in(partner)
+                self.state.move_out(v, collect_events=False)
+                self.state.move_in(partner, collect_events=False)
                 self._extend_maximal_over(w for w in tight if w != partner)
                 self.stats.perturbations += 1
                 self._collect_candidates_around([v])
@@ -113,7 +116,7 @@ class KSwapFramework(DynamicMISBase):
         count = self.state.count(vertex)
         if count == 0 or count > level:
             return False
-        return self.state.solution_neighbors(vertex) <= set(owners)
+        return self.state.solution_neighbors_view(vertex) <= owners
 
     # ------------------------------------------------------------------ #
     # Swap search
@@ -171,12 +174,12 @@ class KSwapFramework(DynamicMISBase):
         pool: Set[Vertex],
     ) -> None:
         for owner in owners:
-            self.state.move_out(owner)
+            self.state.move_out(owner, collect_events=False)
         if self.state.count(vertex) == 0 and not self.state.is_in_solution(vertex):
-            self.state.move_in(vertex)
+            self.state.move_in(vertex, collect_events=False)
         for w in swap_in:
             if not self.state.is_in_solution(w) and self.state.count(w) == 0:
-                self.state.move_in(w)
+                self.state.move_in(w, collect_events=False)
         self._extend_maximal_over(w for w in pool if w != vertex and w not in swap_in)
         self.stats.record_swap(len(owners))
         self._collect_candidates_around(list(owners))
@@ -200,13 +203,14 @@ class KSwapFramework(DynamicMISBase):
         for owner in owners:
             if not self.graph.has_vertex(owner):
                 continue
-            for w in self.graph.neighbors_copy(owner):
+            # Registration never mutates the graph: iterate the live view.
+            for w in self.graph.neighbors(owner):
                 if w in seen or self.state.is_in_solution(w):
                     continue
                 seen.add(w)
                 if self.state.count(w) != level + 1:
                     continue
-                w_owners = self.state.solution_neighbors(w)
+                w_owners = self.state.solution_neighbors_view(w)
                 if not owner_set < w_owners:
                     continue
                 w_neighbors = self.graph.neighbors(w)
@@ -222,7 +226,9 @@ class KSwapFramework(DynamicMISBase):
         count_v = self.state.count(v)
         if count_u > self.k or count_v > self.k:
             return
-        owners = frozenset(self.state.solution_neighbors(u) | self.state.solution_neighbors(v))
+        owners = frozenset(
+            self.state.solution_neighbors_view(u) | self.state.solution_neighbors_view(v)
+        )
         if not owners or len(owners) > self.k:
             return
         self._add_candidate(owners, u)

@@ -49,6 +49,10 @@ class LazyMISState:
     def solution(self) -> Set[Vertex]:
         return set(self._in_solution)
 
+    def solution_view(self) -> Set[Vertex]:
+        """Return the live membership set (read-only for callers)."""
+        return self._in_solution
+
     def is_in_solution(self, vertex: Vertex) -> bool:
         return vertex in self._in_solution
 
@@ -57,11 +61,33 @@ class LazyMISState:
             return 0
         return self._count[vertex]
 
+    def counts_view(self) -> Dict[Vertex, int]:
+        """Return the live ``count`` dictionary (read-only for callers).
+
+        Solution vertices always carry a stored count of 0 (moving in
+        requires count 0 and no later mutation touches a member's own
+        counter), so this agrees with :meth:`count` on every vertex.
+        """
+        return self._count
+
     def solution_neighbors(self, vertex: Vertex) -> Set[Vertex]:
         """Recompute ``I(v)`` by scanning the neighbourhood of ``vertex``."""
         if vertex in self._in_solution:
             return set()
         return {n for n in self.graph.neighbors(vertex) if n in self._in_solution}
+
+    def solution_neighbors_view(self, vertex: Vertex) -> Set[Vertex]:
+        """Interface parity with :class:`MISState`; lazily recomputed, so the
+        result is a fresh set rather than a live view."""
+        return self.solution_neighbors(vertex)
+
+    def tight1_view(self, owner: Vertex) -> Set[Vertex]:
+        """Recompute ``¯I_1({owner})`` (no stored buckets to expose lazily)."""
+        return self.tight_vertices(frozenset((owner,)), 1)
+
+    def tight_view(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
+        """Interface parity with :class:`MISState.tight_view`."""
+        return self.tight_vertices(owners, level)
 
     def tight_vertices(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
         """Recompute ``¯I_level(owners)`` by scanning the owners' neighbourhoods."""
@@ -76,7 +102,7 @@ class LazyMISState:
             for v in self.graph.neighbors(owner):
                 if v in self._in_solution:
                     continue
-                if self._count.get(v) == level and self.solution_neighbors(v) == set(owners):
+                if self._count.get(v) == level and self.solution_neighbors(v) == owners:
                     result.add(v)
         return result
 
@@ -114,7 +140,7 @@ class LazyMISState:
     # ------------------------------------------------------------------ #
     # Solution mutation
     # ------------------------------------------------------------------ #
-    def move_in(self, vertex: Vertex) -> List[CountEvent]:
+    def move_in(self, vertex: Vertex, *, collect_events: bool = True) -> List[CountEvent]:
         if vertex in self._in_solution:
             raise SolutionInvariantError(f"{vertex!r} is already in the solution")
         if self._count[vertex] != 0:
@@ -124,28 +150,37 @@ class LazyMISState:
         self.stats.move_in_calls += 1
         self._in_solution.add(vertex)
         events: List[CountEvent] = []
+        counts = self._count
+        touched = 0
         for nbr in self.graph.neighbors(vertex):
-            old = self._count[nbr]
-            self._count[nbr] = old + 1
-            self.stats.count_updates += 1
-            events.append((nbr, old, old + 1))
+            old = counts[nbr]
+            counts[nbr] = old + 1
+            touched += 1
+            if collect_events:
+                events.append((nbr, old, old + 1))
+        self.stats.count_updates += touched
         return events
 
-    def move_out(self, vertex: Vertex) -> List[CountEvent]:
+    def move_out(self, vertex: Vertex, *, collect_events: bool = True) -> List[CountEvent]:
         if vertex not in self._in_solution:
             raise SolutionInvariantError(f"{vertex!r} is not in the solution")
         self.stats.move_out_calls += 1
         self._in_solution.discard(vertex)
         events: List[CountEvent] = []
+        in_solution = self._in_solution
+        counts = self._count
         own_count = 0
+        touched = 0
         for nbr in self.graph.neighbors(vertex):
-            if nbr in self._in_solution:
+            if nbr in in_solution:
                 own_count += 1
                 continue
-            old = self._count[nbr]
-            self._count[nbr] = old - 1
-            self.stats.count_updates += 1
-            events.append((nbr, old, old - 1))
+            old = counts[nbr]
+            counts[nbr] = old - 1
+            touched += 1
+            if collect_events:
+                events.append((nbr, old, old - 1))
+        self.stats.count_updates += touched
         self._count[vertex] = own_count
         return events
 
@@ -163,7 +198,8 @@ class LazyMISState:
     def remove_vertex(self, vertex: Vertex) -> Tuple[bool, Set[Vertex], List[CountEvent]]:
         was_in_solution = vertex in self._in_solution
         events: List[CountEvent] = []
-        neighbors = self.graph.neighbors_copy(vertex)
+        # The graph hands back its own popped adjacency set — no copy needed.
+        neighbors = self.graph.remove_vertex(vertex)
         if was_in_solution:
             self._in_solution.discard(vertex)
             for nbr in neighbors:
@@ -173,11 +209,12 @@ class LazyMISState:
                 self._count[nbr] = old - 1
                 self.stats.count_updates += 1
                 events.append((nbr, old, old - 1))
-        self.graph.remove_vertex(vertex)
         self._count.pop(vertex, None)
         return was_in_solution, neighbors, events
 
-    def add_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
+    def add_edge(
+        self, u: Vertex, v: Vertex, *, collect_events: bool = True
+    ) -> List[CountEvent]:
         self.graph.add_edge(u, v)
         events: List[CountEvent] = []
         u_in, v_in = u in self._in_solution, v in self._in_solution
@@ -185,12 +222,14 @@ class LazyMISState:
             old = self._count[v]
             self._count[v] = old + 1
             self.stats.count_updates += 1
-            events.append((v, old, old + 1))
+            if collect_events:
+                events.append((v, old, old + 1))
         elif v_in and not u_in:
             old = self._count[u]
             self._count[u] = old + 1
             self.stats.count_updates += 1
-            events.append((u, old, old + 1))
+            if collect_events:
+                events.append((u, old, old + 1))
         return events
 
     def remove_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:

@@ -18,7 +18,7 @@ candidate's neighbours inside ``¯I_1(v)``.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Set
+from typing import Optional, Set
 
 from repro.core.base import DynamicMISBase
 from repro.core.perturbation import pick_perturbation_partner
@@ -38,7 +38,7 @@ class DyOneSwap(DynamicMISBase):
     >>> g = DynamicGraph(edges=[(1, 2), (2, 3), (3, 4)])
     >>> algo = DyOneSwap(g)
     >>> sorted(algo.solution())
-    [1, 3]
+    [1, 4]
     >>> algo.apply_update(UpdateOperation.insert_edge(1, 3))
     >>> len(algo.solution()) >= 2
     True
@@ -52,41 +52,37 @@ class DyOneSwap(DynamicMISBase):
     # Swap processing
     # ------------------------------------------------------------------ #
     def _process_candidates(self) -> None:
-        while True:
-            popped = self._pop_candidate(1)
-            if popped is None:
-                break
-            owners, members = popped
-            self._examine_candidate(owners, members)
+        queue = self._candidates[1]
+        stats = self.stats
+        while queue:
+            owner, members = queue.popitem()
+            stats.candidates_processed += 1
+            self._examine_candidate(owner, members)
 
-    def _examine_candidate(self, owners: FrozenSet[Vertex], members: Set[Vertex]) -> None:
-        """Check whether the solution vertex in ``owners`` still forms a clique barrier."""
-        (v,) = tuple(owners)
+    def _examine_candidate(self, v: Vertex, members: Set[Vertex]) -> None:
+        """Check whether the solution vertex ``v`` still forms a clique barrier."""
         if not self.state.is_in_solution(v):
             return
-        tight = self.state.tight_vertices(owners, 1)
+        # Live view: scanning below is read-only; a snapshot is taken only
+        # when a swap actually mutates the solution.
+        tight = self.state.tight1_view(v)
         if len(tight) < 2:
             # A single tight neighbour can never yield a 1-swap; it may still
             # be a useful perturbation partner.
             if self.perturbation and tight:
-                self._maybe_perturb(v, tight)
+                self._maybe_perturb(v, set(tight))
             return
-        for u in list(members):
-            if not self._is_valid_candidate(u, v):
-                continue
-            if self._has_nonneighbor_within(u, tight):
-                self._perform_one_swap(v, u, tight)
+        # A candidate u is still usable exactly when it is tight on {v}, i.e.
+        # u ∈ ¯I_1(v): stale members (deleted, absorbed, or re-counted
+        # vertices) simply fail the membership test.  Iterate ``members`` (not
+        # the tight view) so the examination order is identical for the eager
+        # and the lazy state.
+        for u in members:
+            if u in tight and self._has_nonneighbor_within(u, tight):
+                self._perform_one_swap(v, u, set(tight))
                 return
         if self.perturbation:
-            self._maybe_perturb(v, tight)
-
-    def _is_valid_candidate(self, u: Vertex, v: Vertex) -> bool:
-        """A candidate is still usable when it is tight on exactly ``{v}``."""
-        if not self.graph.has_vertex(u) or self.state.is_in_solution(u):
-            return False
-        if self.state.count(u) != 1:
-            return False
-        return v in self.state.solution_neighbors(u)
+            self._maybe_perturb(v, set(tight))
 
     def _has_nonneighbor_within(self, u: Vertex, tight: Set[Vertex]) -> bool:
         """Return ``True`` when ``|N[u] ∩ ¯I_1(v)| < |¯I_1(v)|``."""
@@ -95,8 +91,8 @@ class DyOneSwap(DynamicMISBase):
 
     def _perform_one_swap(self, v: Vertex, u: Vertex, tight: Set[Vertex]) -> None:
         """Swap ``v`` out for ``u`` plus every tight neighbour that becomes free."""
-        self.state.move_out(v)
-        self.state.move_in(u)
+        self.state.move_out(v, collect_events=False)
+        self.state.move_in(u, collect_events=False)
         self._extend_maximal_over(w for w in tight if w != u)
         self.stats.record_swap(1)
         # New candidates can only involve vertices around the removed vertex.
@@ -109,8 +105,8 @@ class DyOneSwap(DynamicMISBase):
         partner: Optional[Vertex] = pick_perturbation_partner(self.graph, v, tight)
         if partner is None:
             return
-        self.state.move_out(v)
-        self.state.move_in(partner)
+        self.state.move_out(v, collect_events=False)
+        self.state.move_in(partner, collect_events=False)
         self._extend_maximal_over(w for w in tight if w != partner)
         self.stats.perturbations += 1
         self._collect_candidates_around([v])

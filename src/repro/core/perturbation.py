@@ -26,17 +26,17 @@ def pick_perturbation_partner(
 ) -> Optional[Vertex]:
     """Choose the tight neighbour to swap ``solution_vertex`` with, if any.
 
-    Returns the tight neighbour of smallest degree (ties broken by ``repr``
-    for determinism) provided that degree is strictly smaller than the degree
-    of ``solution_vertex``; returns ``None`` otherwise, including when there
-    are no tight neighbours.
+    Returns the tight neighbour of smallest degree (ties broken by the
+    graph's interned insertion index for determinism) provided that degree is
+    strictly smaller than the degree of ``solution_vertex``; returns ``None``
+    otherwise, including when there are no tight neighbours.
     """
     best: Optional[Vertex] = None
     best_key = None
     for candidate in tight_neighbors:
         if not graph.has_vertex(candidate):
             continue
-        key = (graph.degree(candidate), repr(candidate))
+        key = graph.degree_order_key(candidate)
         if best_key is None or key < best_key:
             best, best_key = candidate, key
     if best is None:

@@ -14,10 +14,19 @@ independent set ``I``:
 variant (Section III optimization 1) lives in :mod:`repro.core.lazy` and
 exposes the same interface, so every algorithm can run on either.
 
-Counts and hierarchy levels are only tracked up to the configured ``k``; the
-framework never needs ``I(v)`` for vertices with ``count(v) > k`` beyond the
-counter itself, but the eager state stores the full ``I(v)`` sets because that
-is what gives the O(d) update bound in the paper's analysis.
+Performance notes (the hot path of every maintenance algorithm):
+
+* ``count(v)`` is an incrementally maintained integer dictionary, never a
+  ``len(set)`` recomputation behind a membership test.
+* The level-1 hierarchy is keyed by the owner vertex directly
+  (``Dict[Vertex, Set[Vertex]]``); the frozenset-keyed dictionaries are only
+  used for levels ≥ 2, so DyOneSwap never allocates a frozenset on a count
+  change.
+* ``*_view`` accessors return the live internal sets without copying; the
+  copying accessors (:meth:`solution_neighbors`, :meth:`tight_vertices`)
+  remain for callers that mutate during iteration.
+* :meth:`structure_size` is O(1): the footprint is a counter maintained at
+  every mutation instead of an O(n) sweep per call.
 """
 
 from __future__ import annotations
@@ -32,6 +41,10 @@ from repro.graphs.dynamic_graph import DynamicGraph, Vertex
 #: ``None`` when the vertex had no tracked count before the event (it was in
 #: the solution, or did not exist).
 CountEvent = Tuple[Vertex, Optional[int], int]
+
+#: Shared immutable empty set returned by the view accessors when a bucket is
+#: absent, so callers can iterate/compare without a per-call allocation.
+_EMPTY: FrozenSet[Vertex] = frozenset()
 
 
 @dataclass
@@ -66,10 +79,21 @@ class MISState:
         self._solution_neighbors: Dict[Vertex, Set[Vertex]] = {
             v: set() for v in graph.vertices()
         }
-        # _tight[j] maps frozenset(S) (|S| == j) to the set ¯I_j(S).
+        # count(v) maintained incrementally; 0 for solution vertices.
+        self._count: Dict[Vertex, int] = {v: 0 for v in graph.vertices()}
+        # Level-1 hierarchy keyed by the owner vertex: _tight1[w] = ¯I_1({w}).
+        self._tight1: Dict[Vertex, Set[Vertex]] = {}
+        # _tight[j] maps frozenset(S) (|S| == j >= 2) to the set ¯I_j(S).
+        # Slots 0 and 1 stay empty (level 1 lives in _tight1).
         self._tight: List[Dict[FrozenSet[Vertex], Set[Vertex]]] = [
             {} for _ in range(k + 1)
         ]
+        # Incrementally maintained parts of structure_size(): total entries
+        # stored in _solution_neighbors values, and keys/entries across the
+        # hierarchy (including _tight1).
+        self._sn_total = 0
+        self._tight_keys = 0
+        self._tight_total = 0
         self.stats = StateStatistics()
 
     # ------------------------------------------------------------------ #
@@ -84,21 +108,41 @@ class MISState:
         """Return a copy of the maintained independent set."""
         return set(self._in_solution)
 
+    def solution_view(self) -> Set[Vertex]:
+        """Return the live membership set (read-only for callers).
+
+        Hot loops test membership against this set directly instead of paying
+        a method call per :meth:`is_in_solution` query.
+        """
+        return self._in_solution
+
     def is_in_solution(self, vertex: Vertex) -> bool:
         """Return ``True`` when ``vertex`` is currently in the solution."""
         return vertex in self._in_solution
 
     def count(self, vertex: Vertex) -> int:
         """Return ``count(v) = |N(v) ∩ I|`` (0 for solution vertices)."""
-        if vertex in self._in_solution:
-            return 0
-        return len(self._solution_neighbors[vertex])
+        return self._count[vertex]
+
+    def counts_view(self) -> Dict[Vertex, int]:
+        """Return the live ``count`` dictionary (read-only for callers).
+
+        Solution vertices are stored with count 0, so ``counts_view()[v]``
+        agrees with :meth:`count` for every vertex of the graph.
+        """
+        return self._count
 
     def solution_neighbors(self, vertex: Vertex) -> Set[Vertex]:
         """Return a copy of ``I(v)``, the solution neighbours of ``vertex``."""
-        if vertex in self._in_solution:
-            return set()
         return set(self._solution_neighbors[vertex])
+
+    def solution_neighbors_view(self, vertex: Vertex) -> Set[Vertex]:
+        """Return the live ``I(v)`` set (empty for solution vertices).
+
+        The returned set is internal state: callers must not mutate it and
+        must not hold it across a state mutation.
+        """
+        return self._solution_neighbors[vertex]
 
     def tight_vertices(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
         """Return a copy of ``¯I_level(owners) = {v ∉ I : I(v) = owners}``.
@@ -109,7 +153,27 @@ class MISState:
             raise ValueError("level must equal the size of the owner set")
         if level > self.k:
             raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        if level == 1:
+            (owner,) = owners
+            return set(self._tight1.get(owner, ()))
         return set(self._tight[level].get(owners, ()))
+
+    def tight1_view(self, owner: Vertex) -> Set[Vertex]:
+        """Return the live ``¯I_1({owner})`` bucket (shared empty set if absent).
+
+        Zero-copy: callers must not mutate the result and must snapshot it
+        before any operation that moves vertices in or out of the solution.
+        """
+        return self._tight1.get(owner) or _EMPTY
+
+    def tight_view(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
+        """Zero-copy variant of :meth:`tight_vertices` (same caveats as above)."""
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        if level == 1:
+            (owner,) = owners
+            return self._tight1.get(owner) or _EMPTY
+        return self._tight[level].get(owners) or _EMPTY
 
     def tight_up_to(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
         """Return ``¯I_{≤level}(owners) = {v ∉ I : I(v) ⊆ owners, count(v) ≤ level}``.
@@ -121,8 +185,12 @@ class MISState:
         if level > self.k:
             raise ValueError(f"level {level} exceeds tracked k={self.k}")
         result: Set[Vertex] = set()
-        owner_list = sorted(owners, key=repr)
-        for size in range(1, min(level, len(owner_list)) + 1):
+        owner_list = list(owners)
+        for owner in owner_list:
+            bucket = self._tight1.get(owner)
+            if bucket:
+                result.update(bucket)
+        for size in range(2, min(level, len(owner_list)) + 1):
             for subset in _subsets_of_size(owner_list, size):
                 bucket = self._tight[size].get(subset)
                 if bucket:
@@ -134,8 +202,12 @@ class MISState:
         if level > self.k:
             raise ValueError(f"level {level} exceeds tracked k={self.k}")
         result: Set[Vertex] = set()
-        for bucket in self._tight[level].values():
-            result.update(bucket)
+        if level == 1:
+            for bucket in self._tight1.values():
+                result.update(bucket)
+        else:
+            for bucket in self._tight[level].values():
+                result.update(bucket)
         return result
 
     def structure_size(self) -> int:
@@ -143,23 +215,27 @@ class MISState:
 
         Used by the experiment harness as the deterministic stand-in for the
         paper's ``/usr/bin/time`` heap measurements: it counts the entries of
-        every dictionary and set the state maintains.
+        every dictionary and set the state maintains.  O(1): the counters are
+        maintained incrementally by every mutation.
         """
-        size = len(self._in_solution)
-        size += len(self._solution_neighbors)
-        size += sum(len(s) for s in self._solution_neighbors.values())
-        for level in self._tight:
-            size += len(level)
-            size += sum(len(bucket) for bucket in level.values())
-        return size
+        return (
+            len(self._in_solution)
+            + len(self._solution_neighbors)
+            + len(self._count)
+            + self._sn_total
+            + self._tight_keys
+            + self._tight_total
+        )
 
     # ------------------------------------------------------------------ #
     # Solution mutation
     # ------------------------------------------------------------------ #
-    def move_in(self, vertex: Vertex) -> List[CountEvent]:
+    def move_in(self, vertex: Vertex, *, collect_events: bool = True) -> List[CountEvent]:
         """Insert ``vertex`` into the solution (its count must be zero).
 
-        Returns the count-change events of its neighbours.
+        Returns the count-change events of its neighbours.  Callers that
+        ignore the events (count increases never create swap opportunities)
+        pass ``collect_events=False`` to skip building them.
         """
         if vertex in self._in_solution:
             raise SolutionInvariantError(f"{vertex!r} is already in the solution")
@@ -170,16 +246,33 @@ class MISState:
             )
         self.stats.move_in_calls += 1
         self._in_solution.add(vertex)
-        self._solution_neighbors[vertex].clear()
         events: List[CountEvent] = []
+        # Inlined _add_solution_neighbor: this loop runs once per incident
+        # edge on every insertion, so the per-neighbour call overhead counts.
+        solution_neighbors = self._solution_neighbors
+        counts = self._count
+        k = self.k
+        touched = 0
         for nbr in self.graph.neighbors(vertex):
             # No neighbour can be in the solution (count was zero), so every
             # neighbour gains a solution neighbour.
-            old, new = self._add_solution_neighbor(nbr, vertex)
-            events.append((nbr, old, new))
+            nbrs = solution_neighbors[nbr]
+            old = len(nbrs)
+            if 0 < old <= k:
+                self._unposition_level(nbr, nbrs, old)
+            nbrs.add(vertex)
+            new = old + 1
+            counts[nbr] = new
+            if new <= k:
+                self._position_level(nbr, nbrs, new)
+            touched += 1
+            if collect_events:
+                events.append((nbr, old, new))
+        self._sn_total += touched
+        self.stats.count_updates += touched
         return events
 
-    def move_out(self, vertex: Vertex) -> List[CountEvent]:
+    def move_out(self, vertex: Vertex, *, collect_events: bool = True) -> List[CountEvent]:
         """Remove ``vertex`` from the solution.
 
         After the call ``vertex`` is an ordinary non-solution vertex whose
@@ -188,6 +281,9 @@ class MISState:
         conflicting edge insertion is being repaired).
 
         Returns the count-change events of its non-solution neighbours.
+        Callers that repair maximality by other means (the swap performers,
+        which re-scan the touched neighbourhoods) pass
+        ``collect_events=False`` to skip building the list.
         """
         if vertex not in self._in_solution:
             raise SolutionInvariantError(f"{vertex!r} is not in the solution")
@@ -195,13 +291,35 @@ class MISState:
         self._in_solution.discard(vertex)
         events: List[CountEvent] = []
         own_neighbors: Set[Vertex] = set()
+        # Inlined _remove_solution_neighbor (see move_in for rationale).
+        in_solution = self._in_solution
+        solution_neighbors = self._solution_neighbors
+        counts = self._count
+        k = self.k
+        touched = 0
         for nbr in self.graph.neighbors(vertex):
-            if nbr in self._in_solution:
+            if nbr in in_solution:
                 own_neighbors.add(nbr)
                 continue
-            old, new = self._remove_solution_neighbor(nbr, vertex)
-            events.append((nbr, old, new))
+            nbrs = solution_neighbors[nbr]
+            old = len(nbrs)
+            if 0 < old <= k:
+                self._unposition_level(nbr, nbrs, old)
+            nbrs.discard(vertex)
+            new = old - 1
+            counts[nbr] = new
+            if 0 < new <= k:
+                self._position_level(nbr, nbrs, new)
+            touched += 1
+            if collect_events:
+                events.append((nbr, old, new))
+        self._sn_total -= touched
+        self.stats.count_updates += touched
+        # The stored set of a solution vertex is always empty, so the new
+        # entries are exactly len(own_neighbors).
         self._solution_neighbors[vertex] = own_neighbors
+        self._sn_total += len(own_neighbors)
+        self._count[vertex] = len(own_neighbors)
         self._position(vertex)
         return events
 
@@ -211,11 +329,12 @@ class MISState:
     def add_vertex(self, vertex: Vertex, neighbors: Iterable[Vertex]) -> int:
         """Insert a vertex together with its incident edges; return its count."""
         self.graph.add_vertex(vertex)
-        self._solution_neighbors[vertex] = set()
         for nbr in neighbors:
             self.graph.add_edge(vertex, nbr)
         in_solution = {n for n in self.graph.neighbors(vertex) if n in self._in_solution}
         self._solution_neighbors[vertex] = in_solution
+        self._sn_total += len(in_solution)
+        self._count[vertex] = len(in_solution)
         self._position(vertex)
         return len(in_solution)
 
@@ -223,7 +342,10 @@ class MISState:
         """Delete a vertex; return ``(was_in_solution, old_neighbors, events)``."""
         was_in_solution = vertex in self._in_solution
         events: List[CountEvent] = []
-        neighbors = self.graph.neighbors_copy(vertex)
+        if not was_in_solution:
+            self._unposition(vertex)
+        # The graph hands back its own popped adjacency set — no copy needed.
+        neighbors = self.graph.remove_vertex(vertex)
         if was_in_solution:
             self._in_solution.discard(vertex)
             for nbr in neighbors:
@@ -231,27 +353,33 @@ class MISState:
                     continue
                 old, new = self._remove_solution_neighbor(nbr, vertex)
                 events.append((nbr, old, new))
-        else:
-            self._unposition(vertex)
-        self.graph.remove_vertex(vertex)
-        self._solution_neighbors.pop(vertex, None)
+        stored = self._solution_neighbors.pop(vertex, None)
+        if stored is not None:
+            self._sn_total -= len(stored)
+        self._count.pop(vertex, None)
         return was_in_solution, neighbors, events
 
-    def add_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
+    def add_edge(
+        self, u: Vertex, v: Vertex, *, collect_events: bool = True
+    ) -> List[CountEvent]:
         """Insert an edge; update counts when exactly one endpoint is in the solution.
 
         When both endpoints are in the solution no bookkeeping changes here —
         the caller is responsible for evicting one of them afterwards.
+        ``collect_events=False`` skips building the event list (count
+        increases never create swap opportunities).
         """
         self.graph.add_edge(u, v)
         events: List[CountEvent] = []
         u_in, v_in = u in self._in_solution, v in self._in_solution
         if u_in and not v_in:
             old, new = self._add_solution_neighbor(v, u)
-            events.append((v, old, new))
+            if collect_events:
+                events.append((v, old, new))
         elif v_in and not u_in:
             old, new = self._add_solution_neighbor(u, v)
-            events.append((u, old, new))
+            if collect_events:
+                events.append((u, old, new))
         return events
 
     def remove_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
@@ -271,7 +399,7 @@ class MISState:
     # Invariant checking
     # ------------------------------------------------------------------ #
     def check_invariants(self) -> None:
-        """Verify independence, count and hierarchy invariants.
+        """Verify independence, count, hierarchy and footprint invariants.
 
         Raises :class:`SolutionInvariantError` on the first violation.  Used
         by the checked mode of the algorithms and by the test suite.
@@ -293,7 +421,23 @@ class MISState:
                 raise SolutionInvariantError(
                     f"I({v!r}) is {stored!r} but the graph says {expected!r}"
                 )
-        for level in range(1, self.k + 1):
+            if self._count.get(v) != len(expected):
+                raise SolutionInvariantError(
+                    f"count({v!r}) is {self._count.get(v)!r} but I(v) has "
+                    f"{len(expected)} members"
+                )
+        for owner, bucket in self._tight1.items():
+            for v in bucket:
+                if v in self._in_solution:
+                    raise SolutionInvariantError(
+                        f"solution vertex {v!r} recorded in ¯I_1({{{owner!r}}})"
+                    )
+                if self._solution_neighbors.get(v) != {owner}:
+                    raise SolutionInvariantError(
+                        f"{v!r} recorded in ¯I_1({{{owner!r}}}) but I(v) = "
+                        f"{self._solution_neighbors.get(v)!r}"
+                    )
+        for level in range(2, self.k + 1):
             for owners, bucket in self._tight[level].items():
                 for v in bucket:
                     if v in self._in_solution:
@@ -305,11 +449,32 @@ class MISState:
                             f"{v!r} recorded in ¯I_{level}({set(owners)!r}) but I(v) = "
                             f"{self._solution_neighbors.get(v)!r}"
                         )
+        self._check_footprint_counters()
+
+    def _check_footprint_counters(self) -> None:
+        sn_total = sum(len(s) for s in self._solution_neighbors.values())
+        tight_keys = len(self._tight1) + sum(
+            len(level) for level in self._tight[2:]
+        )
+        tight_total = sum(len(b) for b in self._tight1.values()) + sum(
+            len(b) for level in self._tight[2:] for b in level.values()
+        )
+        if (sn_total, tight_keys, tight_total) != (
+            self._sn_total,
+            self._tight_keys,
+            self._tight_total,
+        ):
+            raise SolutionInvariantError(
+                "footprint counters out of sync: "
+                f"stored ({self._sn_total}, {self._tight_keys}, {self._tight_total}) "
+                f"vs actual ({sn_total}, {tight_keys}, {tight_total})"
+            )
 
     def is_maximal(self) -> bool:
         """Return ``True`` when no non-solution vertex has count zero."""
-        for v in self.graph.vertices():
-            if v not in self._in_solution and not self._solution_neighbors[v]:
+        in_solution = self._in_solution
+        for v, c in self._count.items():
+            if c == 0 and v not in in_solution:
                 return False
         return True
 
@@ -320,10 +485,15 @@ class MISState:
         self.stats.count_updates += 1
         nbrs = self._solution_neighbors[vertex]
         old = len(nbrs)
-        self._unposition(vertex)
+        if 0 < old <= self.k:
+            self._unposition_level(vertex, nbrs, old)
         nbrs.add(solution_vertex)
-        self._position(vertex)
-        return old, len(nbrs)
+        new = old + 1
+        self._count[vertex] = new
+        self._sn_total += 1
+        if new <= self.k:
+            self._position_level(vertex, nbrs, new)
+        return old, new
 
     def _remove_solution_neighbor(
         self, vertex: Vertex, solution_vertex: Vertex
@@ -331,10 +501,15 @@ class MISState:
         self.stats.count_updates += 1
         nbrs = self._solution_neighbors[vertex]
         old = len(nbrs)
-        self._unposition(vertex)
+        if 0 < old <= self.k:
+            self._unposition_level(vertex, nbrs, old)
         nbrs.discard(solution_vertex)
-        self._position(vertex)
-        return old, len(nbrs)
+        new = old - 1
+        self._count[vertex] = new
+        self._sn_total -= 1
+        if 0 < new <= self.k:
+            self._position_level(vertex, nbrs, new)
+        return old, new
 
     def _position(self, vertex: Vertex) -> None:
         """Insert ``vertex`` into the hierarchy bucket matching its current I(v)."""
@@ -343,8 +518,7 @@ class MISState:
         nbrs = self._solution_neighbors[vertex]
         level = len(nbrs)
         if 1 <= level <= self.k:
-            key = frozenset(nbrs)
-            self._tight[level].setdefault(key, set()).add(vertex)
+            self._position_level(vertex, nbrs, level)
 
     def _unposition(self, vertex: Vertex) -> None:
         """Remove ``vertex`` from the hierarchy bucket of its current I(v)."""
@@ -355,12 +529,47 @@ class MISState:
             return
         level = len(nbrs)
         if 1 <= level <= self.k:
+            self._unposition_level(vertex, nbrs, level)
+
+    def _position_level(self, vertex: Vertex, nbrs: Set[Vertex], level: int) -> None:
+        """Insert into the level bucket; ``level == len(nbrs)`` in ``[1, k]``."""
+        if level == 1:
+            (owner,) = nbrs
+            bucket = self._tight1.get(owner)
+            if bucket is None:
+                bucket = self._tight1[owner] = set()
+                self._tight_keys += 1
+        else:
             key = frozenset(nbrs)
             bucket = self._tight[level].get(key)
-            if bucket is not None:
-                bucket.discard(vertex)
-                if not bucket:
-                    del self._tight[level][key]
+            if bucket is None:
+                bucket = self._tight[level][key] = set()
+                self._tight_keys += 1
+        bucket.add(vertex)
+        self._tight_total += 1
+
+    def _unposition_level(self, vertex: Vertex, nbrs: Set[Vertex], level: int) -> None:
+        """Remove from the level bucket; ``level == len(nbrs)`` in ``[1, k]``."""
+        if level == 1:
+            (owner,) = nbrs
+            bucket = self._tight1.get(owner)
+            if bucket is None:
+                return
+            bucket.discard(vertex)
+            self._tight_total -= 1
+            if not bucket:
+                del self._tight1[owner]
+                self._tight_keys -= 1
+        else:
+            key = frozenset(nbrs)
+            bucket = self._tight[level].get(key)
+            if bucket is None:
+                return
+            bucket.discard(vertex)
+            self._tight_total -= 1
+            if not bucket:
+                del self._tight[level][key]
+                self._tight_keys -= 1
 
 
 def _subsets_of_size(items: List[Vertex], size: int) -> Iterable[FrozenSet[Vertex]]:

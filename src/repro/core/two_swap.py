@@ -41,7 +41,7 @@ class DyTwoSwap(DynamicMISBase):
     2
     >>> algo.apply_update(UpdateOperation.delete_edge(0, 1))
     >>> len(algo.solution())
-    2
+    3
     """
 
     def __init__(self, graph, **kwargs) -> None:
@@ -52,26 +52,33 @@ class DyTwoSwap(DynamicMISBase):
     # Swap processing (bottom-up)
     # ------------------------------------------------------------------ #
     def _process_candidates(self) -> None:
-        while self.has_pending_candidates():
-            if self._candidates[1]:
-                self._find_one_swap()
-            elif self._candidates[2]:
-                self._find_two_swap()
+        candidates1, candidates2 = self._candidates[1], self._candidates[2]
+        stats = self.stats
+        while True:
+            if candidates1:
+                v, members = candidates1.popitem()
+                stats.candidates_processed += 1
+                self._find_one_swap(v, members)
+            elif candidates2:
+                owners, members = candidates2.popitem()
+                stats.candidates_processed += 1
+                self._find_two_swap(owners, members)
+            else:
+                break
 
     # -------------------------- level 1 ------------------------------- #
-    def _find_one_swap(self) -> None:
-        popped = self._pop_candidate(1)
-        if popped is None:
-            return
-        owners, members = popped
-        (v,) = tuple(owners)
+    def _find_one_swap(self, v: Vertex, members: Set[Vertex]) -> None:
         if not self.state.is_in_solution(v):
             return
-        tight = self.state.tight_vertices(owners, 1)
-        valid_members = {u for u in members if self._is_valid_level1_candidate(u, v)}
+        # Live view; snapshots are taken only when a swap mutates the state.
+        # A member u is still a usable level-1 candidate exactly when
+        # u ∈ ¯I_1(v).  Iterate ``members`` (not the tight view) so the
+        # examination order is identical for the eager and the lazy state.
+        tight = self.state.tight1_view(v)
+        valid_members = [u for u in members if u in tight]
         for u in valid_members:
             if self._has_nonneighbor_within(u, tight):
-                self._perform_one_swap(v, u, tight)
+                self._perform_one_swap(v, u, set(tight))
                 return
         # No 1-swap around v: the new tight vertices may still enable a
         # 2-swap together with a count-two neighbour of v (lines 14-17 of
@@ -79,22 +86,15 @@ class DyTwoSwap(DynamicMISBase):
         if valid_members:
             self._promote_to_level2(v, valid_members)
         if self.perturbation and tight:
-            self._maybe_perturb(v, tight)
-
-    def _is_valid_level1_candidate(self, u: Vertex, v: Vertex) -> bool:
-        if not self.graph.has_vertex(u) or self.state.is_in_solution(u):
-            return False
-        if self.state.count(u) != 1:
-            return False
-        return v in self.state.solution_neighbors(u)
+            self._maybe_perturb(v, set(tight))
 
     def _has_nonneighbor_within(self, u: Vertex, tight: Set[Vertex]) -> bool:
         neighbors = self.graph.neighbors(u)
         return any(w != u and w not in neighbors for w in tight)
 
     def _perform_one_swap(self, v: Vertex, u: Vertex, tight: Set[Vertex]) -> None:
-        self.state.move_out(v)
-        self.state.move_in(u)
+        self.state.move_out(v, collect_events=False)
+        self.state.move_in(u, collect_events=False)
         self._extend_maximal_over(w for w in tight if w != u)
         self.stats.record_swap(1)
         self._collect_candidates_around([v])
@@ -106,53 +106,48 @@ class DyTwoSwap(DynamicMISBase):
         adjacent to every vertex of ``C(v)``, then the pair ``I(w)`` may now
         admit a 2-swap whose swap-in contains ``w`` and a new tight vertex.
         """
-        for w in self.graph.neighbors_copy(v):
+        # Registration never mutates the graph: iterate the live view.
+        for w in self.graph.neighbors(v):
             if self.state.is_in_solution(w) or self.state.count(w) != 2:
                 continue
             w_neighbors = self.graph.neighbors(w)
             if any(u != w and u not in w_neighbors for u in new_tight):
-                owners = frozenset(self.state.solution_neighbors(w))
+                owners = frozenset(self.state.solution_neighbors_view(w))
                 self._add_candidate(owners, w)
 
     def _maybe_perturb(self, v: Vertex, tight: Set[Vertex]) -> None:
         partner: Optional[Vertex] = pick_perturbation_partner(self.graph, v, tight)
         if partner is None:
             return
-        self.state.move_out(v)
-        self.state.move_in(partner)
+        self.state.move_out(v, collect_events=False)
+        self.state.move_in(partner, collect_events=False)
         self._extend_maximal_over(w for w in tight if w != partner)
         self.stats.perturbations += 1
         self._collect_candidates_around([v])
 
     # -------------------------- level 2 ------------------------------- #
-    def _find_two_swap(self) -> None:
-        popped = self._pop_candidate(2)
-        if popped is None:
-            return
-        owners, members = popped
+    def _find_two_swap(self, owners: FrozenSet[Vertex], members: Set[Vertex]) -> None:
         if len(owners) != 2:
             return
         u, v = tuple(owners)
         if not (self.state.is_in_solution(u) and self.state.is_in_solution(v)):
             return
-        tight_pair = self.state.tight_vertices(owners, 2)
-        tight_u = self.state.tight_vertices(frozenset((u,)), 1)
-        tight_v = self.state.tight_vertices(frozenset((v,)), 1)
-        for x in list(members):
-            if not self._is_valid_level2_candidate(x, owners):
+        # Read-only views: _search_triple never mutates state, and
+        # _perform_two_swap re-derives its pool before mutating.  A member x
+        # is still a usable level-2 candidate exactly when x ∈ ¯I_2(S).
+        # Iterate ``members`` (not the tight view) so the examination order is
+        # identical for the eager and the lazy state.
+        tight_pair = self.state.tight_view(owners, 2)
+        tight_u = self.state.tight1_view(u)
+        tight_v = self.state.tight1_view(v)
+        for x in members:
+            if x not in tight_pair:
                 continue
             found = self._search_triple(x, owners, tight_pair, tight_u, tight_v)
             if found is not None:
                 y, z = found
                 self._perform_two_swap(owners, x, y, z)
                 return
-
-    def _is_valid_level2_candidate(self, x: Vertex, owners: FrozenSet[Vertex]) -> bool:
-        if not self.graph.has_vertex(x) or self.state.is_in_solution(x):
-            return False
-        if self.state.count(x) != 2:
-            return False
-        return self.state.solution_neighbors(x) == set(owners)
 
     def _search_triple(
         self,
@@ -177,9 +172,14 @@ class DyTwoSwap(DynamicMISBase):
         }
         if not candidates_y or not candidates_z:
             return None
-        for y in candidates_y:
+        # The pools are tiny (the τ of the paper's analysis); scanning them in
+        # interned order keeps the chosen pair independent of the internal
+        # iteration order of the eager buckets vs the lazy recomputed sets.
+        order = self.graph.order_of
+        sorted_z = sorted(candidates_z, key=order)
+        for y in sorted(candidates_y, key=order):
             y_neighbors = self.graph.neighbors(y)
-            for z in candidates_z:
+            for z in sorted_z:
                 if z != y and z not in y_neighbors:
                     return y, z
         return None
@@ -195,11 +195,11 @@ class DyTwoSwap(DynamicMISBase):
         """
         pool = self.state.tight_up_to(owners, 2)
         u, v = tuple(owners)
-        self.state.move_out(u)
-        self.state.move_out(v)
-        self.state.move_in(x)
+        self.state.move_out(u, collect_events=False)
+        self.state.move_out(v, collect_events=False)
+        self.state.move_in(x, collect_events=False)
         if not self.state.is_in_solution(y) and self.state.count(y) == 0:
-            self.state.move_in(y)
+            self.state.move_in(y, collect_events=False)
         self._extend_maximal_over(w for w in pool if w not in (x, y))
         self.stats.record_swap(2)
         self._collect_candidates_around([u, v])
@@ -208,19 +208,20 @@ class DyTwoSwap(DynamicMISBase):
     # Edge deletion between two non-solution vertices (update case ii)
     # ------------------------------------------------------------------ #
     def _on_edge_deleted_outside(self, u: Vertex, v: Vertex) -> None:
-        count_u = self.state.count(u)
-        count_v = self.state.count(v)
+        counts = self.state.counts_view()
+        count_u = counts[u]
+        count_v = counts[v]
         if count_u > 2 and count_v > 2:
             return
-        owners_u = self.state.solution_neighbors(u)
-        owners_v = self.state.solution_neighbors(v)
+        owners_u = self.state.solution_neighbors_view(u)
+        owners_v = self.state.solution_neighbors_view(v)
         if count_u == 1 and count_v == 1:
             if owners_u == owners_v:
                 # Case (a): both tight on the same vertex w — an immediate
                 # 1-swap; let the level-1 machinery perform it.
-                key = frozenset(owners_u)
-                self._add_candidate(key, u)
-                self._add_candidate(key, v)
+                (owner,) = owners_u
+                self._add_candidate1(owner, u)
+                self._add_candidate1(owner, v)
             else:
                 # Case (b): tight on different vertices x and y.  Any new
                 # 2-swap must be {x, y} -> {u, v, w} with w ∈ ¯I_2({x, y}).
@@ -240,7 +241,9 @@ class DyTwoSwap(DynamicMISBase):
         owners = frozenset(owner_pair)
         u_neighbors = self.graph.neighbors(u)
         v_neighbors = self.graph.neighbors(v)
-        for w in self.state.tight_vertices(owners, 2):
+        # Snapshot (sorted): _perform_two_swap mutates the bucket mid-loop,
+        # and the interned order keeps the choice eager/lazy-independent.
+        for w in sorted(self.state.tight_view(owners, 2), key=self.graph.order_of):
             if w in (u, v) or w in u_neighbors or w in v_neighbors:
                 continue
             # {u, v, w} is independent and dominated only by the owner pair.

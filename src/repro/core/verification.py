@@ -45,7 +45,7 @@ def find_j_swap(
     if j < 1:
         raise ValueError("j must be at least 1")
     outside = [v for v in graph.vertices() if v not in solution]
-    for swap_out in combinations(sorted(solution, key=repr), j):
+    for swap_out in combinations(sorted(solution, key=graph.order_of), j):
         removed = set(swap_out)
         remaining = solution - removed
         # Vertices that become available: not adjacent to the remaining solution.
@@ -100,7 +100,7 @@ def independence_violations(graph: DynamicGraph, vertices: Iterable[Vertex]) -> 
         if not graph.has_vertex(v):
             continue
         for u in graph.neighbors(v):
-            if u in members and repr(u) > repr(v):
+            if u in members and graph.order_of(u) > graph.order_of(v):
                 violations.append((v, u))
     return violations
 
@@ -109,7 +109,7 @@ def greedy_independent_set(graph: DynamicGraph) -> Set[Vertex]:
     """Smallest-degree-first greedy maximal independent set (reference heuristic)."""
     solution: Set[Vertex] = set()
     blocked: Set[Vertex] = set()
-    for v in sorted(graph.vertices(), key=lambda u: (graph.degree(u), repr(u))):
+    for v in sorted(graph.vertices(), key=graph.degree_order_key):
         if v in blocked:
             continue
         solution.add(v)
@@ -131,7 +131,7 @@ def _greedy_then_exact_independent_subset(
     # Greedy attempt.
     chosen: List[Vertex] = []
     chosen_set: Set[Vertex] = set()
-    for v in sorted(candidates, key=lambda u: (graph.degree(u), repr(u))):
+    for v in sorted(candidates, key=graph.degree_order_key):
         if graph.neighbors(v) & chosen_set:
             continue
         chosen.append(v)
@@ -140,7 +140,7 @@ def _greedy_then_exact_independent_subset(
             return chosen
     # Exhaustive fallback (candidate pools in tests are tiny).
     if len(candidates) > 22:
-        candidates = sorted(candidates, key=lambda u: (graph.degree(u), repr(u)))[:22]
+        candidates = sorted(candidates, key=graph.degree_order_key)[:22]
     for combo in combinations(candidates, size):
         if graph.is_independent_set(combo):
             return list(combo)

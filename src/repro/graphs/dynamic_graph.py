@@ -51,7 +51,7 @@ class DynamicGraph:
     False
     """
 
-    __slots__ = ("_adjacency", "_num_edges")
+    __slots__ = ("_adjacency", "_num_edges", "_order", "_next_order")
 
     def __init__(
         self,
@@ -60,20 +60,32 @@ class DynamicGraph:
     ) -> None:
         self._adjacency: Dict[Vertex, Set[Vertex]] = {}
         self._num_edges = 0
+        # Monotone insertion index per vertex: a deterministic total order that
+        # is O(1) to compare (no string building) and injective even for vertex
+        # types whose repr is not.  Used as the tie-break in every greedy sort.
+        self._order: Dict[Vertex, int] = {}
+        self._next_order = 0
         if vertices is not None:
             for v in vertices:
                 if v not in self._adjacency:
                     self._adjacency[v] = set()
+                    self._intern(v)
         if edges is not None:
             for u, v in edges:
                 if u not in self._adjacency:
                     self._adjacency[u] = set()
+                    self._intern(u)
                 if v not in self._adjacency:
                     self._adjacency[v] = set()
+                    self._intern(v)
                 if u != v and v not in self._adjacency[u]:
                     self._adjacency[u].add(v)
                     self._adjacency[v].add(u)
                     self._num_edges += 1
+
+    def _intern(self, vertex: Vertex) -> None:
+        self._order[vertex] = self._next_order
+        self._next_order += 1
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -135,6 +147,15 @@ class DynamicGraph:
         """Return a copy of the open neighbourhood of ``vertex``."""
         return set(self.neighbors(vertex))
 
+    def vertices_view(self) -> Dict[Vertex, Set[Vertex]]:
+        """Return the live adjacency mapping for O(1) membership tests.
+
+        Hot loops use ``v in graph.vertices_view()`` instead of paying a
+        method call per :meth:`has_vertex` query.  Callers must not mutate
+        the mapping.
+        """
+        return self._adjacency
+
     def closed_neighbors(self, vertex: Vertex) -> Set[Vertex]:
         """Return the closed neighbourhood ``N[v] = N(v) ∪ {v}`` as a new set."""
         closed = set(self.neighbors(vertex))
@@ -144,6 +165,22 @@ class DynamicGraph:
     def degree(self, vertex: Vertex) -> int:
         """Return the degree of ``vertex``."""
         return len(self.neighbors(vertex))
+
+    def order_of(self, vertex: Vertex) -> int:
+        """Return the insertion index of ``vertex`` (a deterministic total order).
+
+        Indices are assigned monotonically when a vertex enters the graph and
+        are never reused; re-inserting a deleted vertex assigns a fresh, higher
+        index.
+        """
+        try:
+            return self._order[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree_order_key(self, vertex: Vertex) -> Tuple[int, int]:
+        """Return ``(degree, insertion index)`` — the canonical greedy sort key."""
+        return len(self._adjacency[vertex]), self._order[vertex]
 
     def max_degree(self) -> int:
         """Return the maximum degree Δ of the graph (0 for an empty graph)."""
@@ -177,12 +214,14 @@ class DynamicGraph:
         if vertex in self._adjacency:
             raise VertexExistsError(vertex)
         self._adjacency[vertex] = set()
+        self._intern(vertex)
 
     def add_vertex_if_missing(self, vertex: Vertex) -> bool:
         """Insert ``vertex`` if absent.  Return ``True`` when it was inserted."""
         if vertex in self._adjacency:
             return False
         self._adjacency[vertex] = set()
+        self._intern(vertex)
         return True
 
     def remove_vertex(self, vertex: Vertex) -> Set[Vertex]:
@@ -203,6 +242,7 @@ class DynamicGraph:
             nbrs = self._adjacency.pop(vertex)
         except KeyError:
             raise VertexNotFoundError(vertex) from None
+        del self._order[vertex]
         for u in nbrs:
             self._adjacency[u].discard(vertex)
         self._num_edges -= len(nbrs)
@@ -230,10 +270,12 @@ class DynamicGraph:
             if not add_missing_vertices:
                 raise VertexNotFoundError(u)
             self._adjacency[u] = set()
+            self._intern(u)
         if v not in self._adjacency:
             if not add_missing_vertices:
                 raise VertexNotFoundError(v)
             self._adjacency[v] = set()
+            self._intern(v)
         if v in self._adjacency[u]:
             raise EdgeExistsError(u, v)
         self._adjacency[u].add(v)
@@ -250,8 +292,10 @@ class DynamicGraph:
             return False
         if u not in self._adjacency:
             self._adjacency[u] = set()
+            self._intern(u)
         if v not in self._adjacency:
             self._adjacency[v] = set()
+            self._intern(v)
         if v in self._adjacency[u]:
             return False
         self._adjacency[u].add(v)
@@ -287,6 +331,8 @@ class DynamicGraph:
         clone = DynamicGraph()
         clone._adjacency = {v: set(nbrs) for v, nbrs in self._adjacency.items()}
         clone._num_edges = self._num_edges
+        clone._order = dict(self._order)
+        clone._next_order = self._next_order
         return clone
 
     def subgraph(self, vertices: Iterable[Vertex]) -> "DynamicGraph":
@@ -299,6 +345,10 @@ class DynamicGraph:
         sub = DynamicGraph()
         sub._adjacency = {v: self._adjacency[v] & keep for v in keep}
         sub._num_edges = sum(len(nbrs) for nbrs in sub._adjacency.values()) // 2
+        # Inherit the parent's insertion order so tie-breaks stay consistent
+        # between a graph and its projections.
+        sub._order = {v: self._order[v] for v in keep}
+        sub._next_order = self._next_order
         return sub
 
     def degree_sequence(self) -> List[int]:
@@ -372,6 +422,7 @@ class DynamicGraph:
 
         Intended for tests and debugging; raises ``AssertionError`` on failure.
         """
+        assert set(self._order) == set(self._adjacency), "order map out of sync"
         total = 0
         for u, nbrs in self._adjacency.items():
             assert u not in nbrs, f"self loop on {u!r}"

@@ -155,7 +155,7 @@ def invert_update(graph: DynamicGraph, operation: UpdateOperation) -> UpdateOper
         if not graph.has_vertex(operation.vertex):
             raise UpdateError(f"cannot invert deletion of missing vertex {operation.vertex!r}")
         return UpdateOperation.insert_vertex(
-            operation.vertex, sorted(graph.neighbors(operation.vertex), key=repr)
+            operation.vertex, sorted(graph.neighbors(operation.vertex), key=graph.order_of)
         )
     if operation.kind is UpdateKind.INSERT_EDGE:
         return UpdateOperation.delete_edge(*operation.edge)

@@ -14,6 +14,14 @@ Two entry points:
   machine-readable results to ``BENCH_core.json`` at the repository root, so
   the performance trajectory is tracked across PRs (compare against the
   committed file from the previous PR before overwriting it).
+
+The quick profile doubles as the **regression gate**: pass
+``--compare BENCH_core.json`` to check the fresh numbers against the
+committed baseline — any algorithm whose per-update time regresses by more
+than ``--tolerance`` (default 15%) fails the run (exit code 1), and changed
+solution sizes fail unconditionally (the optimisations must never change the
+algorithmic decisions).  ``--compare-mode warn`` downgrades the failure to a
+loud warning for machines with known-noisy clocks.
 """
 
 from __future__ import annotations
@@ -168,7 +176,52 @@ def run_quick_profile(rounds: int = _QUICK_ROUNDS) -> dict:
     return results
 
 
-def main(argv=None) -> None:
+def compare_against_baseline(
+    per_update: dict, baseline: dict, *, tolerance: float, label: str = "baseline"
+) -> list:
+    """Return a list of regression messages vs the committed baseline payload.
+
+    A regression is a per-update time more than ``tolerance`` (fractional)
+    above the baseline, or any change in solution size.  Algorithms present
+    only on one side are reported informationally but never fail the gate.
+    """
+    reference = baseline.get("per_update", {})
+    failures = []
+    for name, fresh in per_update.items():
+        ref = reference.get(name)
+        if ref is None:
+            print(f"note: {name} has no baseline entry in {label}")
+            continue
+        ref_us = ref["per_update_us"]
+        new_us = fresh["per_update_us"]
+        limit = ref_us * (1.0 + tolerance)
+        if new_us > limit:
+            failures.append(
+                f"{name}: {new_us:.3f} us/update exceeds baseline "
+                f"{ref_us:.3f} us by more than {tolerance:.0%} "
+                f"(limit {limit:.3f} us)"
+            )
+        else:
+            print(
+                f"ok: {name} {new_us:.3f} us/update vs baseline {ref_us:.3f} us "
+                f"({(new_us / ref_us - 1.0):+.1%})"
+            )
+        if fresh.get("solution_size") != ref.get("solution_size"):
+            failures.append(
+                f"{name}: solution size changed "
+                f"{ref.get('solution_size')} -> {fresh.get('solution_size')} "
+                "(bookkeeping must not change algorithmic decisions)"
+            )
+    for name in reference:
+        if name not in per_update:
+            failures.append(
+                f"{name}: present in {label} but missing from the fresh run "
+                "— the gate would silently lose coverage"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
@@ -176,7 +229,32 @@ def main(argv=None) -> None:
         help="where to write the machine-readable results",
     )
     parser.add_argument("--rounds", type=int, default=_QUICK_ROUNDS)
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE_JSON",
+        default=None,
+        help="committed baseline to gate against (e.g. BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="fractional per-update regression allowed before the gate trips",
+    )
+    parser.add_argument(
+        "--compare-mode",
+        choices=("fail", "warn"),
+        default="fail",
+        help="whether a tripped gate exits non-zero or only warns loudly",
+    )
     args = parser.parse_args(argv)
+
+    # Load the baseline up front: --output may point at the very same file
+    # (it defaults to BENCH_core.json), and comparing freshly written numbers
+    # against themselves would make the gate vacuous.
+    baseline = None
+    if args.compare is not None:
+        baseline = json.loads(Path(args.compare).read_text())
 
     per_update = run_quick_profile(rounds=args.rounds)
     hot_ops = _state_hot_op_rates()
@@ -196,6 +274,23 @@ def main(argv=None) -> None:
     print(json.dumps(payload, indent=2))
     print(f"\nwritten to {output}")
 
+    if baseline is None:
+        return 0
+    failures = compare_against_baseline(
+        per_update, baseline, tolerance=args.tolerance, label=args.compare
+    )
+    if not failures:
+        print(f"benchmark gate OK (tolerance {args.tolerance:.0%})")
+        return 0
+    banner = "=" * 72
+    print(f"\n{banner}\nBENCHMARK REGRESSION vs {args.compare}\n{banner}")
+    for line in failures:
+        print(f"  REGRESSION: {line}")
+    if args.compare_mode == "warn":
+        print("(--compare-mode warn: not failing the run)")
+        return 0
+    return 1
+
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

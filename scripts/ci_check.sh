@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# CI-style smoke check: tier-1 tests plus one quick benchmark run, so
-# correctness or performance-harness regressions fail fast locally.
+# CI-style smoke check: tier-1 tests plus the quick benchmark gated against
+# the committed BENCH_core.json, so correctness *and* per-update performance
+# regressions fail fast — locally and in the GitHub Actions workflow.
 #
 # Usage: scripts/ci_check.sh
+#
+# Environment knobs:
+#   BENCH_ROUNDS     best-of-N rounds for the quick profile (default 3)
+#   BENCH_TOLERANCE  fractional regression allowed vs the committed baseline
+#                    (default 0.15, i.e. fail on >15% per-update slowdown)
+#   BENCH_MODE       "fail" (default) or "warn" — set to warn on machines with
+#                    known-noisy clocks (e.g. shared CI runners)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,10 +20,15 @@ echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo
-echo "== quick benchmark (writes to a scratch file; compare against the"
-echo "   committed BENCH_core.json to spot per-update regressions) =="
+echo "== quick benchmark vs committed BENCH_core.json (per-update regression"
+echo "   beyond the tolerance or any solution-size change fails the check) =="
 scratch="$(mktemp -t bench_core_ci.XXXXXX.json)"
-python benchmarks/bench_core_operations.py --rounds 2 --output "$scratch"
+python benchmarks/bench_core_operations.py \
+    --rounds "${BENCH_ROUNDS:-3}" \
+    --output "$scratch" \
+    --compare BENCH_core.json \
+    --tolerance "${BENCH_TOLERANCE:-0.15}" \
+    --compare-mode "${BENCH_MODE:-fail}"
 
 echo
 echo "ci_check OK (benchmark results: $scratch)"

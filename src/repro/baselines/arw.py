@@ -10,7 +10,9 @@ of Table IV and derives its DyARW competitor from it.
 This implementation follows the published algorithm structure rather than the
 authors' highly engineered C++ (no incremental candidate lists / double
 pointer scans); at this repository's graph scales the simple form converges
-in the same way.
+in the same way.  The search itself runs on the graph's slot views (the
+graph is static for the duration of a run, so slots are stable); only the
+result is translated back to labels.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Set
 
-from repro.baselines.greedy import extend_to_maximal, randomized_greedy
+from repro.baselines.greedy import extend_to_maximal_slots, randomized_greedy
 from repro.graphs.dynamic_graph import DynamicGraph, Vertex
 
 
@@ -53,10 +55,12 @@ class ArwLocalSearch:
     ) -> ArwResult:
         """Run the iterated local search and return the best solution found."""
         rng = random.Random(self.seed)
+        slot_map = graph.slot_map_view()
         if initial_solution is None:
-            current = randomized_greedy(graph, seed=self.seed)
+            seeds = randomized_greedy(graph, seed=self.seed)
         else:
-            current = extend_to_maximal(graph, set(initial_solution))
+            seeds = set(initial_solution)
+        current = {slot_map[v] for v in seeds}
         current = self._local_search(graph, current)
         best = set(current)
         improvements = 0
@@ -69,40 +73,46 @@ class ArwLocalSearch:
             if len(candidate) > len(best):
                 best = set(candidate)
                 improvements += 1
-        return ArwResult(solution=best, iterations=iterations, improvements=improvements)
+        label = graph.labels_view()
+        return ArwResult(
+            solution={label[s] for s in best},
+            iterations=iterations,
+            improvements=improvements,
+        )
 
     # ------------------------------------------------------------------ #
-    # Local search: repeat (1,2)-swaps until none applies
+    # Local search: repeat (1,2)-swaps until none applies (slot space)
     # ------------------------------------------------------------------ #
-    def _local_search(self, graph: DynamicGraph, solution: Set[Vertex]) -> Set[Vertex]:
-        solution = extend_to_maximal(graph, solution)
+    def _local_search(self, graph: DynamicGraph, solution: Set[int]) -> Set[int]:
+        solution = extend_to_maximal_slots(graph, solution)
         improved = True
         while improved:
             improved = False
-            for v in list(solution):
-                swap_in = self._find_two_replacements(graph, solution, v)
+            for s in list(solution):
+                swap_in = self._find_two_replacements(graph, solution, s)
                 if swap_in is not None:
-                    solution.discard(v)
+                    solution.discard(s)
                     solution.update(swap_in)
                     # New slots may have opened next to the inserted vertices.
-                    solution = extend_to_maximal(graph, solution)
+                    solution = extend_to_maximal_slots(graph, solution)
                     improved = True
         return solution
 
     @staticmethod
     def _find_two_replacements(
-        graph: DynamicGraph, solution: Set[Vertex], vertex: Vertex
-    ) -> Optional[List[Vertex]]:
-        """Find two non-adjacent neighbours of ``vertex`` that are tight only on it."""
+        graph: DynamicGraph, solution: Set[int], slot: int
+    ) -> Optional[List[int]]:
+        """Find two non-adjacent neighbours of ``slot`` that are tight only on it."""
+        adj = graph.adjacency_slots_view()
         tight = [
-            u
-            for u in graph.neighbors(vertex)
-            if u not in solution and len(graph.neighbors(u) & solution) == 1
+            t
+            for t in adj[slot]
+            if t not in solution and len(adj[t] & solution) == 1
         ]
         if len(tight) < 2:
             return None
         for i, a in enumerate(tight):
-            a_neighbors = graph.neighbors(a)
+            a_neighbors = adj[a]
             for b in tight[i + 1 :]:
                 if b not in a_neighbors:
                     return [a, b]
@@ -113,16 +123,17 @@ class ArwLocalSearch:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _perturb(
-        graph: DynamicGraph, solution: Set[Vertex], rng: random.Random
-    ) -> Set[Vertex]:
-        outsiders = [v for v in graph.vertices() if v not in solution]
+        graph: DynamicGraph, solution: Set[int], rng: random.Random
+    ) -> Set[int]:
+        outsiders = [s for s in graph.slots() if s not in solution]
         if not outsiders:
             return solution
         forced = rng.choice(outsiders)
-        for nbr in graph.neighbors(forced) & solution:
+        adj = graph.adjacency_slots_view()
+        for nbr in adj[forced] & solution:
             solution.discard(nbr)
         solution.add(forced)
-        return extend_to_maximal(graph, solution)
+        return extend_to_maximal_slots(graph, solution)
 
 
 def arw_best_result(

@@ -24,16 +24,21 @@ reimplements the published behaviour:
   growing search space) and less effective.  The index is only rebuilt when
   :meth:`rebuild_index` is called explicitly; the paper notes that frequent
   rebuilds are too expensive to be practical.
+
+Like the core algorithms, the solution set and the index are kept in **slot
+space** (the graph's dense integer vertex ids): update operands are
+translated once at the handler boundary and every scan below runs on the
+slot-indexed adjacency views.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Optional, Sequence, Set
 
-from repro.baselines.greedy import extend_to_maximal, min_degree_greedy
-from repro.exceptions import SolutionInvariantError, UpdateError
+from repro.baselines.greedy import extend_to_maximal_slots, min_degree_greedy_slots
+from repro.exceptions import SolutionInvariantError, UpdateError, VertexNotFoundError
 from repro.graphs.dynamic_graph import DynamicGraph, Vertex
 from repro.updates.operations import UpdateKind, UpdateOperation
 
@@ -82,9 +87,13 @@ class DGOneDIS:
         self.search_budget_factor = search_budget_factor
         self.check_invariants = check_invariants
         self.stats = DgdisStatistics()
-        self._solution: Set[Vertex] = set()
-        self._dependencies: Dict[Vertex, Set[Vertex]] = {}
-        self._dependants: Dict[Vertex, Set[Vertex]] = {}
+        # Slot-space state: membership set plus the two index directions.
+        self._solution: Set[int] = set()
+        self._dependencies: Dict[int, Set[int]] = {}
+        self._dependants: Dict[int, Set[int]] = {}
+        # Cached live views (in-place-growing containers; see DynamicMISBase).
+        self._adj = graph.adjacency_slots_view()
+        self._slot_map = graph.slot_map_view()
         self._install(initial_solution)
         self.rebuild_index()
 
@@ -97,8 +106,9 @@ class DGOneDIS:
         return len(self._solution)
 
     def solution(self) -> Set[Vertex]:
-        """Return a copy of the maintained independent set."""
-        return set(self._solution)
+        """Return a copy of the maintained independent set (as labels)."""
+        label = self.graph.labels_view()
+        return {label[s] for s in self._solution}
 
     def memory_footprint(self) -> int:
         """Approximate number of stored references (solution + index, both directions)."""
@@ -134,100 +144,117 @@ class DGOneDIS:
         self.stats.rebuilds += 1
         self._dependencies = {}
         self._dependants = {}
-        for v in self.graph.vertices():
-            if v in self._solution:
+        adj = self._adj
+        solution = self._solution
+        depth = self.index_depth
+        for s in self.graph.slots():
+            if s in solution:
                 continue
-            owners = self.graph.neighbors(v) & self._solution
-            if 1 <= len(owners) <= self.index_depth:
-                self._index_add(v, owners)
+            owners = adj[s] & solution
+            if 1 <= len(owners) <= depth:
+                self._index_add(s, owners)
 
     # ------------------------------------------------------------------ #
-    # Index maintenance
+    # Index maintenance (slot space)
     # ------------------------------------------------------------------ #
-    def _index_add(self, vertex: Vertex, owners: Set[Vertex]) -> None:
-        self._dependencies[vertex] = set(owners)
+    def _index_add(self, slot: int, owners: Set[int]) -> None:
+        self._dependencies[slot] = set(owners)
         for owner in owners:
-            self._dependants.setdefault(owner, set()).add(vertex)
+            self._dependants.setdefault(owner, set()).add(slot)
 
-    def _index_remove(self, vertex: Vertex) -> None:
-        owners = self._dependencies.pop(vertex, None)
+    def _index_remove(self, slot: int) -> None:
+        owners = self._dependencies.pop(slot, None)
         if not owners:
             return
         for owner in owners:
             bucket = self._dependants.get(owner)
             if bucket is not None:
-                bucket.discard(vertex)
+                bucket.discard(slot)
                 if not bucket:
                     del self._dependants[owner]
 
-    def _index_refresh(self, vertex: Vertex) -> None:
-        """Re-derive the index entry of a non-solution vertex from the live graph."""
-        self._index_remove(vertex)
-        if vertex in self._solution or not self.graph.has_vertex(vertex):
+    def _index_refresh(self, slot: int) -> None:
+        """Re-derive the index entry of a non-solution slot from the live graph."""
+        self._index_remove(slot)
+        if slot in self._solution or not self.graph.is_live_slot(slot):
             return
-        owners = self.graph.neighbors(vertex) & self._solution
+        owners = self._adj[slot] & self._solution
         if 1 <= len(owners) <= self.index_depth:
-            self._index_add(vertex, owners)
+            self._index_add(slot, owners)
 
     # ------------------------------------------------------------------ #
     # Update handling
     # ------------------------------------------------------------------ #
     def _handle_insert_vertex(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
-        self.graph.add_vertex(vertex)
+        graph = self.graph
+        slot = graph.add_vertex_slot(vertex)
         for nbr in neighbors:
-            self.graph.add_edge(vertex, nbr)
-        owners = self.graph.neighbors(vertex) & self._solution
+            graph.add_edge_slots(slot, graph.slot_of(nbr))
+        owners = self._adj[slot] & self._solution
         if not owners:
-            self._solution.add(vertex)
+            self._solution.add(slot)
         elif len(owners) <= self.index_depth:
-            self._index_add(vertex, owners)
+            self._index_add(slot, owners)
 
     def _handle_delete_vertex(self, vertex: Vertex) -> None:
-        was_in_solution = vertex in self._solution
-        neighbors = self.graph.neighbors_copy(vertex)
-        self.graph.remove_vertex(vertex)
-        self._index_remove(vertex)
+        slot = self.graph.slot_of(vertex)
+        was_in_solution = slot in self._solution
+        neighbors = self.graph.pop_vertex_slot(slot)
+        self._index_remove(slot)
         if was_in_solution:
-            self._solution.discard(vertex)
-            dependants = self._dependants.pop(vertex, set())
+            self._solution.discard(slot)
+            dependants = self._dependants.pop(slot, set())
             self._repair_after_removal(1, neighbors | dependants)
         # A deleted non-solution vertex leaves the solution maximal.
 
     def _handle_insert_edge(self, u: Vertex, v: Vertex) -> None:
-        self.graph.add_edge(u, v)
-        u_in, v_in = u in self._solution, v in self._solution
+        slot_map = self._slot_map
+        try:
+            su, sv = slot_map[u], slot_map[v]
+        except KeyError as exc:
+            raise VertexNotFoundError(exc.args[0]) from None
+        self.graph.add_edge_slots(su, sv)
+        solution = self._solution
+        u_in, v_in = su in solution, sv in solution
         if u_in and v_in:
-            evicted = max((u, v), key=self.graph.degree_order_key)
-            self._solution.discard(evicted)
+            evicted = max((su, sv), key=self.graph.slot_order_key)
+            solution.discard(evicted)
             dependants = self._dependants.pop(evicted, set())
-            frontier = self.graph.neighbors_copy(evicted) | dependants
+            frontier = set(self._adj[evicted]) | dependants
             self._index_refresh(evicted)
             self._repair_after_removal(1, frontier)
         elif u_in or v_in:
-            outsider = v if u_in else u
+            outsider = sv if u_in else su
             self._index_refresh(outsider)
 
     def _handle_delete_edge(self, u: Vertex, v: Vertex) -> None:
-        self.graph.remove_edge(u, v)
-        for outsider, insider in ((u, v), (v, u)):
-            if insider in self._solution and outsider not in self._solution:
-                if not (self.graph.neighbors(outsider) & self._solution):
-                    self._solution.add(outsider)
+        slot_map = self._slot_map
+        try:
+            su, sv = slot_map[u], slot_map[v]
+        except KeyError as exc:
+            raise VertexNotFoundError(exc.args[0]) from None
+        self.graph.remove_edge_slots(su, sv)
+        solution = self._solution
+        adj = self._adj
+        for outsider, insider in ((su, sv), (sv, su)):
+            if insider in solution and outsider not in solution:
+                if not (adj[outsider] & solution):
+                    solution.add(outsider)
                     self._index_remove(outsider)
                     self._refresh_neighbors(outsider)
                 else:
                     self._index_refresh(outsider)
 
-    def _refresh_neighbors(self, vertex: Vertex) -> None:
-        """Refresh index entries of the neighbours of a vertex that just joined the solution."""
-        for nbr in self.graph.neighbors_copy(vertex):
-            if nbr not in self._solution:
-                self._index_refresh(nbr)
+    def _refresh_neighbors(self, slot: int) -> None:
+        """Refresh index entries of the neighbours of a slot that just joined the solution."""
+        for t in list(self._adj[slot]):
+            if t not in self._solution:
+                self._index_refresh(t)
 
     # ------------------------------------------------------------------ #
     # Complementary search
     # ------------------------------------------------------------------ #
-    def _repair_after_removal(self, removed_count: int, frontier: Set[Vertex]) -> None:
+    def _repair_after_removal(self, removed_count: int, frontier: Set[int]) -> None:
         """Restore maximality and look for complementary vertices via the index.
 
         The first pass inserts every now-free vertex adjacent to the removed
@@ -239,71 +266,86 @@ class DGOneDIS:
         slow on highly dynamic graphs.
         """
         self.stats.complementary_searches += 1
+        graph = self.graph
+        adj = self._adj
+        solution = self._solution
         inserted = 0
-        for vertex in sorted(
-            (w for w in frontier if self.graph.has_vertex(w) and w not in self._solution),
-            key=self.graph.degree_order_key,
+        live = graph.is_live_slot
+        for slot in sorted(
+            (w for w in frontier if live(w) and w not in solution),
+            key=graph.slot_order_key,
         ):
-            if not (self.graph.neighbors(vertex) & self._solution):
-                self._insert_free_vertex(vertex)
+            if not (adj[slot] & solution):
+                self._insert_free_vertex(slot)
                 inserted += 1
         if inserted >= removed_count:
             self.stats.complementary_successes += 1
             return
         budget = self.search_budget_factor * (1 + self.stats.updates_processed // 500)
-        visited: Set[Vertex] = set()
+        visited: Set[int] = set()
         queue = deque(
-            w for w in frontier if self.graph.has_vertex(w) and w not in self._solution
+            w for w in frontier if live(w) and w not in solution
         )
         while queue and budget > 0:
-            vertex = queue.popleft()
-            if vertex in visited or not self.graph.has_vertex(vertex):
+            slot = queue.popleft()
+            if slot in visited or not live(slot):
                 continue
-            visited.add(vertex)
+            visited.add(slot)
             budget -= 1
             self.stats.index_entries_scanned += 1
-            if vertex in self._solution:
+            if slot in solution:
                 continue
-            owners = self.graph.neighbors(vertex) & self._solution
+            owners = adj[slot] & solution
             if not owners:
-                self._insert_free_vertex(vertex)
+                self._insert_free_vertex(slot)
                 inserted += 1
                 if inserted >= removed_count:
                     break
                 continue
             # Follow the index: other vertices depending on the same solution
             # vertices are the candidates the original method explores.
-            for owner in self._dependencies.get(vertex, set()) & owners:
+            for owner in self._dependencies.get(slot, set()) & owners:
                 for dependant in self._dependants.get(owner, ()):  # pragma: no branch
                     if dependant not in visited:
                         queue.append(dependant)
         if inserted >= removed_count:
             self.stats.complementary_successes += 1
 
-    def _insert_free_vertex(self, vertex: Vertex) -> None:
-        self._solution.add(vertex)
-        self._index_remove(vertex)
-        self._refresh_neighbors(vertex)
+    def _insert_free_vertex(self, slot: int) -> None:
+        self._solution.add(slot)
+        self._index_remove(slot)
+        self._refresh_neighbors(slot)
 
     # ------------------------------------------------------------------ #
     # Initialisation and verification
     # ------------------------------------------------------------------ #
     def _install(self, initial_solution: Optional[Iterable[Vertex]]) -> None:
         if initial_solution is not None:
-            members = set(initial_solution)
-            if not self.graph.is_independent_set(members):
-                raise SolutionInvariantError("initial solution is not independent")
-            self._solution = extend_to_maximal(self.graph, members)
+            slot_map = self._slot_map
+            members: Set[int] = set()
+            for v in initial_solution:
+                s = slot_map.get(v)
+                if s is None:
+                    raise SolutionInvariantError("initial solution is not independent")
+                members.add(s)
+            adj = self._adj
+            for s in members:
+                if adj[s] & members:
+                    raise SolutionInvariantError("initial solution is not independent")
+            self._solution = extend_to_maximal_slots(self.graph, members)
         else:
-            self._solution = min_degree_greedy(self.graph)
+            self._solution = min_degree_greedy_slots(self.graph)
 
     def _verify(self) -> None:
-        if not self.graph.is_independent_set(self._solution):
-            raise SolutionInvariantError("DGDIS solution is not independent")
-        for v in self.graph.vertices():
-            if v in self._solution:
+        adj = self._adj
+        solution = self._solution
+        for s in solution:
+            if adj[s] & solution:
+                raise SolutionInvariantError("DGDIS solution is not independent")
+        for s in self.graph.slots():
+            if s in solution:
                 continue
-            if not (self.graph.neighbors(v) & self._solution):
+            if not (adj[s] & solution):
                 raise SolutionInvariantError("DGDIS solution is not maximal")
 
 

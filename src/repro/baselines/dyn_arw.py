@@ -14,6 +14,8 @@ pairwise scan over the ordered list, instead of testing only the newly added
 candidates against the clique structure.  The extra ordering work is what
 makes it measurably slower than DyOneSwap, reproducing the gap seen in
 Fig 5(a) of the paper.
+
+Like the core algorithms, all processing happens in slot space.
 """
 
 from __future__ import annotations
@@ -21,7 +23,6 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple
 
 from repro.core.base import DynamicMISBase
-from repro.graphs.dynamic_graph import Vertex
 
 
 class DyARW(DynamicMISBase):
@@ -42,46 +43,51 @@ class DyARW(DynamicMISBase):
     # Swap processing, ARW style
     # ------------------------------------------------------------------ #
     def _process_candidates(self) -> None:
+        in_sol = self._in_sol
         while True:
             popped = self._pop_candidate(1)
             if popped is None:
                 break
             v, _members = popped
-            if not self.state.is_in_solution(v):
+            if not in_sol[v]:
                 continue
             swap_in = self._ordered_scan(v)
             if swap_in is not None:
                 self._perform_swap(v, swap_in)
 
-    def _ordered_scan(self, vertex: Vertex) -> Optional[Tuple[Vertex, Vertex]]:
-        """Scan the *sorted* tight neighbourhood of ``vertex`` for a non-adjacent pair.
+    def _ordered_scan(self, slot: int) -> Optional[Tuple[int, int]]:
+        """Scan the *sorted* tight neighbourhood of ``slot`` for a non-adjacent pair.
 
         ARW keeps each solution vertex's tight list ordered and sweeps two
         pointers over it; here the ordering is re-established on demand, which
         is the maintenance overhead the paper attributes to DyARW.
         """
-        tight: List[Vertex] = sorted(
-            self.state.tight1_view(vertex),
-            key=self.graph.degree_order_key,
+        adj = self._adj
+        tight: List[int] = sorted(
+            self.state.tight1_view(slot),
+            key=self.graph.slot_order_key,
         )
         if len(tight) < 2:
             return None
         for i, a in enumerate(tight):
-            a_neighbors = self.graph.neighbors(a)
+            a_neighbors = adj[a]
             for b in tight[i + 1 :]:
                 if b not in a_neighbors:
                     return a, b
         return None
 
-    def _perform_swap(self, vertex: Vertex, swap_in: Tuple[Vertex, Vertex]) -> None:
+    def _perform_swap(self, slot: int, swap_in: Tuple[int, int]) -> None:
+        state = self.state
         # Snapshot: move_out/move_in below dismantle the live bucket.
-        tight: Set[Vertex] = set(self.state.tight1_view(vertex))
-        self.state.move_out(vertex, collect_events=False)
+        tight: Set[int] = set(state.tight1_view(slot))
+        state.move_out_slot(slot)
         first, second = swap_in
-        if self.state.count(first) == 0:
-            self.state.move_in(first, collect_events=False)
-        if not self.state.is_in_solution(second) and self.state.count(second) == 0:
-            self.state.move_in(second, collect_events=False)
+        counts = self._counts
+        in_sol = self._in_sol
+        if counts[first] == 0:
+            state.move_in_slot(first)
+        if not in_sol[second] and counts[second] == 0:
+            state.move_in_slot(second)
         self._extend_maximal_over(w for w in tight if w not in swap_in)
         self.stats.record_swap(1)
-        self._collect_candidates_around([vertex])
+        self._collect_candidates_around([slot])

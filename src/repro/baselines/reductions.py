@@ -115,21 +115,26 @@ def _apply_low_degree_rules(
     work: DynamicGraph, result: ReductionResult, *, use_degree_two: bool
 ) -> bool:
     changed = False
-    # Iterate over a snapshot: rules mutate the graph.
-    queue = sorted(work.vertices(), key=work.degree_order_key)
-    for v in queue:
-        if not work.has_vertex(v):
+    adj = work.adjacency_slots_view()
+    label = work.labels_view()
+    # Iterate over a slot snapshot: rules mutate the graph (removals only,
+    # so slots are never recycled mid-pass and liveness checks suffice).
+    queue = sorted(work.slots(), key=work.slot_order_key)
+    for s in queue:
+        if not work.is_live_slot(s):
             continue
-        degree = work.degree(v)
+        v = label[s]
+        degree = len(adj[s])
         if degree == 0:
-            work.remove_vertex(v)
+            work.pop_vertex_slot(s)
             result.trace.append(ReductionTraceEntry(rule="degree0", vertex=v, taken=(v,)))
             result.solution_offset += 1
             changed = True
         elif degree == 1:
-            (neighbor,) = tuple(work.neighbors(v))
-            work.remove_vertex(v)
-            work.remove_vertex(neighbor)
+            (t,) = tuple(adj[s])
+            neighbor = label[t]
+            work.pop_vertex_slot(s)
+            work.pop_vertex_slot(t)
             result.trace.append(
                 ReductionTraceEntry(
                     rule="degree1", vertex=v, taken=(v,), removed=(neighbor,)
@@ -138,12 +143,13 @@ def _apply_low_degree_rules(
             result.solution_offset += 1
             changed = True
         elif degree == 2 and use_degree_two:
-            a, b = tuple(work.neighbors(v))
-            if work.has_edge(a, b):
+            sa, sb = tuple(adj[s])
+            a, b = label[sa], label[sb]
+            if sb in adj[sa]:
                 # Triangle: v is in some MaxIS; a and b are excluded.
-                work.remove_vertex(v)
-                work.remove_vertex(a)
-                work.remove_vertex(b)
+                work.pop_vertex_slot(s)
+                work.pop_vertex_slot(sa)
+                work.pop_vertex_slot(sb)
                 result.trace.append(
                     ReductionTraceEntry(
                         rule="degree2_triangle", vertex=v, taken=(v,), removed=(a, b)
@@ -183,14 +189,17 @@ def _fold_degree_two(
 
 def _apply_domination_rule(work: DynamicGraph, result: ReductionResult) -> bool:
     """Remove one dominated vertex, if any (``N[u] ⊆ N[v]`` allows dropping ``v``)."""
-    for u in sorted(work.vertices(), key=work.degree_order_key):
-        closed_u = work.neighbors_copy(u)
-        closed_u.add(u)
-        for v in work.neighbors_copy(u):
-            closed_v = work.neighbors_copy(v)
-            closed_v.add(v)
+    adj = work.adjacency_slots_view()
+    label = work.labels_view()
+    for su in sorted(work.slots(), key=work.slot_order_key):
+        closed_u = set(adj[su])
+        closed_u.add(su)
+        for sv in list(adj[su]):
+            closed_v = set(adj[sv])
+            closed_v.add(sv)
             if closed_u <= closed_v:
-                work.remove_vertex(v)
+                v = label[sv]
+                work.pop_vertex_slot(sv)
                 result.trace.append(
                     ReductionTraceEntry(rule="domination", vertex=v, removed=(v,))
                 )
@@ -207,16 +216,18 @@ def degree_one_dependencies(graph: DynamicGraph) -> Dict[Vertex, Set[Vertex]]:
     from.
     """
     work = graph.copy()
+    adj = work.adjacency_slots_view()
+    label = work.labels_view()
     dependencies: Dict[Vertex, Set[Vertex]] = {}
     changed = True
     while changed:
         changed = False
-        for v in sorted(work.vertices(), key=work.degree_order_key):
-            if not work.has_vertex(v) or work.degree(v) != 1:
+        for s in sorted(work.slots(), key=work.slot_order_key):
+            if not work.is_live_slot(s) or len(adj[s]) != 1:
                 continue
-            (neighbor,) = tuple(work.neighbors(v))
-            dependencies.setdefault(neighbor, set()).add(v)
-            work.remove_vertex(v)
-            work.remove_vertex(neighbor)
+            (t,) = tuple(adj[s])
+            dependencies.setdefault(label[t], set()).add(label[s])
+            work.pop_vertex_slot(s)
+            work.pop_vertex_slot(t)
             changed = True
     return dependencies

@@ -14,6 +14,12 @@ common:
 * the ``MOVEIN`` / ``MOVEOUT`` primitives with maximality repair,
 * statistics, invariant checking, and the memory-footprint proxy.
 
+Everything below the public API operates in **slot space**: update operands
+are translated from labels to the graph's dense integer slots once per
+operation at the top of each handler, and every inner loop then works on
+flat arrays and sets of ints — no label hashing anywhere on the hot path.
+Candidate queues, tight-set views and count events are all slot-based.
+
 Concrete algorithms override :meth:`_process_candidates` (how swaps are
 searched) and :meth:`_on_edge_deleted_outside` (the only update case whose
 new swaps are not signalled by a count change).
@@ -26,9 +32,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.core.lazy import LazyMISState
-from repro.core.state import CountEvent, MISState
-from repro.exceptions import SolutionInvariantError, UpdateError
-from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+from repro.core.state import MISState
+from repro.exceptions import SolutionInvariantError, UpdateError, VertexNotFoundError
+from repro.graphs.dynamic_graph import _FREE, DynamicGraph, Vertex
 from repro.updates.operations import UpdateKind, UpdateOperation
 
 
@@ -99,12 +105,24 @@ class DynamicMISBase(abc.ABC):
         self.state = LazyMISState(graph, k) if lazy else MISState(graph, k)
         self.stats = AlgorithmStatistics()
         # _candidates[j] maps a solution subset S of size j to C(S), the set
-        # of vertices that were newly added to ¯I_j(S) and may enable a swap.
-        # Level 1 is keyed by the owner vertex directly (no frozenset is ever
-        # built on the 1-swap path); levels >= 2 use frozenset keys.
-        self._candidates: List[Dict[Any, Set[Vertex]]] = [
+        # of slots that were newly added to ¯I_j(S) and may enable a swap.
+        # Level 1 is keyed by the owner slot directly (no frozenset is ever
+        # built on the 1-swap path); levels >= 2 use frozensets of slots.
+        self._candidates: List[Dict[Any, Set[int]]] = [
             {} for _ in range(k + 1)
         ]
+        # Cached live views.  Every one of these containers grows strictly
+        # in place (append / add), so the identities cached here stay valid
+        # for the lifetime of the algorithm — the cache removes a method
+        # call per probe from every handler and candidate routine.
+        self._in_sol = self.state.in_solution_view()
+        self._counts = self.state.counts_slots_view()
+        self._adj = graph.adjacency_slots_view()
+        self._slot_map = graph.slot_map_view()
+        self._orders = graph.orders_view()
+        self._labels = graph.labels_view()
+        # Eager-only direct index into the stored I(v) lists (None when lazy).
+        self._sn_list = self.state.sn_list_view()
         self._install_initial_solution(initial_solution)
         if stabilize:
             self._stabilize()
@@ -125,7 +143,7 @@ class DynamicMISBase(abc.ABC):
         return self.state.solution_size
 
     def solution(self) -> Set[Vertex]:
-        """Return a copy of the maintained independent set."""
+        """Return a copy of the maintained independent set (as labels)."""
         return self.state.solution()
 
     def approximation_ratio_bound(self) -> float:
@@ -225,8 +243,8 @@ class DynamicMISBase(abc.ABC):
     def _process_candidates(self) -> None:
         """Drain the candidate queues, performing every swap they reveal."""
 
-    def _on_edge_deleted_outside(self, u: Vertex, v: Vertex) -> None:
-        """Handle deletion of an edge whose endpoints are both outside the solution.
+    def _on_edge_deleted_outside(self, su: int, sv: int) -> None:
+        """Handle deletion of an edge whose endpoints (slots) are both outside ``I``.
 
         This is the only update whose new swap opportunities are invisible to
         the count-change bookkeeping (no count changes, yet the complement of
@@ -235,115 +253,145 @@ class DynamicMISBase(abc.ABC):
         same solution vertex, which is sufficient for ``k = 1``; deeper
         algorithms override it.
         """
-        counts = self.state.counts_view()
-        if counts[u] == 1 and counts[v] == 1:
-            owners_u = self.state.solution_neighbors_view(u)
-            if owners_u == self.state.solution_neighbors_view(v):
+        counts = self.state.counts_slots_view()
+        if counts[su] == 1 and counts[sv] == 1:
+            owners_u = self.state.sn_slots_view(su)
+            if owners_u == self.state.sn_slots_view(sv):
                 (owner,) = owners_u
-                self._add_candidate1(owner, u)
-                self._add_candidate1(owner, v)
+                self._add_candidate1(owner, su)
+                self._add_candidate1(owner, sv)
 
     # ------------------------------------------------------------------ #
     # Update-case handlers (shared by every algorithm)
     # ------------------------------------------------------------------ #
     def _handle_insert_vertex(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
-        count = self.state.add_vertex(vertex, neighbors)
+        slot, count = self.state.add_vertex_slot(vertex, neighbors)
         if count == 0:
-            self.state.move_in(vertex, collect_events=False)
+            self.state.move_in_slot(slot)
         elif count <= self.k:
-            self._register_vertex(vertex)
+            self._register_slot(slot)
 
     def _handle_delete_vertex(self, vertex: Vertex) -> None:
-        was_in_solution, neighbors, events = self.state.remove_vertex(vertex)
+        try:
+            slot = self._slot_map[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+        was_in_solution, neighbor_slots = self.state.remove_vertex_slot(slot)
         if was_in_solution:
-            self._repair_and_register(events)
+            # Every surviving non-solution neighbour lost a count.
+            in_sol = self._in_sol
+            self._repair_and_register(
+                [t for t in neighbor_slots if not in_sol[t]]
+            )
         # Deleting a non-solution vertex cannot create swaps: no count changes
         # and the candidate pools only shrink.
 
     def _handle_insert_edge(self, u: Vertex, v: Vertex) -> None:
-        in_solution = self.state.solution_view()
-        u_in = u in in_solution
-        v_in = v in in_solution
-        # Count events are skipped: counts can only increase on insertion,
-        # which never creates new swaps.
-        self.state.add_edge(u, v, collect_events=False)
+        slot_map = self._slot_map
+        try:
+            su = slot_map[u]
+            sv = slot_map[v]
+        except KeyError as exc:
+            raise VertexNotFoundError(exc.args[0]) from None
+        in_sol = self._in_sol
+        u_in = in_sol[su]
+        v_in = in_sol[sv]
+        self.state.add_edge_slots(su, sv)
         if u_in and v_in:
-            evicted = self._choose_eviction(u, v)
-            out_events = self.state.move_out(evicted)
-            self._repair_and_register(out_events)
-            self._register_vertex(evicted)
+            evicted = self._choose_eviction(su, sv)
+            self.state.move_out_slot(evicted)
+            # Every non-solution neighbour of the evicted vertex lost a count.
+            self._repair_and_register(
+                [t for t in self._adj[evicted] if not in_sol[t]]
+            )
+            self._register_slot(evicted)
 
     def _handle_delete_edge(self, u: Vertex, v: Vertex) -> None:
         state = self.state
-        in_solution = state.solution_view()
-        u_in = u in in_solution
-        v_in = v in in_solution
-        events = state.remove_edge(u, v)
+        slot_map = self._slot_map
+        try:
+            su = slot_map[u]
+            sv = slot_map[v]
+        except KeyError as exc:
+            raise VertexNotFoundError(exc.args[0]) from None
+        in_sol = self._in_sol
+        u_in = in_sol[su]
+        v_in = in_sol[sv]
         if u_in != v_in:
-            # Exactly one count changed: the outside endpoint lost its
-            # solution neighbour.  Specialised single-event repair (the
+            # Exactly one count changes: the outside endpoint loses its
+            # solution neighbour.  Specialised single-slot repair (the
             # generic _repair_and_register path costs several list builds).
-            vertex, _old, new = events[0]
+            s_out, s_in = (sv, su) if u_in else (su, sv)
+            new = state.remove_edge_one_sided(s_out, s_in)
             if new == 0:
-                state.move_in(vertex, collect_events=False)
+                state.move_in_slot(s_out)
             elif new <= self.k:
-                self._register_vertex(vertex)
-        elif not u_in and not v_in:
-            self._on_edge_deleted_outside(u, v)
-        # u_in and v_in cannot both hold because the solution is independent.
+                self._register_slot(s_out)
+        else:
+            # No count changes (u_in and v_in cannot both hold because the
+            # solution is independent, so this is the outside/outside case —
+            # or a defensive no-op structural removal).
+            state.remove_edge_structural(su, sv)
+            if not u_in:
+                self._on_edge_deleted_outside(su, sv)
 
     # ------------------------------------------------------------------ #
-    # Candidate bookkeeping
+    # Candidate bookkeeping (slot space)
     # ------------------------------------------------------------------ #
-    def _add_candidate(self, owners: FrozenSet[Vertex], vertex: Vertex) -> None:
-        """Record ``vertex`` as newly relevant for the solution subset ``owners``."""
-        level = len(owners)
+    def _add_candidate(self, owner_slots: FrozenSet[int], slot: int) -> None:
+        """Record ``slot`` as newly relevant for the solution subset ``owner_slots``."""
+        level = len(owner_slots)
         if level == 1:
-            (owner,) = owners
-            self._candidates[1].setdefault(owner, set()).add(vertex)
+            (owner,) = owner_slots
+            self._candidates[1].setdefault(owner, set()).add(slot)
         elif level <= self.k:
-            self._candidates[level].setdefault(owners, set()).add(vertex)
+            self._candidates[level].setdefault(owner_slots, set()).add(slot)
 
-    def _add_candidate1(self, owner: Vertex, vertex: Vertex) -> None:
-        """Fast path of :meth:`_add_candidate` for a single owner vertex."""
-        self._candidates[1].setdefault(owner, set()).add(vertex)
+    def _add_candidate1(self, owner_slot: int, slot: int) -> None:
+        """Fast path of :meth:`_add_candidate` for a single owner slot."""
+        self._candidates[1].setdefault(owner_slot, set()).add(slot)
 
-    def _register_vertex(self, vertex: Vertex) -> None:
-        """Register ``vertex`` under its own solution-neighbour set if in range."""
-        state = self.state
-        if vertex in state.solution_view():
+    def _register_slot(self, slot: int) -> None:
+        """Register ``slot`` under its own solution-neighbour set if in range."""
+        if self._in_sol[slot]:
             return
-        count = state.counts_view()[vertex]
+        count = self._counts[slot]
         if count == 1:
-            (owner,) = state.solution_neighbors_view(vertex)
-            self._add_candidate1(owner, vertex)
+            sn = self._sn_list
+            (owner,) = sn[slot] if sn is not None else self.state.sn_slots_view(slot)
+            self._candidates[1].setdefault(owner, set()).add(slot)
         elif 2 <= count <= self.k:
-            owners = frozenset(state.solution_neighbors_view(vertex))
-            self._candidates[count].setdefault(owners, set()).add(vertex)
+            sn = self._sn_list
+            owners = frozenset(
+                sn[slot] if sn is not None else self.state.sn_slots_view(slot)
+            )
+            self._candidates[count].setdefault(owners, set()).add(slot)
 
-    def _collect_candidates_around(self, vertices: Iterable[Vertex]) -> None:
-        """Register every vertex with count in ``[1, k]`` in the closed neighbourhood.
+    def _collect_candidates_around(self, slots: Iterable[int]) -> None:
+        """Register every slot with count in ``[1, k]`` in the closed neighbourhood.
 
         This mirrors FIND_CANDIDATES of the paper: after a swap around the
         removed set ``S``, every vertex of ``N[S]`` whose count is small
         enough is (re-)registered.  Re-registering vertices that were already
         known is harmless: processing simply finds no swap for them.
         """
-        graph = self.graph
-        for v in vertices:
-            if not graph.has_vertex(v):
+        adj = self._adj
+        labels = self._labels
+        register = self._register_slot
+        for s in slots:
+            if labels[s] is _FREE:
                 continue
-            self._register_vertex(v)
+            register(s)
             # Registering never mutates the graph, so the live neighbour view
             # is safe to iterate.
-            for w in graph.neighbors(v):
-                self._register_vertex(w)
+            for t in adj[s]:
+                register(t)
 
     def _pop_candidate(self, level: int):
         """Pop one ``(S, C(S))`` pair from the given level, or ``None`` if empty.
 
-        At level 1 the returned key is the owner *vertex*; at deeper levels it
-        is the frozenset of owners.
+        At level 1 the returned key is the owner *slot*; at deeper levels it
+        is the frozenset of owner slots.
         """
         queue = self._candidates[level]
         if not queue:
@@ -359,125 +407,129 @@ class DynamicMISBase(abc.ABC):
     # ------------------------------------------------------------------ #
     # Solution manipulation helpers
     # ------------------------------------------------------------------ #
-    def _repair_and_register(self, events: Iterable[CountEvent]) -> None:
+    def _repair_and_register(self, decreased: List[int]) -> None:
         """Restore maximality after count decreases and register new candidates.
 
-        Any vertex whose count dropped to zero is moved into the solution
-        (maximality); any vertex whose count dropped into ``[1, k]`` becomes a
-        candidate.
+        ``decreased`` lists the slots whose count just dropped.  Any slot
+        whose count dropped to zero is moved into the solution (maximality);
+        any slot whose count dropped into ``[1, k]`` becomes a candidate.
         """
         state, graph = self.state, self.graph
-        in_solution = state.solution_view()
-        counts = state.counts_view()
-        vertices = graph.vertices_view()
-        decreased: List[Vertex] = [
-            vertex for vertex, old, new in events if old is None or new < old
-        ]
+        in_sol = self._in_sol
+        counts = self._counts
         if not decreased:
             return
         # Move zero-count vertices in first (smallest degree first, the usual
         # greedy tie-break), re-checking the count right before each move
         # because earlier moves may have raised it again.
         zero_candidates = [
-            v
-            for v in decreased
-            if v in vertices and v not in in_solution and counts[v] == 0
+            s for s in decreased if not in_sol[s] and counts[s] == 0
         ]
         if zero_candidates:
             if len(zero_candidates) > 1:
-                zero_candidates.sort(key=graph.degree_order_key)
-            for v in zero_candidates:
-                if v in vertices and v not in in_solution and counts[v] == 0:
-                    state.move_in(v, collect_events=False)
-        # Inlined _register_vertex: register every decreased vertex that is
+                zero_candidates.sort(key=graph.slot_order_key)
+            for s in zero_candidates:
+                if not in_sol[s] and counts[s] == 0:
+                    state.move_in_slot(s)
+        # Inlined _register_slot: register every decreased slot that is
         # still outside the solution with count in [1, k].
         k = self.k
+        sn = self._sn_list
         candidates1 = self._candidates[1]
-        for v in decreased:
-            if v not in vertices or v in in_solution:
+        for s in decreased:
+            if in_sol[s]:
                 continue
-            c = counts[v]
+            c = counts[s]
             if c == 1:
-                (owner,) = state.solution_neighbors_view(v)
-                candidates1.setdefault(owner, set()).add(v)
+                (owner,) = sn[s] if sn is not None else state.sn_slots_view(s)
+                candidates1.setdefault(owner, set()).add(s)
             elif 2 <= c <= k:
-                owners = frozenset(state.solution_neighbors_view(v))
-                self._candidates[c].setdefault(owners, set()).add(v)
+                owners = frozenset(
+                    sn[s] if sn is not None else state.sn_slots_view(s)
+                )
+                self._candidates[c].setdefault(owners, set()).add(s)
 
-    def _extend_maximal_over(self, vertices: Iterable[Vertex]) -> List[Vertex]:
-        """Move every listed vertex whose count is zero into the solution.
+    def _extend_maximal_over(self, slots: Iterable[int]) -> List[int]:
+        """Move every listed slot whose count is zero into the solution.
 
-        Returns the vertices that were actually inserted.
+        Returns the slots that were actually inserted.
         """
         state, graph = self.state, self.graph
-        in_solution = state.solution_view()
-        counts = state.counts_view()
-        inserted: List[Vertex] = []
-        for v in sorted(
-            (w for w in vertices if graph.has_vertex(w)), key=graph.degree_order_key
+        in_sol = self._in_sol
+        counts = self._counts
+        labels = self._labels
+        inserted: List[int] = []
+        for s in sorted(
+            (w for w in slots if labels[w] is not _FREE), key=graph.slot_order_key
         ):
-            if v not in in_solution and counts[v] == 0:
-                state.move_in(v, collect_events=False)
-                inserted.append(v)
+            if not in_sol[s] and counts[s] == 0:
+                state.move_in_slot(s)
+                inserted.append(s)
         return inserted
 
-    def _choose_eviction(self, u: Vertex, v: Vertex) -> Vertex:
-        """Pick which endpoint of a newly conflicting edge leaves the solution.
+    def _choose_eviction(self, su: int, sv: int) -> int:
+        """Pick which endpoint (slot) of a newly conflicting edge leaves the solution.
 
         Following the paper: prefer an endpoint with a non-empty ``¯I_1``
         (its tight neighbours can take its place), otherwise evict the one
         with the higher degree.
         """
-        u_tight = bool(self.state.tight1_view(u))
-        v_tight = bool(self.state.tight1_view(v))
+        u_tight = bool(self.state.tight1_view(su))
+        v_tight = bool(self.state.tight1_view(sv))
         if u_tight != v_tight:
-            return u if u_tight else v
-        du, dv = self.graph.degree(u), self.graph.degree(v)
+            return su if u_tight else sv
+        adj = self._adj
+        du, dv = len(adj[su]), len(adj[sv])
         if du != dv:
-            return u if du > dv else v
-        return max(u, v, key=self.graph.order_of)
-
-    def _greedy_order_key(self, vertex: Vertex):
-        """Deterministic ordering for greedy insertions: smallest degree first,
-        ties broken by the graph's interned insertion index (O(1), no string
-        building)."""
-        return self.graph.degree_order_key(vertex)
+            return su if du > dv else sv
+        order = self._orders
+        return su if order[su] > order[sv] else sv
 
     # ------------------------------------------------------------------ #
     # Initialisation
     # ------------------------------------------------------------------ #
     def _install_initial_solution(self, initial_solution: Optional[Iterable[Vertex]]) -> None:
         graph = self.graph
+        state = self.state
+        key = graph.slot_order_key
+        in_sol = state.in_solution_view()
         if initial_solution is not None:
-            members = [v for v in initial_solution]
-            member_set = set(members)
-            for v in members:
-                if not graph.has_vertex(v):
+            slot_map = graph.slot_map_view()
+            adj = graph.adjacency_slots_view()
+            members: List[int] = []
+            for v in initial_solution:
+                s = slot_map.get(v)
+                if s is None:
                     raise SolutionInvariantError(
                         f"initial solution vertex {v!r} is not in the graph"
                     )
-                if graph.neighbors(v) & member_set:
+                members.append(s)
+            member_set = set(members)
+            for s in members:
+                if adj[s] & member_set:
                     raise SolutionInvariantError(
-                        f"initial solution is not independent around {v!r}"
+                        f"initial solution is not independent around "
+                        f"{graph.vertex_of(s)!r}"
                     )
-            for v in sorted(members, key=self._greedy_order_key):
-                if self.state.count(v) == 0 and not self.state.is_in_solution(v):
-                    self.state.move_in(v, collect_events=False)
+            for s in sorted(members, key=key):
+                if state.count_slot(s) == 0 and not in_sol[s]:
+                    state.move_in_slot(s)
         # Extend to a maximal independent set greedily (smallest degree first).
-        for v in sorted(graph.vertices(), key=self._greedy_order_key):
-            if not self.state.is_in_solution(v) and self.state.count(v) == 0:
-                self.state.move_in(v, collect_events=False)
+        counts = state.counts_slots_view()
+        for s in sorted(graph.slots(), key=key):
+            if not in_sol[s] and counts[s] == 0:
+                state.move_in_slot(s)
 
     def _stabilize(self) -> None:
         """Make the freshly installed solution k-maximal by a full candidate sweep."""
-        order = self.graph.order_of
+        order = self.graph.orders_view()
         for level in range(1, self.k + 1):
             # Sorted registration keeps the candidate-queue insertion (and
             # hence processing) order identical for eager and lazy states.
-            for vertex in sorted(
-                self.state.nonsolution_vertices_with_count(level), key=order
+            for slot in sorted(
+                self.state.nonsolution_slots_with_count(level), key=order.__getitem__
             ):
-                self._register_vertex(vertex)
+                self._register_slot(slot)
         self._process_candidates()
 
     # ------------------------------------------------------------------ #

@@ -122,16 +122,19 @@ def measured_tight2_sizes(
     graph: DynamicGraph, solution: Iterable[Vertex]
 ) -> dict:
     """Measure ``|¯I_2(v)|`` for every solution vertex (empirical check of Lemma 2)."""
-    members = set(solution)
+    slot_map = graph.slot_map_view()
+    adj = graph.adjacency_slots_view()
+    label = graph.labels_view()
+    members = {slot_map[v] for v in solution}
     sizes = {}
-    for v in members:
+    for s in members:
         count = 0
-        for u in graph.neighbors(v):
-            if u in members:
+        for t in adj[s]:
+            if t in members:
                 continue
-            if len(graph.neighbors(u) & members) == 2:
+            if len(adj[t] & members) == 2:
                 count += 1
-        sizes[v] = count
+        sizes[label[s]] = count
     return sizes
 
 

@@ -14,6 +14,9 @@ newly added vertex ``v ∈ C(S)``, and a candidate that yields no swap is
 promoted to the supersets of ``S`` of size ``|S| + 1`` that could still admit
 one.
 
+All internal processing happens in slot space (dense integer vertex ids);
+see :mod:`repro.core.base`.
+
 Guarantee
 ---------
 For ``k <= 2`` the candidate propagation is complete and the maintained set
@@ -34,7 +37,6 @@ from typing import FrozenSet, List, Optional, Sequence, Set
 
 from repro.core.base import DynamicMISBase
 from repro.core.perturbation import pick_perturbation_partner
-from repro.graphs.dynamic_graph import Vertex
 
 #: Safety cap on the number of nodes explored by the independent-set search
 #: inside one candidate pool.  Pools are tiny in practice (their size is the
@@ -72,7 +74,7 @@ class KSwapFramework(DynamicMISBase):
                 continue
             owners, members = popped
             if level == 1:
-                # Level-1 queues are keyed by the owner vertex directly.
+                # Level-1 queues are keyed by the owner slot directly.
                 owners = frozenset((owners,))
             self._examine_candidate(level, owners, members)
 
@@ -83,63 +85,68 @@ class KSwapFramework(DynamicMISBase):
         return self.k
 
     def _examine_candidate(
-        self, level: int, owners: FrozenSet[Vertex], members: Set[Vertex]
+        self, level: int, owners: FrozenSet[int], members: Set[int]
     ) -> None:
         if len(owners) != level:
             return
-        if not all(self.state.is_in_solution(s) for s in owners):
+        state = self.state
+        in_sol = self._in_sol
+        if not all(in_sol[s] for s in owners):
             return
-        pool = self.state.tight_up_to(owners, level)
+        pool = state.tight_up_to_slots(owners, level)
         valid_members = [m for m in members if self._is_valid_member(m, owners, level)]
-        for vertex in valid_members:
-            swap_in = self._search_swap_in(vertex, owners, pool, level)
+        for slot in valid_members:
+            swap_in = self._search_swap_in(slot, owners, pool, level)
             if swap_in is not None:
-                self._perform_swap(owners, vertex, swap_in, pool)
+                self._perform_swap(owners, slot, swap_in, pool)
                 return
         if valid_members and level + 1 <= self.k:
             self._promote(owners, valid_members, level)
         if self.perturbation and level == 1 and len(owners) == 1:
             (v,) = tuple(owners)
-            tight = self.state.tight_vertices(owners, 1)  # snapshot: mutated below
+            tight = set(state.tight_view(owners, 1))  # snapshot: mutated below
             partner = pick_perturbation_partner(self.graph, v, tight)
             if partner is not None:
-                self.state.move_out(v, collect_events=False)
-                self.state.move_in(partner, collect_events=False)
+                state.move_out_slot(v)
+                state.move_in_slot(partner)
                 self._extend_maximal_over(w for w in tight if w != partner)
                 self.stats.perturbations += 1
                 self._collect_candidates_around([v])
 
-    def _is_valid_member(self, vertex: Vertex, owners: FrozenSet[Vertex], level: int) -> bool:
+    def _is_valid_member(self, slot: int, owners: FrozenSet[int], level: int) -> bool:
         """A member is usable when it is outside the solution and dominated only by ``owners``."""
-        if not self.graph.has_vertex(vertex) or self.state.is_in_solution(vertex):
+        if not self.graph.is_live_slot(slot):
             return False
-        count = self.state.count(vertex)
+        if self._in_sol[slot]:
+            return False
+        count = self._counts[slot]
         if count == 0 or count > level:
             return False
-        return self.state.solution_neighbors_view(vertex) <= owners
+        return self.state.sn_slots_view(slot) <= owners
 
     # ------------------------------------------------------------------ #
     # Swap search
     # ------------------------------------------------------------------ #
     def _search_swap_in(
         self,
-        vertex: Vertex,
-        owners: FrozenSet[Vertex],
-        pool: Set[Vertex],
+        slot: int,
+        owners: FrozenSet[int],
+        pool: Set[int],
         level: int,
-    ) -> Optional[List[Vertex]]:
-        """Find an independent set of size ``level`` in ``pool \\ N[vertex]``.
+    ) -> Optional[List[int]]:
+        """Find an independent set of size ``level`` in ``pool \\ N[slot]``.
 
-        Together with ``vertex`` it forms the swap-in set of a ``level``-swap
+        Together with ``slot`` it forms the swap-in set of a ``level``-swap
         replacing ``owners``.  Returns ``None`` when no such set exists (or
         the bounded search gives up).
         """
-        vertex_neighbors = self.graph.neighbors(vertex)
-        candidates = [w for w in pool if w != vertex and w not in vertex_neighbors]
+        adj = self._adj
+        vertex_neighbors = adj[slot]
+        candidates = [w for w in pool if w != slot and w not in vertex_neighbors]
         if len(candidates) < level:
             return None
-        candidates.sort(key=self._greedy_order_key)
-        chosen: List[Vertex] = []
+        candidates.sort(key=self.graph.slot_order_key)
+        chosen: List[int] = []
         budget = [_SEARCH_NODE_LIMIT]
 
         def backtrack(start: int) -> bool:
@@ -152,7 +159,7 @@ class KSwapFramework(DynamicMISBase):
                 if budget[0] <= 0:
                     return False
                 candidate = candidates[index]
-                candidate_neighbors = self.graph.neighbors(candidate)
+                candidate_neighbors = adj[candidate]
                 if any(previous in candidate_neighbors for previous in chosen):
                     continue
                 chosen.append(candidate)
@@ -168,19 +175,22 @@ class KSwapFramework(DynamicMISBase):
 
     def _perform_swap(
         self,
-        owners: FrozenSet[Vertex],
-        vertex: Vertex,
-        swap_in: Sequence[Vertex],
-        pool: Set[Vertex],
+        owners: FrozenSet[int],
+        slot: int,
+        swap_in: Sequence[int],
+        pool: Set[int],
     ) -> None:
+        state = self.state
         for owner in owners:
-            self.state.move_out(owner, collect_events=False)
-        if self.state.count(vertex) == 0 and not self.state.is_in_solution(vertex):
-            self.state.move_in(vertex, collect_events=False)
+            state.move_out_slot(owner)
+        in_sol = self._in_sol
+        counts = self._counts
+        if counts[slot] == 0 and not in_sol[slot]:
+            state.move_in_slot(slot)
         for w in swap_in:
-            if not self.state.is_in_solution(w) and self.state.count(w) == 0:
-                self.state.move_in(w, collect_events=False)
-        self._extend_maximal_over(w for w in pool if w != vertex and w not in swap_in)
+            if not in_sol[w] and counts[w] == 0:
+                state.move_in_slot(w)
+        self._extend_maximal_over(w for w in pool if w != slot and w not in swap_in)
         self.stats.record_swap(len(owners))
         self._collect_candidates_around(list(owners))
 
@@ -188,7 +198,7 @@ class KSwapFramework(DynamicMISBase):
     # Promotion to the next level
     # ------------------------------------------------------------------ #
     def _promote(
-        self, owners: FrozenSet[Vertex], members: Sequence[Vertex], level: int
+        self, owners: FrozenSet[int], members: Sequence[int], level: int
     ) -> None:
         """Register supersets ``S' ⊃ owners`` of size ``level + 1`` that may admit a swap.
 
@@ -198,38 +208,43 @@ class KSwapFramework(DynamicMISBase):
         members.  Such ``w`` is found by scanning the neighbourhoods of the
         owners.
         """
+        graph = self.graph
+        state = self.state
+        adj = self._adj
+        in_sol = self._in_sol
+        counts = self._counts
         owner_set = set(owners)
-        seen: Set[Vertex] = set()
+        seen: Set[int] = set()
         for owner in owners:
-            if not self.graph.has_vertex(owner):
+            if not graph.is_live_slot(owner):
                 continue
             # Registration never mutates the graph: iterate the live view.
-            for w in self.graph.neighbors(owner):
-                if w in seen or self.state.is_in_solution(w):
+            for w in adj[owner]:
+                if w in seen or in_sol[w]:
                     continue
                 seen.add(w)
-                if self.state.count(w) != level + 1:
+                if counts[w] != level + 1:
                     continue
-                w_owners = self.state.solution_neighbors_view(w)
+                w_owners = state.sn_slots_view(w)
                 if not owner_set < w_owners:
                     continue
-                w_neighbors = self.graph.neighbors(w)
+                w_neighbors = adj[w]
                 if any(m != w and m not in w_neighbors for m in members):
                     self._add_candidate(frozenset(w_owners), w)
 
     # ------------------------------------------------------------------ #
     # Edge deletion between two non-solution vertices
     # ------------------------------------------------------------------ #
-    def _on_edge_deleted_outside(self, u: Vertex, v: Vertex) -> None:
+    def _on_edge_deleted_outside(self, su: int, sv: int) -> None:
         """A removed non-edge can only enable swaps whose swap-in contains both endpoints."""
-        count_u = self.state.count(u)
-        count_v = self.state.count(v)
+        state = self.state
+        counts = self._counts
+        count_u = counts[su]
+        count_v = counts[sv]
         if count_u > self.k or count_v > self.k:
             return
-        owners = frozenset(
-            self.state.solution_neighbors_view(u) | self.state.solution_neighbors_view(v)
-        )
+        owners = frozenset(state.sn_slots_view(su) | state.sn_slots_view(sv))
         if not owners or len(owners) > self.k:
             return
-        self._add_candidate(owners, u)
-        self._add_candidate(owners, v)
+        self._add_candidate(owners, su)
+        self._add_candidate(owners, sv)

@@ -2,16 +2,18 @@
 
 The eager :class:`~repro.core.state.MISState` maintains ``I(v)`` sets and the
 hierarchical ``¯I_j(S)`` buckets explicitly so they can be queried in O(1).
-The lazy variant only keeps the membership set and the integer ``count(v)``
-per non-solution vertex; everything else is *recomputed on demand* by scanning
-the relevant neighbourhoods.  As the paper observes, this slashes memory and
-even improves wall-clock time for small ``k``, at the price of losing the
-worst-case time bound (and getting slower as ``k`` grows) — exactly the
-trade-off evaluated in Fig 7.
+The lazy variant only keeps the membership bytes and the integer ``count(v)``
+per slot; everything else is *recomputed on demand* by scanning the relevant
+neighbourhoods.  As the paper observes, this slashes memory and even improves
+wall-clock time for small ``k``, at the price of losing the worst-case time
+bound (and getting slower as ``k`` grows) — exactly the trade-off evaluated
+in Fig 7.
 
-The class exposes the same interface as :class:`MISState`, so every
-maintenance algorithm can be instantiated on either state by passing
-``lazy=True``.
+Like the eager state, all storage is slot-indexed flat arrays (bytearray
+membership, list counts), so the per-update inner loop does zero hashing.
+The class exposes the same interface as :class:`MISState` — including the
+``*_slot`` hot-path methods — so every maintenance algorithm can run on
+either state by passing ``lazy=True``.
 """
 
 from __future__ import annotations
@@ -19,7 +21,12 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.core.state import CountEvent, StateStatistics
-from repro.exceptions import SolutionInvariantError
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    SolutionInvariantError,
+)
 from repro.graphs.dynamic_graph import DynamicGraph, Vertex
 
 
@@ -35,59 +42,61 @@ class LazyMISState:
             raise ValueError("k must be at least 1")
         self.graph = graph
         self.k = k
-        self._in_solution: Set[Vertex] = set()
-        self._count: Dict[Vertex, int] = {v: 0 for v in graph.vertices()}
+        n = graph.num_slots
+        self._adj = graph.adjacency_slots_view()
+        self._in_sol = bytearray(n)
+        self._sol_slots: Set[int] = set()
+        self._count: List[int] = [0] * n
         self.stats = StateStatistics()
 
+    def _ensure_slot(self, slot: int) -> None:
+        while len(self._count) <= slot:
+            self._in_sol.append(0)
+            self._count.append(0)
+
     # ------------------------------------------------------------------ #
-    # Queries
+    # Queries (label boundary)
     # ------------------------------------------------------------------ #
     @property
     def solution_size(self) -> int:
-        return len(self._in_solution)
+        return len(self._sol_slots)
 
     def solution(self) -> Set[Vertex]:
-        return set(self._in_solution)
+        label = self.graph.labels_view()
+        return {label[s] for s in self._sol_slots}
 
     def solution_view(self) -> Set[Vertex]:
-        """Return the live membership set (read-only for callers)."""
-        return self._in_solution
+        """Interface parity with :class:`MISState` (fresh label set)."""
+        return self.solution()
 
     def is_in_solution(self, vertex: Vertex) -> bool:
-        return vertex in self._in_solution
+        return bool(self._in_sol[self.graph.slot_of(vertex)])
 
     def count(self, vertex: Vertex) -> int:
-        if vertex in self._in_solution:
+        slot = self.graph.slot_of(vertex)
+        if self._in_sol[slot]:
             return 0
-        return self._count[vertex]
+        return self._count[slot]
 
     def counts_view(self) -> Dict[Vertex, int]:
-        """Return the live ``count`` dictionary (read-only for callers).
+        """Return ``{label: count}`` for every vertex of the graph.
 
         Solution vertices always carry a stored count of 0 (moving in
         requires count 0 and no later mutation touches a member's own
         counter), so this agrees with :meth:`count` on every vertex.
         """
-        return self._count
+        counts = self._count
+        return {v: counts[s] for v, s in self.graph.slot_map_view().items()}
 
     def solution_neighbors(self, vertex: Vertex) -> Set[Vertex]:
         """Recompute ``I(v)`` by scanning the neighbourhood of ``vertex``."""
-        if vertex in self._in_solution:
-            return set()
-        return {n for n in self.graph.neighbors(vertex) if n in self._in_solution}
+        label = self.graph.labels_view()
+        return {label[t] for t in self.sn_slots_view(self.graph.slot_of(vertex))}
 
     def solution_neighbors_view(self, vertex: Vertex) -> Set[Vertex]:
         """Interface parity with :class:`MISState`; lazily recomputed, so the
         result is a fresh set rather than a live view."""
         return self.solution_neighbors(vertex)
-
-    def tight1_view(self, owner: Vertex) -> Set[Vertex]:
-        """Recompute ``¯I_1({owner})`` (no stored buckets to expose lazily)."""
-        return self.tight_vertices(frozenset((owner,)), 1)
-
-    def tight_view(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
-        """Interface parity with :class:`MISState.tight_view`."""
-        return self.tight_vertices(owners, level)
 
     def tight_vertices(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
         """Recompute ``¯I_level(owners)`` by scanning the owners' neighbourhoods."""
@@ -95,182 +104,342 @@ class LazyMISState:
             raise ValueError("level must equal the size of the owner set")
         if level > self.k:
             raise ValueError(f"level {level} exceeds tracked k={self.k}")
-        result: Set[Vertex] = set()
-        for owner in owners:
-            if not self.graph.has_vertex(owner):
-                continue
-            for v in self.graph.neighbors(owner):
-                if v in self._in_solution:
-                    continue
-                if self._count.get(v) == level and self.solution_neighbors(v) == owners:
-                    result.add(v)
-        return result
+        slot_map = self.graph.slot_map_view()
+        label = self.graph.labels_view()
+        owner_slots = frozenset(slot_map[v] for v in owners if v in slot_map)
+        if len(owner_slots) != len(owners):
+            # Some owner is gone; only surviving owners can dominate anything.
+            return set()
+        return {label[t] for t in self.tight_view(owner_slots, level)}
 
     def tight_up_to(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
         """Recompute ``¯I_{≤level}(owners)`` by scanning the owners' neighbourhoods."""
         if level > self.k:
             raise ValueError(f"level {level} exceeds tracked k={self.k}")
-        owner_set = set(owners)
-        result: Set[Vertex] = set()
-        for owner in owners:
-            if not self.graph.has_vertex(owner):
-                continue
-            for v in self.graph.neighbors(owner):
-                if v in self._in_solution:
-                    continue
-                c = self._count.get(v, 0)
-                if 1 <= c <= level and self.solution_neighbors(v) <= owner_set:
-                    result.add(v)
-        return result
+        slot_map = self.graph.slot_map_view()
+        label = self.graph.labels_view()
+        owner_slots = frozenset(slot_map[v] for v in owners if v in slot_map)
+        return {label[t] for t in self.tight_up_to_slots(owner_slots, level)}
 
     def nonsolution_vertices_with_count(self, level: int) -> Set[Vertex]:
-        """Scan all vertices for the requested count (lazy: O(n))."""
-        if level > self.k:
-            raise ValueError(f"level {level} exceeds tracked k={self.k}")
-        return {
-            v
-            for v, c in self._count.items()
-            if c == level and v not in self._in_solution
-        }
+        label = self.graph.labels_view()
+        return {label[s] for s in self.nonsolution_slots_with_count(level)}
 
     def structure_size(self) -> int:
         """Memory proxy: only the membership set and one counter per vertex."""
-        return len(self._in_solution) + len(self._count)
+        return len(self._sol_slots) + self.graph.num_vertices
+
+    # ------------------------------------------------------------------ #
+    # Queries (slot space — recomputed on demand)
+    # ------------------------------------------------------------------ #
+    def in_solution_view(self) -> bytearray:
+        return self._in_sol
+
+    def solution_slots_view(self) -> Set[int]:
+        return self._sol_slots
+
+    def counts_slots_view(self) -> List[int]:
+        return self._count
+
+    def count_slot(self, slot: int) -> int:
+        if self._in_sol[slot]:
+            return 0
+        return self._count[slot]
+
+    def sn_list_view(self) -> None:
+        """No stored ``I(v)`` lists on the lazy state (see :class:`MISState`)."""
+        return None
+
+    def sn_slots_view(self, slot: int) -> Set[int]:
+        """Recompute the ``I(v)`` neighbour-slot set (fresh set, not a view)."""
+        if self._in_sol[slot]:
+            return set()
+        in_sol = self._in_sol
+        return {t for t in self._adj[slot] if in_sol[t]}
+
+    def tight1_view(self, owner_slot: int) -> Set[int]:
+        """Recompute ``¯I_1({owner})`` (no stored buckets to expose lazily).
+
+        A neighbour of ``owner`` with count 1 is dominated by ``owner`` alone,
+        so no ``I(v)`` comparison is needed at level 1.
+        """
+        in_sol = self._in_sol
+        counts = self._count
+        return {
+            t for t in self._adj[owner_slot] if counts[t] == 1 and not in_sol[t]
+        }
+
+    def tight_view(self, owner_slots: FrozenSet[int], level: int) -> Set[int]:
+        """Recompute ``¯I_level(S)`` for an owner-slot set."""
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        if level == 1:
+            (owner,) = owner_slots
+            return self.tight1_view(owner)
+        in_sol = self._in_sol
+        counts = self._count
+        adj = self._adj
+        result: Set[int] = set()
+        for owner in owner_slots:
+            for t in adj[owner]:
+                if in_sol[t] or counts[t] != level or t in result:
+                    continue
+                if {x for x in adj[t] if in_sol[x]} == owner_slots:
+                    result.add(t)
+        return result
+
+    def tight_up_to_slots(self, owner_slots: FrozenSet[int], level: int) -> Set[int]:
+        """Recompute ``¯I_{≤level}(S)`` by scanning the owners' neighbourhoods."""
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        in_sol = self._in_sol
+        counts = self._count
+        adj = self._adj
+        result: Set[int] = set()
+        for owner in owner_slots:
+            for t in adj[owner]:
+                if in_sol[t] or t in result:
+                    continue
+                c = counts[t]
+                if 1 <= c <= level and {x for x in adj[t] if in_sol[x]} <= owner_slots:
+                    result.add(t)
+        return result
+
+    def nonsolution_slots_with_count(self, level: int) -> Set[int]:
+        """Scan all vertices for the requested count (lazy: O(n))."""
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        in_sol = self._in_sol
+        counts = self._count
+        return {
+            s for s in self.graph.slots() if counts[s] == level and not in_sol[s]
+        }
 
     # ------------------------------------------------------------------ #
     # Solution mutation
     # ------------------------------------------------------------------ #
     def move_in(self, vertex: Vertex, *, collect_events: bool = True) -> List[CountEvent]:
-        if vertex in self._in_solution:
-            raise SolutionInvariantError(f"{vertex!r} is already in the solution")
-        if self._count[vertex] != 0:
-            raise SolutionInvariantError(
-                f"cannot MOVEIN {vertex!r}: count is {self._count[vertex]}"
-            )
-        self.stats.move_in_calls += 1
-        self._in_solution.add(vertex)
-        events: List[CountEvent] = []
+        slot = self.graph.slot_of(vertex)
+        self.move_in_slot(slot)
+        if not collect_events:
+            return []
         counts = self._count
-        touched = 0
-        for nbr in self.graph.neighbors(vertex):
-            old = counts[nbr]
-            counts[nbr] = old + 1
-            touched += 1
-            if collect_events:
-                events.append((nbr, old, old + 1))
-        self.stats.count_updates += touched
-        return events
+        label = self.graph.labels_view()
+        return [(label[t], counts[t] - 1, counts[t]) for t in self._adj[slot]]
 
     def move_out(self, vertex: Vertex, *, collect_events: bool = True) -> List[CountEvent]:
-        if vertex not in self._in_solution:
-            raise SolutionInvariantError(f"{vertex!r} is not in the solution")
+        slot = self.graph.slot_of(vertex)
+        self.move_out_slot(slot)
+        if not collect_events:
+            return []
+        counts = self._count
+        in_sol = self._in_sol
+        label = self.graph.labels_view()
+        return [
+            (label[t], counts[t] + 1, counts[t])
+            for t in self._adj[slot]
+            if not in_sol[t]
+        ]
+
+    def move_in_slot(self, slot: int) -> None:
+        if self._in_sol[slot]:
+            raise SolutionInvariantError(
+                f"{self.graph.vertex_of(slot)!r} is already in the solution"
+            )
+        if self._count[slot] != 0:
+            raise SolutionInvariantError(
+                f"cannot MOVEIN {self.graph.vertex_of(slot)!r}: "
+                f"count is {self._count[slot]}"
+            )
+        self.stats.move_in_calls += 1
+        self._in_sol[slot] = 1
+        self._sol_slots.add(slot)
+        counts = self._count
+        touched = 0
+        for t in self._adj[slot]:
+            counts[t] += 1
+            touched += 1
+        self.stats.count_updates += touched
+
+    def move_out_slot(self, slot: int) -> None:
+        if not self._in_sol[slot]:
+            raise SolutionInvariantError(
+                f"{self.graph.vertex_of(slot)!r} is not in the solution"
+            )
         self.stats.move_out_calls += 1
-        self._in_solution.discard(vertex)
-        events: List[CountEvent] = []
-        in_solution = self._in_solution
+        self._in_sol[slot] = 0
+        self._sol_slots.discard(slot)
+        in_sol = self._in_sol
         counts = self._count
         own_count = 0
         touched = 0
-        for nbr in self.graph.neighbors(vertex):
-            if nbr in in_solution:
+        for t in self._adj[slot]:
+            if in_sol[t]:
                 own_count += 1
                 continue
-            old = counts[nbr]
-            counts[nbr] = old - 1
+            counts[t] -= 1
             touched += 1
-            if collect_events:
-                events.append((nbr, old, old - 1))
         self.stats.count_updates += touched
-        self._count[vertex] = own_count
-        return events
+        self._count[slot] = own_count
 
     # ------------------------------------------------------------------ #
     # Structural mutation
     # ------------------------------------------------------------------ #
     def add_vertex(self, vertex: Vertex, neighbors: Iterable[Vertex]) -> int:
-        self.graph.add_vertex(vertex)
-        for nbr in neighbors:
-            self.graph.add_edge(vertex, nbr)
-        count = sum(1 for n in self.graph.neighbors(vertex) if n in self._in_solution)
-        self._count[vertex] = count
+        _slot, count = self.add_vertex_slot(vertex, neighbors)
         return count
 
+    def add_vertex_slot(
+        self, vertex: Vertex, neighbors: Iterable[Vertex]
+    ) -> Tuple[int, int]:
+        graph = self.graph
+        slot = graph.add_vertex_slot(vertex)
+        self._ensure_slot(slot)
+        slot_of = graph.slot_of
+        for nbr in neighbors:
+            graph.add_edge_slots(slot, slot_of(nbr))
+        in_sol = self._in_sol
+        count = sum(1 for t in self._adj[slot] if in_sol[t])
+        self._count[slot] = count
+        return slot, count
+
     def remove_vertex(self, vertex: Vertex) -> Tuple[bool, Set[Vertex], List[CountEvent]]:
-        was_in_solution = vertex in self._in_solution
+        label = self.graph.labels_view()
+        was_in, neighbor_slots = self.remove_vertex_slot(self.graph.slot_of(vertex))
         events: List[CountEvent] = []
-        # The graph hands back its own popped adjacency set — no copy needed.
-        neighbors = self.graph.remove_vertex(vertex)
+        if was_in:
+            counts = self._count
+            in_sol = self._in_sol
+            events = [
+                (label[t], counts[t] + 1, counts[t])
+                for t in neighbor_slots
+                if not in_sol[t]
+            ]
+        return was_in, {label[t] for t in neighbor_slots}, events
+
+    def remove_vertex_slot(self, slot: int) -> Tuple[bool, Set[int]]:
+        was_in_solution = bool(self._in_sol[slot])
+        # The graph hands over its own popped adjacency set — no copy needed.
+        neighbor_slots = self.graph.pop_vertex_slot(slot)
         if was_in_solution:
-            self._in_solution.discard(vertex)
-            for nbr in neighbors:
-                if nbr in self._in_solution:
-                    continue
-                old = self._count[nbr]
-                self._count[nbr] = old - 1
-                self.stats.count_updates += 1
-                events.append((nbr, old, old - 1))
-        self._count.pop(vertex, None)
-        return was_in_solution, neighbors, events
+            self._in_sol[slot] = 0
+            self._sol_slots.discard(slot)
+            in_sol = self._in_sol
+            counts = self._count
+            for t in neighbor_slots:
+                if not in_sol[t]:
+                    counts[t] -= 1
+                    self.stats.count_updates += 1
+        self._count[slot] = 0
+        return was_in_solution, neighbor_slots
 
     def add_edge(
         self, u: Vertex, v: Vertex, *, collect_events: bool = True
     ) -> List[CountEvent]:
-        self.graph.add_edge(u, v)
-        events: List[CountEvent] = []
-        u_in, v_in = u in self._in_solution, v in self._in_solution
-        if u_in and not v_in:
-            old = self._count[v]
-            self._count[v] = old + 1
-            self.stats.count_updates += 1
-            if collect_events:
-                events.append((v, old, old + 1))
-        elif v_in and not u_in:
-            old = self._count[u]
-            self._count[u] = old + 1
-            self.stats.count_updates += 1
-            if collect_events:
-                events.append((u, old, old + 1))
-        return events
+        slot_of = self.graph.slot_of
+        su, sv = slot_of(u), slot_of(v)
+        self.add_edge_slots(su, sv)
+        if not collect_events:
+            return []
+        in_sol = self._in_sol
+        counts = self._count
+        if in_sol[su] and not in_sol[sv]:
+            return [(v, counts[sv] - 1, counts[sv])]
+        if in_sol[sv] and not in_sol[su]:
+            return [(u, counts[su] - 1, counts[su])]
+        return []
 
     def remove_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
-        self.graph.remove_edge(u, v)
-        events: List[CountEvent] = []
-        u_in, v_in = u in self._in_solution, v in self._in_solution
-        if u_in and not v_in:
-            old = self._count[v]
-            self._count[v] = old - 1
+        slot_of = self.graph.slot_of
+        su, sv = slot_of(u), slot_of(v)
+        in_sol = self._in_sol
+        u_in, v_in = in_sol[su], in_sol[sv]
+        if u_in != v_in:
+            label_out, s_out, s_in = (v, sv, su) if u_in else (u, su, sv)
+            new = self.remove_edge_one_sided(s_out, s_in)
+            return [(label_out, new + 1, new)]
+        self.remove_edge_structural(su, sv)
+        return []
+
+    def add_edge_slots(self, su: int, sv: int) -> None:
+        # Inlined graph.add_edge_slots (hot path; see MISState).
+        if su == sv:
+            raise SelfLoopError(self.graph.vertex_of(su))
+        adj = self._adj
+        adj_u = adj[su]
+        if sv in adj_u:
+            raise EdgeExistsError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
+        adj_u.add(sv)
+        adj[sv].add(su)
+        self.graph._num_edges += 1
+        in_sol = self._in_sol
+        if in_sol[su]:
+            if not in_sol[sv]:
+                self._count[sv] += 1
+                self.stats.count_updates += 1
+        elif in_sol[sv]:
+            self._count[su] += 1
             self.stats.count_updates += 1
-            events.append((v, old, old - 1))
-        elif v_in and not u_in:
-            old = self._count[u]
-            self._count[u] = old - 1
-            self.stats.count_updates += 1
-            events.append((u, old, old - 1))
-        return events
+
+    def remove_edge_structural(self, su: int, sv: int) -> None:
+        """Delete an edge whose removal changes no count (neither or both endpoints in ``I``)."""
+        # Inlined graph.remove_edge_slots (hot path; see MISState).
+        adj = self._adj
+        adj_u = adj[su]
+        if sv not in adj_u:
+            raise EdgeNotFoundError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
+        adj_u.discard(sv)
+        adj[sv].discard(su)
+        self.graph._num_edges -= 1
+
+    def remove_edge_one_sided(self, s_out: int, s_in: int) -> int:
+        """Delete an edge with exactly ``s_in`` in the solution; return the new count of ``s_out``."""
+        self.remove_edge_structural(s_out, s_in)
+        counts = self._count
+        counts[s_out] -= 1
+        self.stats.count_updates += 1
+        return counts[s_out]
 
     # ------------------------------------------------------------------ #
     # Invariant checking
     # ------------------------------------------------------------------ #
     def check_invariants(self) -> None:
-        for v in self._in_solution:
-            if not self.graph.has_vertex(v):
-                raise SolutionInvariantError(f"solution vertex {v!r} missing from graph")
-            conflict = self.graph.neighbors(v) & self._in_solution
-            if conflict:
+        graph = self.graph
+        adj = self._adj
+        in_sol = self._in_sol
+        label = graph.labels_view()
+        for s in self._sol_slots:
+            if not graph.is_live_slot(s):
+                raise SolutionInvariantError(f"solution slot {s} missing from graph")
+            if not in_sol[s]:
                 raise SolutionInvariantError(
-                    f"solution vertices {v!r} and {next(iter(conflict))!r} are adjacent"
+                    f"{label[s]!r} is in the solution set but its membership "
+                    "byte is clear"
                 )
-        for v in self.graph.vertices():
-            if v in self._in_solution:
+            for t in adj[s]:
+                if in_sol[t]:
+                    raise SolutionInvariantError(
+                        f"solution vertices {label[s]!r} and {label[t]!r} are adjacent"
+                    )
+        counts = self._count
+        for s in graph.slots():
+            if in_sol[s]:
+                if s not in self._sol_slots:
+                    raise SolutionInvariantError(
+                        f"membership byte of {label[s]!r} out of sync"
+                    )
                 continue
-            expected = sum(1 for n in self.graph.neighbors(v) if n in self._in_solution)
-            if self._count.get(v) != expected:
+            expected = sum(1 for t in adj[s] if in_sol[t])
+            if counts[s] != expected:
                 raise SolutionInvariantError(
-                    f"count({v!r}) is {self._count.get(v)!r} but the graph says {expected}"
+                    f"count({label[s]!r}) is {counts[s]!r} but the graph "
+                    f"says {expected}"
                 )
 
     def is_maximal(self) -> bool:
-        for v in self.graph.vertices():
-            if v not in self._in_solution and self._count.get(v, 0) == 0:
+        in_sol = self._in_sol
+        counts = self._count
+        for s in self.graph.slots():
+            if counts[s] == 0 and not in_sol[s]:
                 return False
         return True

@@ -14,6 +14,9 @@ tight neighbours can replace ``v``.  The algorithm therefore re-examines
 ``¯I_1(v)`` only for vertices ``v`` that gained new tight neighbours
 (the candidates ``C(v)``), checking the clique property by counting each
 candidate's neighbours inside ``¯I_1(v)``.
+
+All internal processing happens in slot space (dense integer vertex ids);
+see :mod:`repro.core.base`.
 """
 
 from __future__ import annotations
@@ -22,7 +25,6 @@ from typing import Optional, Set
 
 from repro.core.base import DynamicMISBase
 from repro.core.perturbation import pick_perturbation_partner
-from repro.graphs.dynamic_graph import Vertex
 
 
 class DyOneSwap(DynamicMISBase):
@@ -59,13 +61,14 @@ class DyOneSwap(DynamicMISBase):
             stats.candidates_processed += 1
             self._examine_candidate(owner, members)
 
-    def _examine_candidate(self, v: Vertex, members: Set[Vertex]) -> None:
-        """Check whether the solution vertex ``v`` still forms a clique barrier."""
-        if not self.state.is_in_solution(v):
+    def _examine_candidate(self, v: int, members: Set[int]) -> None:
+        """Check whether the solution slot ``v`` still forms a clique barrier."""
+        state = self.state
+        if not self._in_sol[v]:
             return
         # Live view: scanning below is read-only; a snapshot is taken only
         # when a swap actually mutates the solution.
-        tight = self.state.tight1_view(v)
+        tight = state.tight1_view(v)
         if len(tight) < 2:
             # A single tight neighbour can never yield a 1-swap; it may still
             # be a useful perturbation partner.
@@ -84,15 +87,15 @@ class DyOneSwap(DynamicMISBase):
         if self.perturbation:
             self._maybe_perturb(v, set(tight))
 
-    def _has_nonneighbor_within(self, u: Vertex, tight: Set[Vertex]) -> bool:
+    def _has_nonneighbor_within(self, u: int, tight: Set[int]) -> bool:
         """Return ``True`` when ``|N[u] ∩ ¯I_1(v)| < |¯I_1(v)|``."""
-        neighbors = self.graph.neighbors(u)
+        neighbors = self._adj[u]
         return any(w != u and w not in neighbors for w in tight)
 
-    def _perform_one_swap(self, v: Vertex, u: Vertex, tight: Set[Vertex]) -> None:
+    def _perform_one_swap(self, v: int, u: int, tight: Set[int]) -> None:
         """Swap ``v`` out for ``u`` plus every tight neighbour that becomes free."""
-        self.state.move_out(v, collect_events=False)
-        self.state.move_in(u, collect_events=False)
+        self.state.move_out_slot(v)
+        self.state.move_in_slot(u)
         self._extend_maximal_over(w for w in tight if w != u)
         self.stats.record_swap(1)
         # New candidates can only involve vertices around the removed vertex.
@@ -101,12 +104,12 @@ class DyOneSwap(DynamicMISBase):
     # ------------------------------------------------------------------ #
     # Perturbation (optimization 2)
     # ------------------------------------------------------------------ #
-    def _maybe_perturb(self, v: Vertex, tight: Set[Vertex]) -> None:
-        partner: Optional[Vertex] = pick_perturbation_partner(self.graph, v, tight)
+    def _maybe_perturb(self, v: int, tight: Set[int]) -> None:
+        partner: Optional[int] = pick_perturbation_partner(self.graph, v, tight)
         if partner is None:
             return
-        self.state.move_out(v, collect_events=False)
-        self.state.move_in(partner, collect_events=False)
+        self.state.move_out_slot(v)
+        self.state.move_in_slot(partner)
         self._extend_maximal_over(w for w in tight if w != partner)
         self.stats.perturbations += 1
         self._collect_candidates_around([v])

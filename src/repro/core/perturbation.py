@@ -10,37 +10,43 @@ To guarantee termination of the candidate-processing loop the exchange is
 only performed when it strictly decreases the degree of the solution vertex:
 the sum of solution degrees is then a strictly decreasing potential, so the
 number of perturbations between two structural updates is finite.
+
+Operates in slot space: ``solution_slot`` and ``tight_slots`` are dense
+integer vertex ids of ``graph`` (see :class:`~repro.graphs.dynamic_graph.DynamicGraph`).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+from repro.graphs.dynamic_graph import DynamicGraph
 
 
 def pick_perturbation_partner(
     graph: DynamicGraph,
-    solution_vertex: Vertex,
-    tight_neighbors: Iterable[Vertex],
-) -> Optional[Vertex]:
-    """Choose the tight neighbour to swap ``solution_vertex`` with, if any.
+    solution_slot: int,
+    tight_slots: Iterable[int],
+) -> Optional[int]:
+    """Choose the tight neighbour (slot) to swap ``solution_slot`` with, if any.
 
     Returns the tight neighbour of smallest degree (ties broken by the
     graph's interned insertion index for determinism) provided that degree is
-    strictly smaller than the degree of ``solution_vertex``; returns ``None``
+    strictly smaller than the degree of the solution vertex; returns ``None``
     otherwise, including when there are no tight neighbours.
     """
-    best: Optional[Vertex] = None
+    adj = graph.adjacency_slots_view()
+    order = graph.orders_view()
+    is_live = graph.is_live_slot
+    best: Optional[int] = None
     best_key = None
-    for candidate in tight_neighbors:
-        if not graph.has_vertex(candidate):
+    for candidate in tight_slots:
+        if not is_live(candidate):
             continue
-        key = graph.degree_order_key(candidate)
+        key = (len(adj[candidate]), order[candidate])
         if best_key is None or key < best_key:
             best, best_key = candidate, key
     if best is None:
         return None
-    if graph.degree(best) < graph.degree(solution_vertex):
+    if len(adj[best]) < len(adj[solution_slot]):
         return best
     return None

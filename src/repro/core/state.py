@@ -16,15 +16,16 @@ exposes the same interface, so every algorithm can run on either.
 
 Performance notes (the hot path of every maintenance algorithm):
 
-* ``count(v)`` is an incrementally maintained integer dictionary, never a
-  ``len(set)`` recomputation behind a membership test.
-* The level-1 hierarchy is keyed by the owner vertex directly
-  (``Dict[Vertex, Set[Vertex]]``); the frozenset-keyed dictionaries are only
-  used for levels ≥ 2, so DyOneSwap never allocates a frozenset on a count
-  change.
-* ``*_view`` accessors return the live internal sets without copying; the
-  copying accessors (:meth:`solution_neighbors`, :meth:`tight_vertices`)
-  remain for callers that mutate during iteration.
+* All bookkeeping is **slot-indexed flat storage**: membership is a
+  ``bytearray`` (one byte per graph slot), ``count(v)`` a plain ``list`` of
+  ints, ``I(v)`` a list of neighbour-slot sets, and the level-1 hierarchy a
+  list of buckets keyed by the owner *slot*.  The innermost count-maintenance
+  loop therefore performs zero hashing — every probe is a C-level list index.
+* Only levels ≥ 2 of the hierarchy use frozenset-keyed dictionaries (of
+  slots); DyOneSwap never allocates a frozenset on a count change.
+* The ``*_slot`` methods are the native API consumed by the algorithms; the
+  label-level methods (`move_in`, `add_edge`, …) translate at the boundary
+  and remain for tests and external callers.
 * :meth:`structure_size` is O(1): the footprint is a counter maintained at
   every mutation instead of an O(n) sweep per call.
 """
@@ -34,17 +35,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.exceptions import SolutionInvariantError
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    SolutionInvariantError,
+)
 from repro.graphs.dynamic_graph import DynamicGraph, Vertex
 
-#: A count-change event ``(vertex, old_count, new_count)``.  ``old_count`` is
-#: ``None`` when the vertex had no tracked count before the event (it was in
-#: the solution, or did not exist).
+#: A count-change event ``(vertex, old_count, new_count)``.  Returned by the
+#: label-level mutators only (the slot-level hot paths build no events; see
+#: :meth:`MISState.move_in`), so the first field is the vertex *label*.
+#: ``old_count`` is ``None`` when the vertex had no tracked count before the
+#: event (it was in the solution, or did not exist).
 CountEvent = Tuple[Vertex, Optional[int], int]
 
 #: Shared immutable empty set returned by the view accessors when a bucket is
 #: absent, so callers can iterate/compare without a per-call allocation.
-_EMPTY: FrozenSet[Vertex] = frozenset()
+_EMPTY: FrozenSet[int] = frozenset()
 
 
 @dataclass
@@ -75,325 +83,563 @@ class MISState:
             raise ValueError("k must be at least 1")
         self.graph = graph
         self.k = k
-        self._in_solution: Set[Vertex] = set()
-        self._solution_neighbors: Dict[Vertex, Set[Vertex]] = {
-            v: set() for v in graph.vertices()
-        }
+        n = graph.num_slots
+        # Shared live view of the graph's slot-indexed adjacency.
+        self._adj = graph.adjacency_slots_view()
+        # Membership: byte per slot (zero-hash probe) plus the slot set for
+        # O(|I|) iteration.
+        self._in_sol = bytearray(n)
+        self._sol_slots: Set[int] = set()
         # count(v) maintained incrementally; 0 for solution vertices.
-        self._count: Dict[Vertex, int] = {v: 0 for v in graph.vertices()}
-        # Level-1 hierarchy keyed by the owner vertex: _tight1[w] = ¯I_1({w}).
-        self._tight1: Dict[Vertex, Set[Vertex]] = {}
-        # _tight[j] maps frozenset(S) (|S| == j >= 2) to the set ¯I_j(S).
+        self._count: List[int] = [0] * n
+        # I(v) as neighbour-slot sets, indexed by slot.
+        self._sn: List[Set[int]] = [set() for _ in range(n)]
+        # Level-1 hierarchy keyed by the owner slot: _tight1[w] = ¯I_1({w})
+        # (None when the bucket is absent).
+        self._tight1: List[Optional[Set[int]]] = [None] * n
+        # _tight[j] maps frozenset(S) of slots (|S| == j >= 2) to ¯I_j(S).
         # Slots 0 and 1 stay empty (level 1 lives in _tight1).
-        self._tight: List[Dict[FrozenSet[Vertex], Set[Vertex]]] = [
+        self._tight: List[Dict[FrozenSet[int], Set[int]]] = [
             {} for _ in range(k + 1)
         ]
         # Incrementally maintained parts of structure_size(): total entries
-        # stored in _solution_neighbors values, and keys/entries across the
-        # hierarchy (including _tight1).
+        # stored in _sn values, and keys/entries across the hierarchy
+        # (including _tight1).
         self._sn_total = 0
         self._tight_keys = 0
         self._tight_total = 0
         self.stats = StateStatistics()
 
+    def _ensure_slot(self, slot: int) -> None:
+        """Grow the flat arrays to cover a freshly allocated graph slot."""
+        while len(self._count) <= slot:
+            self._in_sol.append(0)
+            self._count.append(0)
+            self._sn.append(set())
+            self._tight1.append(None)
+
     # ------------------------------------------------------------------ #
-    # Queries
+    # Queries (label boundary)
     # ------------------------------------------------------------------ #
     @property
     def solution_size(self) -> int:
         """Size of the maintained independent set."""
-        return len(self._in_solution)
+        return len(self._sol_slots)
 
     def solution(self) -> Set[Vertex]:
-        """Return a copy of the maintained independent set."""
-        return set(self._in_solution)
+        """Return a copy of the maintained independent set (as labels)."""
+        label = self.graph.labels_view()
+        return {label[s] for s in self._sol_slots}
 
     def solution_view(self) -> Set[Vertex]:
-        """Return the live membership set (read-only for callers).
+        """Return the maintained independent set as a fresh label set.
 
-        Hot loops test membership against this set directly instead of paying
-        a method call per :meth:`is_in_solution` query.
+        Kept for interface compatibility; hot loops use
+        :meth:`in_solution_view` / :meth:`solution_slots_view` instead.
         """
-        return self._in_solution
+        return self.solution()
 
     def is_in_solution(self, vertex: Vertex) -> bool:
         """Return ``True`` when ``vertex`` is currently in the solution."""
-        return vertex in self._in_solution
+        return bool(self._in_sol[self.graph.slot_of(vertex)])
 
     def count(self, vertex: Vertex) -> int:
         """Return ``count(v) = |N(v) ∩ I|`` (0 for solution vertices)."""
-        return self._count[vertex]
+        return self._count[self.graph.slot_of(vertex)]
 
     def counts_view(self) -> Dict[Vertex, int]:
-        """Return the live ``count`` dictionary (read-only for callers).
+        """Return ``{label: count}`` for every vertex of the graph.
 
-        Solution vertices are stored with count 0, so ``counts_view()[v]``
-        agrees with :meth:`count` for every vertex of the graph.
+        Built per call from the flat slot array; hot loops use
+        :meth:`counts_slots_view` (a list indexed by slot) instead.
         """
-        return self._count
+        counts = self._count
+        return {v: counts[s] for v, s in self.graph.slot_map_view().items()}
 
     def solution_neighbors(self, vertex: Vertex) -> Set[Vertex]:
         """Return a copy of ``I(v)``, the solution neighbours of ``vertex``."""
-        return set(self._solution_neighbors[vertex])
+        label = self.graph.labels_view()
+        return {label[t] for t in self._sn[self.graph.slot_of(vertex)]}
 
     def solution_neighbors_view(self, vertex: Vertex) -> Set[Vertex]:
-        """Return the live ``I(v)`` set (empty for solution vertices).
-
-        The returned set is internal state: callers must not mutate it and
-        must not hold it across a state mutation.
-        """
-        return self._solution_neighbors[vertex]
+        """Label-level ``I(v)`` (translated per call; see :meth:`sn_slots_view`)."""
+        return self.solution_neighbors(vertex)
 
     def tight_vertices(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
         """Return a copy of ``¯I_level(owners) = {v ∉ I : I(v) = owners}``.
 
-        ``level`` must equal ``len(owners)`` and be at most ``k``.
+        ``level`` must equal ``len(owners)`` and be at most ``k``.  Owners are
+        labels; the result is a label set.
         """
         if level != len(owners):
             raise ValueError("level must equal the size of the owner set")
         if level > self.k:
             raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        slot_map = self.graph.slot_map_view()
+        label = self.graph.labels_view()
+        owner_slots = {slot_map[v] for v in owners if v in slot_map}
+        if len(owner_slots) != len(owners):
+            # Some owner is gone; I(v) = owners cannot hold for anyone
+            # (matches the lazy state instead of raising).
+            return set()
         if level == 1:
-            (owner,) = owners
-            return set(self._tight1.get(owner, ()))
-        return set(self._tight[level].get(owners, ()))
-
-    def tight1_view(self, owner: Vertex) -> Set[Vertex]:
-        """Return the live ``¯I_1({owner})`` bucket (shared empty set if absent).
-
-        Zero-copy: callers must not mutate the result and must snapshot it
-        before any operation that moves vertices in or out of the solution.
-        """
-        return self._tight1.get(owner) or _EMPTY
-
-    def tight_view(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
-        """Zero-copy variant of :meth:`tight_vertices` (same caveats as above)."""
-        if level > self.k:
-            raise ValueError(f"level {level} exceeds tracked k={self.k}")
-        if level == 1:
-            (owner,) = owners
-            return self._tight1.get(owner) or _EMPTY
-        return self._tight[level].get(owners) or _EMPTY
+            (owner,) = owner_slots
+            bucket = self._tight1[owner]
+            return {label[t] for t in bucket} if bucket else set()
+        bucket2 = self._tight[level].get(frozenset(owner_slots))
+        return {label[t] for t in bucket2} if bucket2 else set()
 
     def tight_up_to(self, owners: FrozenSet[Vertex], level: int) -> Set[Vertex]:
-        """Return ``¯I_{≤level}(owners) = {v ∉ I : I(v) ⊆ owners, count(v) ≤ level}``.
+        """Return ``¯I_{≤level}(owners)`` as a label set (see :meth:`tight_up_to_slots`).
 
-        Computed as the union over subsets of ``owners`` of the stored exact
-        level sets — the "depth-first traversal over the hierarchy" of the
-        paper, which is cheap because ``|owners| ≤ k`` is tiny.
+        Deleted owner labels contribute nothing (interface parity with the
+        lazy state): the union runs over the surviving owners only.
         """
         if level > self.k:
             raise ValueError(f"level {level} exceeds tracked k={self.k}")
-        result: Set[Vertex] = set()
-        owner_list = list(owners)
-        for owner in owner_list:
-            bucket = self._tight1.get(owner)
-            if bucket:
-                result.update(bucket)
-        for size in range(2, min(level, len(owner_list)) + 1):
-            for subset in _subsets_of_size(owner_list, size):
-                bucket = self._tight[size].get(subset)
-                if bucket:
-                    result.update(bucket)
-        return result
+        slot_map = self.graph.slot_map_view()
+        label = self.graph.labels_view()
+        owner_slots = frozenset(slot_map[v] for v in owners if v in slot_map)
+        pool = self.tight_up_to_slots(owner_slots, level)
+        return {label[t] for t in pool}
 
     def nonsolution_vertices_with_count(self, level: int) -> Set[Vertex]:
-        """Return every non-solution vertex with ``count == level`` (level ≤ k)."""
-        if level > self.k:
-            raise ValueError(f"level {level} exceeds tracked k={self.k}")
-        result: Set[Vertex] = set()
-        if level == 1:
-            for bucket in self._tight1.values():
-                result.update(bucket)
-        else:
-            for bucket in self._tight[level].values():
-                result.update(bucket)
-        return result
+        """Return every non-solution vertex (label) with ``count == level`` (≤ k)."""
+        label = self.graph.labels_view()
+        return {label[s] for s in self.nonsolution_slots_with_count(level)}
 
     def structure_size(self) -> int:
         """Approximate memory footprint (number of stored vertex references).
 
         Used by the experiment harness as the deterministic stand-in for the
-        paper's ``/usr/bin/time`` heap measurements: it counts the entries of
-        every dictionary and set the state maintains.  O(1): the counters are
-        maintained incrementally by every mutation.
+        paper's ``/usr/bin/time`` heap measurements: it counts the membership
+        entries, the per-vertex count/I(v) storage and the hierarchy.  O(1):
+        the counters are maintained incrementally by every mutation.
         """
+        n = self.graph.num_vertices
         return (
-            len(self._in_solution)
-            + len(self._solution_neighbors)
-            + len(self._count)
+            len(self._sol_slots)
+            + 2 * n
             + self._sn_total
             + self._tight_keys
             + self._tight_total
         )
 
     # ------------------------------------------------------------------ #
+    # Queries (slot space — the algorithms' hot-path API)
+    # ------------------------------------------------------------------ #
+    def in_solution_view(self) -> bytearray:
+        """Live slot-indexed membership bytes (read-only for callers)."""
+        return self._in_sol
+
+    def solution_slots_view(self) -> Set[int]:
+        """Live set of solution slots (read-only for callers)."""
+        return self._sol_slots
+
+    def counts_slots_view(self) -> List[int]:
+        """Live slot-indexed count table (read-only for callers)."""
+        return self._count
+
+    def count_slot(self, slot: int) -> int:
+        """Return ``count(v)`` for the vertex at ``slot``."""
+        return self._count[slot]
+
+    def sn_slots_view(self, slot: int) -> Set[int]:
+        """Live ``I(v)`` neighbour-slot set for the vertex at ``slot``.
+
+        Internal state: callers must not mutate it and must not hold it
+        across a state mutation.
+        """
+        return self._sn[slot]
+
+    def sn_list_view(self) -> Optional[List[Set[int]]]:
+        """Live slot-indexed list of ``I(v)`` sets (``None`` on the lazy state).
+
+        Lets hot loops index the eager storage directly while falling back to
+        :meth:`sn_slots_view` when running lazily.
+        """
+        return self._sn
+
+    def tight1_view(self, owner_slot: int) -> Set[int]:
+        """Live ``¯I_1({owner})`` bucket by owner slot (shared empty set if absent).
+
+        Zero-copy: callers must not mutate the result and must snapshot it
+        before any operation that moves vertices in or out of the solution.
+        """
+        return self._tight1[owner_slot] or _EMPTY
+
+    def tight_view(self, owner_slots: FrozenSet[int], level: int) -> Set[int]:
+        """Zero-copy ``¯I_level(S)`` for an owner-slot frozenset (caveats as above)."""
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        if level == 1:
+            (owner,) = owner_slots
+            return self._tight1[owner] or _EMPTY
+        return self._tight[level].get(owner_slots) or _EMPTY
+
+    def tight_up_to_slots(self, owner_slots: FrozenSet[int], level: int) -> Set[int]:
+        """Return ``¯I_{≤level}(S) = {v ∉ I : I(v) ⊆ S, count(v) ≤ level}`` (slots).
+
+        Computed as the union over subsets of ``owner_slots`` of the stored
+        exact level sets — the "depth-first traversal over the hierarchy" of
+        the paper, which is cheap because ``|S| ≤ k`` is tiny.
+        """
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        result: Set[int] = set()
+        tight1 = self._tight1
+        owner_list = list(owner_slots)
+        for owner in owner_list:
+            bucket = tight1[owner]
+            if bucket:
+                result.update(bucket)
+        for size in range(2, min(level, len(owner_list)) + 1):
+            level_map = self._tight[size]
+            for subset in _subsets_of_size(owner_list, size):
+                bucket = level_map.get(subset)
+                if bucket:
+                    result.update(bucket)
+        return result
+
+    def nonsolution_slots_with_count(self, level: int) -> Set[int]:
+        """Return every non-solution slot with ``count == level`` (level ≤ k)."""
+        if level > self.k:
+            raise ValueError(f"level {level} exceeds tracked k={self.k}")
+        result: Set[int] = set()
+        if level == 1:
+            for bucket in self._tight1:
+                if bucket:
+                    result.update(bucket)
+        else:
+            for bucket in self._tight[level].values():
+                result.update(bucket)
+        return result
+
+    # ------------------------------------------------------------------ #
     # Solution mutation
     # ------------------------------------------------------------------ #
     def move_in(self, vertex: Vertex, *, collect_events: bool = True) -> List[CountEvent]:
-        """Insert ``vertex`` into the solution (its count must be zero).
+        """Insert ``vertex`` (a label) into the solution; see :meth:`move_in_slot`.
 
-        Returns the count-change events of its neighbours.  Callers that
-        ignore the events (count increases never create swap opportunities)
-        pass ``collect_events=False`` to skip building them.
+        Returns label-level count events, reconstructed after the fact: every
+        neighbour's count rose by exactly one, so the events need not be
+        collected inside the hot loop.
         """
-        if vertex in self._in_solution:
-            raise SolutionInvariantError(f"{vertex!r} is already in the solution")
-        if self._solution_neighbors[vertex]:
-            raise SolutionInvariantError(
-                f"cannot MOVEIN {vertex!r}: it has solution neighbours "
-                f"{self._solution_neighbors[vertex]!r}"
-            )
-        self.stats.move_in_calls += 1
-        self._in_solution.add(vertex)
-        events: List[CountEvent] = []
-        # Inlined _add_solution_neighbor: this loop runs once per incident
-        # edge on every insertion, so the per-neighbour call overhead counts.
-        solution_neighbors = self._solution_neighbors
+        slot = self.graph.slot_of(vertex)
+        self.move_in_slot(slot)
+        if not collect_events:
+            return []
         counts = self._count
-        k = self.k
-        touched = 0
-        for nbr in self.graph.neighbors(vertex):
-            # No neighbour can be in the solution (count was zero), so every
-            # neighbour gains a solution neighbour.
-            nbrs = solution_neighbors[nbr]
-            old = len(nbrs)
-            if 0 < old <= k:
-                self._unposition_level(nbr, nbrs, old)
-            nbrs.add(vertex)
-            new = old + 1
-            counts[nbr] = new
-            if new <= k:
-                self._position_level(nbr, nbrs, new)
-            touched += 1
-            if collect_events:
-                events.append((nbr, old, new))
-        self._sn_total += touched
-        self.stats.count_updates += touched
-        return events
+        label = self.graph.labels_view()
+        return [(label[t], counts[t] - 1, counts[t]) for t in self._adj[slot]]
 
     def move_out(self, vertex: Vertex, *, collect_events: bool = True) -> List[CountEvent]:
-        """Remove ``vertex`` from the solution.
+        """Remove ``vertex`` (a label) from the solution; see :meth:`move_out_slot`.
 
-        After the call ``vertex`` is an ordinary non-solution vertex whose
+        Returns label-level count events, reconstructed after the fact (every
+        non-solution neighbour's count dropped by exactly one).
+        """
+        slot = self.graph.slot_of(vertex)
+        self.move_out_slot(slot)
+        if not collect_events:
+            return []
+        counts = self._count
+        in_sol = self._in_sol
+        label = self.graph.labels_view()
+        return [
+            (label[t], counts[t] + 1, counts[t])
+            for t in self._adj[slot]
+            if not in_sol[t]
+        ]
+
+    def move_in_slot(self, slot: int) -> None:
+        """Insert the vertex at ``slot`` into the solution (its count must be zero).
+
+        No event list is built — every neighbour's count rises by exactly
+        one, so callers that need events reconstruct them afterwards (see
+        :meth:`move_in`).
+        """
+        if self._in_sol[slot]:
+            raise SolutionInvariantError(
+                f"{self.graph.vertex_of(slot)!r} is already in the solution"
+            )
+        if self._sn[slot]:
+            raise SolutionInvariantError(
+                f"cannot MOVEIN {self.graph.vertex_of(slot)!r}: it has solution "
+                f"neighbours {self.solution_neighbors(self.graph.vertex_of(slot))!r}"
+            )
+        self.stats.move_in_calls += 1
+        self._in_sol[slot] = 1
+        self._sol_slots.add(slot)
+        # Flat-array inner loop: every probe is a list index, zero hashing.
+        # The level-1 hierarchy moves are inlined because their buckets are
+        # loop-invariant: every neighbour reaching count 1 lands in
+        # ¯I_1({slot}), and every neighbour leaving count 1 leaves the bucket
+        # of its single previous owner.
+        sn = self._sn
+        counts = self._count
+        tight1 = self._tight1
+        k = self.k
+        touched = 0
+        total_delta = 0
+        bucket_new: Optional[Set[int]] = None
+        for t in self._adj[slot]:
+            # No neighbour can be in the solution (count was zero), so every
+            # neighbour gains a solution neighbour.
+            nbrs = sn[t]
+            old = counts[t]
+            if old == 0:
+                nbrs.add(slot)
+                counts[t] = 1
+                if bucket_new is None:
+                    bucket_new = tight1[slot]
+                    if bucket_new is None:
+                        bucket_new = tight1[slot] = set()
+                        self._tight_keys += 1
+                bucket_new.add(t)
+                total_delta += 1
+                touched += 1
+                continue
+            if old <= k:
+                if old == 1:
+                    (owner,) = nbrs
+                    bucket = tight1[owner]
+                    if bucket is not None:
+                        bucket.discard(t)
+                        total_delta -= 1
+                        if not bucket:
+                            tight1[owner] = None
+                            self._tight_keys -= 1
+                else:
+                    self._unposition_level(t, nbrs, old)
+            nbrs.add(slot)
+            new = old + 1
+            counts[t] = new
+            if new <= k:
+                self._position_level(t, nbrs, new)
+            touched += 1
+        self._sn_total += touched
+        self._tight_total += total_delta
+        self.stats.count_updates += touched
+
+    def move_out_slot(self, slot: int) -> None:
+        """Remove the vertex at ``slot`` from the solution.
+
+        After the call the vertex is an ordinary non-solution vertex whose
         ``I(v)`` reflects any solution neighbours it currently has (normally
         none, but an adjacent solution vertex can exist transiently while a
         conflicting edge insertion is being repaired).
 
-        Returns the count-change events of its non-solution neighbours.
-        Callers that repair maximality by other means (the swap performers,
-        which re-scan the touched neighbourhoods) pass
-        ``collect_events=False`` to skip building the list.
+        No event list is built — every non-solution neighbour's count drops
+        by exactly one, so callers that need events reconstruct them
+        afterwards (see :meth:`move_out`).
         """
-        if vertex not in self._in_solution:
-            raise SolutionInvariantError(f"{vertex!r} is not in the solution")
+        if not self._in_sol[slot]:
+            raise SolutionInvariantError(
+                f"{self.graph.vertex_of(slot)!r} is not in the solution"
+            )
         self.stats.move_out_calls += 1
-        self._in_solution.discard(vertex)
-        events: List[CountEvent] = []
-        own_neighbors: Set[Vertex] = set()
-        # Inlined _remove_solution_neighbor (see move_in for rationale).
-        in_solution = self._in_solution
-        solution_neighbors = self._solution_neighbors
+        self._in_sol[slot] = 0
+        self._sol_slots.discard(slot)
+        own_neighbors: Set[int] = set()
+        in_sol = self._in_sol
+        sn = self._sn
         counts = self._count
+        tight1 = self._tight1
         k = self.k
         touched = 0
-        for nbr in self.graph.neighbors(vertex):
-            if nbr in in_solution:
-                own_neighbors.add(nbr)
+        total_delta = 0
+        # Neighbours leaving count 1 all leave ¯I_1({slot}); fetch the
+        # bucket once (it only shrinks below: nothing repositions under an
+        # owner that just left the solution).
+        bucket_old = tight1[slot]
+        for t in self._adj[slot]:
+            if in_sol[t]:
+                own_neighbors.add(t)
                 continue
-            nbrs = solution_neighbors[nbr]
-            old = len(nbrs)
-            if 0 < old <= k:
-                self._unposition_level(nbr, nbrs, old)
-            nbrs.discard(vertex)
+            nbrs = sn[t]
+            old = counts[t]
+            if old <= k:
+                if old == 1:
+                    if bucket_old is not None:
+                        bucket_old.discard(t)
+                        total_delta -= 1
+                else:
+                    self._unposition_level(t, nbrs, old)
+            nbrs.discard(slot)
             new = old - 1
-            counts[nbr] = new
-            if 0 < new <= k:
-                self._position_level(nbr, nbrs, new)
+            counts[t] = new
+            if new:
+                if new <= k:
+                    if new == 1:
+                        (owner,) = nbrs
+                        bucket = tight1[owner]
+                        if bucket is None:
+                            bucket = tight1[owner] = set()
+                            self._tight_keys += 1
+                        bucket.add(t)
+                        total_delta += 1
+                    else:
+                        self._position_level(t, nbrs, new)
             touched += 1
-            if collect_events:
-                events.append((nbr, old, new))
+        if bucket_old is not None and not bucket_old:
+            tight1[slot] = None
+            self._tight_keys -= 1
         self._sn_total -= touched
+        self._tight_total += total_delta
         self.stats.count_updates += touched
         # The stored set of a solution vertex is always empty, so the new
         # entries are exactly len(own_neighbors).
-        self._solution_neighbors[vertex] = own_neighbors
+        self._sn[slot] = own_neighbors
         self._sn_total += len(own_neighbors)
-        self._count[vertex] = len(own_neighbors)
-        self._position(vertex)
-        return events
+        self._count[slot] = len(own_neighbors)
+        self._position(slot)
 
     # ------------------------------------------------------------------ #
     # Structural mutation (keeps graph and bookkeeping in sync)
     # ------------------------------------------------------------------ #
     def add_vertex(self, vertex: Vertex, neighbors: Iterable[Vertex]) -> int:
         """Insert a vertex together with its incident edges; return its count."""
-        self.graph.add_vertex(vertex)
+        _slot, count = self.add_vertex_slot(vertex, neighbors)
+        return count
+
+    def add_vertex_slot(
+        self, vertex: Vertex, neighbors: Iterable[Vertex]
+    ) -> Tuple[int, int]:
+        """Insert a vertex with its incident edges; return ``(slot, count)``."""
+        graph = self.graph
+        slot = graph.add_vertex_slot(vertex)
+        self._ensure_slot(slot)
+        slot_of = graph.slot_of
         for nbr in neighbors:
-            self.graph.add_edge(vertex, nbr)
-        in_solution = {n for n in self.graph.neighbors(vertex) if n in self._in_solution}
-        self._solution_neighbors[vertex] = in_solution
-        self._sn_total += len(in_solution)
-        self._count[vertex] = len(in_solution)
-        self._position(vertex)
-        return len(in_solution)
+            graph.add_edge_slots(slot, slot_of(nbr))
+        in_sol = self._in_sol
+        own = {t for t in self._adj[slot] if in_sol[t]}
+        self._sn[slot] = own
+        self._sn_total += len(own)
+        self._count[slot] = len(own)
+        self._position(slot)
+        return slot, len(own)
 
     def remove_vertex(self, vertex: Vertex) -> Tuple[bool, Set[Vertex], List[CountEvent]]:
-        """Delete a vertex; return ``(was_in_solution, old_neighbors, events)``."""
-        was_in_solution = vertex in self._in_solution
+        """Delete a vertex (label); return ``(was_in_solution, old_neighbors, events)``.
+
+        ``old_neighbors`` and the events are labels; the events are
+        reconstructed after the fact (every non-solution neighbour of a
+        deleted solution vertex dropped by exactly one).
+        """
+        label = self.graph.labels_view()
+        was_in, neighbor_slots = self.remove_vertex_slot(self.graph.slot_of(vertex))
         events: List[CountEvent] = []
+        if was_in:
+            counts = self._count
+            in_sol = self._in_sol
+            events = [
+                (label[t], counts[t] + 1, counts[t])
+                for t in neighbor_slots
+                if not in_sol[t]
+            ]
+        return was_in, {label[t] for t in neighbor_slots}, events
+
+    def remove_vertex_slot(self, slot: int) -> Tuple[bool, Set[int]]:
+        """Delete the vertex at ``slot``; return ``(was_in_solution, neighbor_slots)``.
+
+        The slot is recycled by the graph's free-list; all bookkeeping for it
+        is reset so the next vertex allocated into the slot starts clean.
+        """
+        was_in_solution = bool(self._in_sol[slot])
         if not was_in_solution:
-            self._unposition(vertex)
-        # The graph hands back its own popped adjacency set — no copy needed.
-        neighbors = self.graph.remove_vertex(vertex)
+            self._unposition(slot)
+        # The graph hands over its own popped adjacency set — no copy needed.
+        neighbor_slots = self.graph.pop_vertex_slot(slot)
         if was_in_solution:
-            self._in_solution.discard(vertex)
-            for nbr in neighbors:
-                if nbr in self._in_solution:
-                    continue
-                old, new = self._remove_solution_neighbor(nbr, vertex)
-                events.append((nbr, old, new))
-        stored = self._solution_neighbors.pop(vertex, None)
-        if stored is not None:
-            self._sn_total -= len(stored)
-        self._count.pop(vertex, None)
-        return was_in_solution, neighbors, events
+            self._in_sol[slot] = 0
+            self._sol_slots.discard(slot)
+            in_sol = self._in_sol
+            for t in neighbor_slots:
+                if not in_sol[t]:
+                    self._remove_solution_neighbor(t, slot)
+        # Reset the recycled slot's bookkeeping.
+        stored = self._sn[slot]
+        self._sn_total -= len(stored)
+        self._sn[slot] = set()
+        self._count[slot] = 0
+        return was_in_solution, neighbor_slots
 
     def add_edge(
         self, u: Vertex, v: Vertex, *, collect_events: bool = True
     ) -> List[CountEvent]:
+        """Insert an edge by labels; see :meth:`add_edge_slots`.
+
+        Returns the (reconstructed, label-level) count event of the affected
+        endpoint, if any.
+        """
+        slot_of = self.graph.slot_of
+        su, sv = slot_of(u), slot_of(v)
+        self.add_edge_slots(su, sv)
+        if not collect_events:
+            return []
+        in_sol = self._in_sol
+        counts = self._count
+        if in_sol[su] and not in_sol[sv]:
+            return [(v, counts[sv] - 1, counts[sv])]
+        if in_sol[sv] and not in_sol[su]:
+            return [(u, counts[su] - 1, counts[su])]
+        return []
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
+        """Delete an edge by labels; returns the count event of the affected endpoint."""
+        slot_of = self.graph.slot_of
+        su, sv = slot_of(u), slot_of(v)
+        in_sol = self._in_sol
+        u_in, v_in = in_sol[su], in_sol[sv]
+        if u_in != v_in:
+            label_out, s_out, s_in = (v, sv, su) if u_in else (u, su, sv)
+            new = self.remove_edge_one_sided(s_out, s_in)
+            return [(label_out, new + 1, new)]
+        self.remove_edge_structural(su, sv)
+        return []
+
+    def add_edge_slots(self, su: int, sv: int) -> None:
         """Insert an edge; update counts when exactly one endpoint is in the solution.
 
         When both endpoints are in the solution no bookkeeping changes here —
         the caller is responsible for evicting one of them afterwards.
-        ``collect_events=False`` skips building the event list (count
-        increases never create swap opportunities).
         """
-        self.graph.add_edge(u, v)
-        events: List[CountEvent] = []
-        u_in, v_in = u in self._in_solution, v in self._in_solution
-        if u_in and not v_in:
-            old, new = self._add_solution_neighbor(v, u)
-            if collect_events:
-                events.append((v, old, new))
-        elif v_in and not u_in:
-            old, new = self._add_solution_neighbor(u, v)
-            if collect_events:
-                events.append((u, old, new))
-        return events
+        # Inlined graph.add_edge_slots — the single hottest structural
+        # operation of every stream workload.
+        if su == sv:
+            raise SelfLoopError(self.graph.vertex_of(su))
+        adj = self._adj
+        adj_u = adj[su]
+        if sv in adj_u:
+            raise EdgeExistsError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
+        adj_u.add(sv)
+        adj[sv].add(su)
+        self.graph._num_edges += 1
+        in_sol = self._in_sol
+        if in_sol[su]:
+            if not in_sol[sv]:
+                self._add_solution_neighbor(sv, su)
+        elif in_sol[sv]:
+            self._add_solution_neighbor(su, sv)
 
-    def remove_edge(self, u: Vertex, v: Vertex) -> List[CountEvent]:
-        """Delete an edge; update counts when exactly one endpoint is in the solution."""
-        self.graph.remove_edge(u, v)
-        events: List[CountEvent] = []
-        u_in, v_in = u in self._in_solution, v in self._in_solution
-        if u_in and not v_in:
-            old, new = self._remove_solution_neighbor(v, u)
-            events.append((v, old, new))
-        elif v_in and not u_in:
-            old, new = self._remove_solution_neighbor(u, v)
-            events.append((u, old, new))
-        return events
+    def remove_edge_structural(self, su: int, sv: int) -> None:
+        """Delete an edge whose removal changes no count (neither or both endpoints in ``I``)."""
+        # Inlined graph.remove_edge_slots (see add_edge_slots for rationale).
+        adj = self._adj
+        adj_u = adj[su]
+        if sv not in adj_u:
+            raise EdgeNotFoundError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
+        adj_u.discard(sv)
+        adj[sv].discard(su)
+        self.graph._num_edges -= 1
+
+    def remove_edge_one_sided(self, s_out: int, s_in: int) -> int:
+        """Delete an edge with exactly ``s_in`` in the solution; return the new count of ``s_out``."""
+        self.remove_edge_structural(s_out, s_in)
+        _old, new = self._remove_solution_neighbor(s_out, s_in)
+        return new
 
     # ------------------------------------------------------------------ #
     # Invariant checking
@@ -404,59 +650,77 @@ class MISState:
         Raises :class:`SolutionInvariantError` on the first violation.  Used
         by the checked mode of the algorithms and by the test suite.
         """
-        for v in self._in_solution:
-            if not self.graph.has_vertex(v):
-                raise SolutionInvariantError(f"solution vertex {v!r} missing from graph")
-            conflict = self.graph.neighbors(v) & self._in_solution
-            if conflict:
+        graph = self.graph
+        adj = self._adj
+        in_sol = self._in_sol
+        label = graph.labels_view()
+        for s in self._sol_slots:
+            if not graph.is_live_slot(s):
+                raise SolutionInvariantError(f"solution slot {s} missing from graph")
+            if not in_sol[s]:
                 raise SolutionInvariantError(
-                    f"solution vertices {v!r} and {next(iter(conflict))!r} are adjacent"
+                    f"{label[s]!r} is in the solution set but its membership "
+                    "byte is clear"
                 )
-        for v in self.graph.vertices():
-            if v in self._in_solution:
+            for t in adj[s]:
+                if in_sol[t]:
+                    raise SolutionInvariantError(
+                        f"solution vertices {label[s]!r} and {label[t]!r} are adjacent"
+                    )
+        for s in graph.slots():
+            if in_sol[s]:
+                if s not in self._sol_slots:
+                    raise SolutionInvariantError(
+                        f"membership byte of {label[s]!r} out of sync"
+                    )
                 continue
-            expected = {n for n in self.graph.neighbors(v) if n in self._in_solution}
-            stored = self._solution_neighbors.get(v)
+            expected = {t for t in adj[s] if in_sol[t]}
+            stored = self._sn[s]
             if stored != expected:
                 raise SolutionInvariantError(
-                    f"I({v!r}) is {stored!r} but the graph says {expected!r}"
+                    f"I({label[s]!r}) is {stored!r} but the graph says {expected!r}"
                 )
-            if self._count.get(v) != len(expected):
+            if self._count[s] != len(expected):
                 raise SolutionInvariantError(
-                    f"count({v!r}) is {self._count.get(v)!r} but I(v) has "
+                    f"count({label[s]!r}) is {self._count[s]!r} but I(v) has "
                     f"{len(expected)} members"
                 )
-        for owner, bucket in self._tight1.items():
-            for v in bucket:
-                if v in self._in_solution:
+        for owner, bucket in enumerate(self._tight1):
+            if not bucket:
+                continue
+            for s in bucket:
+                if in_sol[s]:
                     raise SolutionInvariantError(
-                        f"solution vertex {v!r} recorded in ¯I_1({{{owner!r}}})"
+                        f"solution vertex {label[s]!r} recorded in "
+                        f"¯I_1({{{label[owner]!r}}})"
                     )
-                if self._solution_neighbors.get(v) != {owner}:
+                if self._sn[s] != {owner}:
                     raise SolutionInvariantError(
-                        f"{v!r} recorded in ¯I_1({{{owner!r}}}) but I(v) = "
-                        f"{self._solution_neighbors.get(v)!r}"
+                        f"{label[s]!r} recorded in ¯I_1({{{label[owner]!r}}}) "
+                        f"but I(v) = {self.solution_neighbors(label[s])!r}"
                     )
         for level in range(2, self.k + 1):
             for owners, bucket in self._tight[level].items():
-                for v in bucket:
-                    if v in self._in_solution:
+                for s in bucket:
+                    if in_sol[s]:
                         raise SolutionInvariantError(
-                            f"solution vertex {v!r} recorded in ¯I_{level}({set(owners)!r})"
+                            f"solution vertex {label[s]!r} recorded in "
+                            f"¯I_{level}({set(owners)!r})"
                         )
-                    if self._solution_neighbors.get(v) != set(owners):
+                    if self._sn[s] != set(owners):
                         raise SolutionInvariantError(
-                            f"{v!r} recorded in ¯I_{level}({set(owners)!r}) but I(v) = "
-                            f"{self._solution_neighbors.get(v)!r}"
+                            f"{label[s]!r} recorded in ¯I_{level}({set(owners)!r}) "
+                            f"but I(v) = {self._sn[s]!r}"
                         )
         self._check_footprint_counters()
 
     def _check_footprint_counters(self) -> None:
-        sn_total = sum(len(s) for s in self._solution_neighbors.values())
-        tight_keys = len(self._tight1) + sum(
+        live = set(self.graph.slots())
+        sn_total = sum(len(self._sn[s]) for s in live)
+        tight_keys = sum(1 for b in self._tight1 if b is not None) + sum(
             len(level) for level in self._tight[2:]
         )
-        tight_total = sum(len(b) for b in self._tight1.values()) + sum(
+        tight_total = sum(len(b) for b in self._tight1 if b) + sum(
             len(b) for level in self._tight[2:] for b in level.values()
         )
         if (sn_total, tight_keys, tight_total) != (
@@ -472,70 +736,67 @@ class MISState:
 
     def is_maximal(self) -> bool:
         """Return ``True`` when no non-solution vertex has count zero."""
-        in_solution = self._in_solution
-        for v, c in self._count.items():
-            if c == 0 and v not in in_solution:
+        in_sol = self._in_sol
+        counts = self._count
+        for s in self.graph.slots():
+            if counts[s] == 0 and not in_sol[s]:
                 return False
         return True
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _add_solution_neighbor(self, vertex: Vertex, solution_vertex: Vertex) -> Tuple[int, int]:
+    def _add_solution_neighbor(self, slot: int, solution_slot: int) -> Tuple[int, int]:
         self.stats.count_updates += 1
-        nbrs = self._solution_neighbors[vertex]
-        old = len(nbrs)
+        nbrs = self._sn[slot]
+        old = self._count[slot]
         if 0 < old <= self.k:
-            self._unposition_level(vertex, nbrs, old)
-        nbrs.add(solution_vertex)
+            self._unposition_level(slot, nbrs, old)
+        nbrs.add(solution_slot)
         new = old + 1
-        self._count[vertex] = new
+        self._count[slot] = new
         self._sn_total += 1
         if new <= self.k:
-            self._position_level(vertex, nbrs, new)
+            self._position_level(slot, nbrs, new)
         return old, new
 
-    def _remove_solution_neighbor(
-        self, vertex: Vertex, solution_vertex: Vertex
-    ) -> Tuple[int, int]:
+    def _remove_solution_neighbor(self, slot: int, solution_slot: int) -> Tuple[int, int]:
         self.stats.count_updates += 1
-        nbrs = self._solution_neighbors[vertex]
-        old = len(nbrs)
+        nbrs = self._sn[slot]
+        old = self._count[slot]
         if 0 < old <= self.k:
-            self._unposition_level(vertex, nbrs, old)
-        nbrs.discard(solution_vertex)
+            self._unposition_level(slot, nbrs, old)
+        nbrs.discard(solution_slot)
         new = old - 1
-        self._count[vertex] = new
+        self._count[slot] = new
         self._sn_total -= 1
         if 0 < new <= self.k:
-            self._position_level(vertex, nbrs, new)
+            self._position_level(slot, nbrs, new)
         return old, new
 
-    def _position(self, vertex: Vertex) -> None:
-        """Insert ``vertex`` into the hierarchy bucket matching its current I(v)."""
-        if vertex in self._in_solution:
+    def _position(self, slot: int) -> None:
+        """Insert ``slot`` into the hierarchy bucket matching its current I(v)."""
+        if self._in_sol[slot]:
             return
-        nbrs = self._solution_neighbors[vertex]
+        nbrs = self._sn[slot]
         level = len(nbrs)
         if 1 <= level <= self.k:
-            self._position_level(vertex, nbrs, level)
+            self._position_level(slot, nbrs, level)
 
-    def _unposition(self, vertex: Vertex) -> None:
-        """Remove ``vertex`` from the hierarchy bucket of its current I(v)."""
-        if vertex in self._in_solution:
+    def _unposition(self, slot: int) -> None:
+        """Remove ``slot`` from the hierarchy bucket of its current I(v)."""
+        if self._in_sol[slot]:
             return
-        nbrs = self._solution_neighbors.get(vertex)
-        if nbrs is None:
-            return
+        nbrs = self._sn[slot]
         level = len(nbrs)
         if 1 <= level <= self.k:
-            self._unposition_level(vertex, nbrs, level)
+            self._unposition_level(slot, nbrs, level)
 
-    def _position_level(self, vertex: Vertex, nbrs: Set[Vertex], level: int) -> None:
+    def _position_level(self, slot: int, nbrs: Set[int], level: int) -> None:
         """Insert into the level bucket; ``level == len(nbrs)`` in ``[1, k]``."""
         if level == 1:
             (owner,) = nbrs
-            bucket = self._tight1.get(owner)
+            bucket = self._tight1[owner]
             if bucket is None:
                 bucket = self._tight1[owner] = set()
                 self._tight_keys += 1
@@ -545,34 +806,34 @@ class MISState:
             if bucket is None:
                 bucket = self._tight[level][key] = set()
                 self._tight_keys += 1
-        bucket.add(vertex)
+        bucket.add(slot)
         self._tight_total += 1
 
-    def _unposition_level(self, vertex: Vertex, nbrs: Set[Vertex], level: int) -> None:
+    def _unposition_level(self, slot: int, nbrs: Set[int], level: int) -> None:
         """Remove from the level bucket; ``level == len(nbrs)`` in ``[1, k]``."""
         if level == 1:
             (owner,) = nbrs
-            bucket = self._tight1.get(owner)
+            bucket = self._tight1[owner]
             if bucket is None:
                 return
-            bucket.discard(vertex)
+            bucket.discard(slot)
             self._tight_total -= 1
             if not bucket:
-                del self._tight1[owner]
+                self._tight1[owner] = None
                 self._tight_keys -= 1
         else:
             key = frozenset(nbrs)
             bucket = self._tight[level].get(key)
             if bucket is None:
                 return
-            bucket.discard(vertex)
+            bucket.discard(slot)
             self._tight_total -= 1
             if not bucket:
                 del self._tight[level][key]
                 self._tight_keys -= 1
 
 
-def _subsets_of_size(items: List[Vertex], size: int) -> Iterable[FrozenSet[Vertex]]:
+def _subsets_of_size(items: List[int], size: int) -> Iterable[FrozenSet[int]]:
     """Yield all subsets of ``items`` of the given size as frozensets."""
     from itertools import combinations
 

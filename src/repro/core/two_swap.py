@@ -14,15 +14,17 @@ drained before 2-swap candidates (``C_2``), so whenever a 2-swap candidate
 swap-in set must contain a vertex of ``¯I_2(S)``, so only count-two vertices
 are recorded in ``C(S)`` and the third member of the swap-in is searched in
 ``¯I_1(u) ∪ ¯I_1(v) ∪ ¯I_2(S)``.
+
+All internal processing happens in slot space (dense integer vertex ids);
+see :mod:`repro.core.base`.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.base import DynamicMISBase
 from repro.core.perturbation import pick_perturbation_partner
-from repro.graphs.dynamic_graph import Vertex
 
 
 class DyTwoSwap(DynamicMISBase):
@@ -67,14 +69,15 @@ class DyTwoSwap(DynamicMISBase):
                 break
 
     # -------------------------- level 1 ------------------------------- #
-    def _find_one_swap(self, v: Vertex, members: Set[Vertex]) -> None:
-        if not self.state.is_in_solution(v):
+    def _find_one_swap(self, v: int, members: Set[int]) -> None:
+        state = self.state
+        if not self._in_sol[v]:
             return
         # Live view; snapshots are taken only when a swap mutates the state.
         # A member u is still a usable level-1 candidate exactly when
         # u ∈ ¯I_1(v).  Iterate ``members`` (not the tight view) so the
         # examination order is identical for the eager and the lazy state.
-        tight = self.state.tight1_view(v)
+        tight = state.tight1_view(v)
         valid_members = [u for u in members if u in tight]
         for u in valid_members:
             if self._has_nonneighbor_within(u, tight):
@@ -88,61 +91,74 @@ class DyTwoSwap(DynamicMISBase):
         if self.perturbation and tight:
             self._maybe_perturb(v, set(tight))
 
-    def _has_nonneighbor_within(self, u: Vertex, tight: Set[Vertex]) -> bool:
-        neighbors = self.graph.neighbors(u)
+    def _has_nonneighbor_within(self, u: int, tight: Set[int]) -> bool:
+        neighbors = self._adj[u]
         return any(w != u and w not in neighbors for w in tight)
 
-    def _perform_one_swap(self, v: Vertex, u: Vertex, tight: Set[Vertex]) -> None:
-        self.state.move_out(v, collect_events=False)
-        self.state.move_in(u, collect_events=False)
+    def _perform_one_swap(self, v: int, u: int, tight: Set[int]) -> None:
+        self.state.move_out_slot(v)
+        self.state.move_in_slot(u)
         self._extend_maximal_over(w for w in tight if w != u)
         self.stats.record_swap(1)
         self._collect_candidates_around([v])
 
-    def _promote_to_level2(self, v: Vertex, new_tight: Set[Vertex]) -> None:
+    def _promote_to_level2(self, v: int, new_tight: List[int]) -> None:
         """Register count-two neighbours of ``v`` that avoid some new tight vertex.
 
         If ``w`` has ``count(w) = 2`` with ``v ∈ I(w)`` and ``w`` is not
         adjacent to every vertex of ``C(v)``, then the pair ``I(w)`` may now
         admit a 2-swap whose swap-in contains ``w`` and a new tight vertex.
         """
+        state = self.state
+        adj = self._adj
+        in_sol = self._in_sol
+        counts = self._counts
         # Registration never mutates the graph: iterate the live view.
-        for w in self.graph.neighbors(v):
-            if self.state.is_in_solution(w) or self.state.count(w) != 2:
+        for w in adj[v]:
+            if in_sol[w] or counts[w] != 2:
                 continue
-            w_neighbors = self.graph.neighbors(w)
+            w_neighbors = adj[w]
             if any(u != w and u not in w_neighbors for u in new_tight):
-                owners = frozenset(self.state.solution_neighbors_view(w))
+                owners = frozenset(state.sn_slots_view(w))
                 self._add_candidate(owners, w)
 
-    def _maybe_perturb(self, v: Vertex, tight: Set[Vertex]) -> None:
-        partner: Optional[Vertex] = pick_perturbation_partner(self.graph, v, tight)
+    def _maybe_perturb(self, v: int, tight: Set[int]) -> None:
+        partner: Optional[int] = pick_perturbation_partner(self.graph, v, tight)
         if partner is None:
             return
-        self.state.move_out(v, collect_events=False)
-        self.state.move_in(partner, collect_events=False)
+        self.state.move_out_slot(v)
+        self.state.move_in_slot(partner)
         self._extend_maximal_over(w for w in tight if w != partner)
         self.stats.perturbations += 1
         self._collect_candidates_around([v])
 
     # -------------------------- level 2 ------------------------------- #
-    def _find_two_swap(self, owners: FrozenSet[Vertex], members: Set[Vertex]) -> None:
+    def _find_two_swap(self, owners: FrozenSet[int], members: Set[int]) -> None:
         if len(owners) != 2:
             return
         u, v = tuple(owners)
-        if not (self.state.is_in_solution(u) and self.state.is_in_solution(v)):
+        state = self.state
+        in_sol = self._in_sol
+        if not (in_sol[u] and in_sol[v]):
             return
         # Read-only views: _search_triple never mutates state, and
         # _perform_two_swap re-derives its pool before mutating.  A member x
         # is still a usable level-2 candidate exactly when x ∈ ¯I_2(S).
         # Iterate ``members`` (not the tight view) so the examination order is
-        # identical for the eager and the lazy state.
-        tight_pair = self.state.tight_view(owners, 2)
-        tight_u = self.state.tight1_view(u)
-        tight_v = self.state.tight1_view(v)
+        # identical for the eager and the lazy state.  The ¯I_1 views are
+        # fetched only once a usable member exists — on the lazy state they
+        # are neighbourhood scans, and most popped candidates are stale.
+        tight_pair = state.tight_view(owners, 2)
+        if not tight_pair:
+            return
+        tight_u: Optional[Set[int]] = None
+        tight_v: Optional[Set[int]] = None
         for x in members:
             if x not in tight_pair:
                 continue
+            if tight_u is None:
+                tight_u = state.tight1_view(u)
+                tight_v = state.tight1_view(v)
             found = self._search_triple(x, owners, tight_pair, tight_u, tight_v)
             if found is not None:
                 y, z = found
@@ -151,19 +167,20 @@ class DyTwoSwap(DynamicMISBase):
 
     def _search_triple(
         self,
-        x: Vertex,
-        owners: FrozenSet[Vertex],
-        tight_pair: Set[Vertex],
-        tight_u: Set[Vertex],
-        tight_v: Set[Vertex],
-    ) -> Optional[Tuple[Vertex, Vertex]]:
+        x: int,
+        owners: FrozenSet[int],
+        tight_pair: Set[int],
+        tight_u: Set[int],
+        tight_v: Set[int],
+    ) -> Optional[Tuple[int, int]]:
         """Find ``y, z`` such that ``{x, y, z}`` is an independent swap-in set for ``owners``.
 
         ``y`` ranges over ``¯I_1(u) ∪ ¯I_2(S)`` and ``z`` over
         ``¯I_1(v) ∪ ¯I_2(S)``, both restricted to non-neighbours of ``x``,
         exactly as in FIND_TWOSWAP of the paper.
         """
-        x_neighbors = self.graph.neighbors(x)
+        adj = self._adj
+        x_neighbors = adj[x]
         candidates_y = {
             w for w in (tight_u | tight_pair) if w != x and w not in x_neighbors
         }
@@ -175,17 +192,17 @@ class DyTwoSwap(DynamicMISBase):
         # The pools are tiny (the τ of the paper's analysis); scanning them in
         # interned order keeps the chosen pair independent of the internal
         # iteration order of the eager buckets vs the lazy recomputed sets.
-        order = self.graph.order_of
-        sorted_z = sorted(candidates_z, key=order)
-        for y in sorted(candidates_y, key=order):
-            y_neighbors = self.graph.neighbors(y)
+        order = self._orders
+        sorted_z = sorted(candidates_z, key=order.__getitem__)
+        for y in sorted(candidates_y, key=order.__getitem__):
+            y_neighbors = adj[y]
             for z in sorted_z:
                 if z != y and z not in y_neighbors:
                     return y, z
         return None
 
     def _perform_two_swap(
-        self, owners: FrozenSet[Vertex], x: Vertex, y: Vertex, z: Vertex
+        self, owners: FrozenSet[int], x: int, y: int, z: int
     ) -> None:
         """Replace the pair ``owners`` by ``{x, y}`` and re-extend to a maximal set.
 
@@ -193,13 +210,14 @@ class DyTwoSwap(DynamicMISBase):
         solution neighbour) is inserted by the maximality extension, matching
         lines 25-27 of Algorithm 3.
         """
-        pool = self.state.tight_up_to(owners, 2)
+        state = self.state
+        pool = state.tight_up_to_slots(owners, 2)
         u, v = tuple(owners)
-        self.state.move_out(u, collect_events=False)
-        self.state.move_out(v, collect_events=False)
-        self.state.move_in(x, collect_events=False)
-        if not self.state.is_in_solution(y) and self.state.count(y) == 0:
-            self.state.move_in(y, collect_events=False)
+        state.move_out_slot(u)
+        state.move_out_slot(v)
+        state.move_in_slot(x)
+        if not self._in_sol[y] and self._counts[y] == 0:
+            state.move_in_slot(y)
         self._extend_maximal_over(w for w in pool if w not in (x, y))
         self.stats.record_swap(2)
         self._collect_candidates_around([u, v])
@@ -207,45 +225,48 @@ class DyTwoSwap(DynamicMISBase):
     # ------------------------------------------------------------------ #
     # Edge deletion between two non-solution vertices (update case ii)
     # ------------------------------------------------------------------ #
-    def _on_edge_deleted_outside(self, u: Vertex, v: Vertex) -> None:
-        counts = self.state.counts_view()
-        count_u = counts[u]
-        count_v = counts[v]
+    def _on_edge_deleted_outside(self, su: int, sv: int) -> None:
+        state = self.state
+        counts = self._counts
+        count_u = counts[su]
+        count_v = counts[sv]
         if count_u > 2 and count_v > 2:
             return
-        owners_u = self.state.solution_neighbors_view(u)
-        owners_v = self.state.solution_neighbors_view(v)
+        owners_u = state.sn_slots_view(su)
+        owners_v = state.sn_slots_view(sv)
         if count_u == 1 and count_v == 1:
             if owners_u == owners_v:
                 # Case (a): both tight on the same vertex w — an immediate
                 # 1-swap; let the level-1 machinery perform it.
                 (owner,) = owners_u
-                self._add_candidate1(owner, u)
-                self._add_candidate1(owner, v)
+                self._add_candidate1(owner, su)
+                self._add_candidate1(owner, sv)
             else:
                 # Case (b): tight on different vertices x and y.  Any new
                 # 2-swap must be {x, y} -> {u, v, w} with w ∈ ¯I_2({x, y}).
-                self._try_direct_pair_swap(u, v, owners_u | owners_v)
+                self._try_direct_pair_swap(su, sv, owners_u | owners_v)
             return
         # Case (c): at least one endpoint has count two; its owner pair may
         # now admit a 2-swap, so register the count-two endpoint(s).
         if count_u == 2:
-            self._add_candidate(frozenset(owners_u), u)
+            self._add_candidate(frozenset(owners_u), su)
         if count_v == 2:
-            self._add_candidate(frozenset(owners_v), v)
+            self._add_candidate(frozenset(owners_v), sv)
 
-    def _try_direct_pair_swap(self, u: Vertex, v: Vertex, owner_pair: Set[Vertex]) -> None:
+    def _try_direct_pair_swap(self, su: int, sv: int, owner_pair: Set[int]) -> None:
         """Case (b): search ``¯I_2({x, y})`` for a third vertex completing the swap."""
         if len(owner_pair) != 2:
             return
         owners = frozenset(owner_pair)
-        u_neighbors = self.graph.neighbors(u)
-        v_neighbors = self.graph.neighbors(v)
+        adj = self._adj
+        u_neighbors = adj[su]
+        v_neighbors = adj[sv]
+        order = self._orders
         # Snapshot (sorted): _perform_two_swap mutates the bucket mid-loop,
         # and the interned order keeps the choice eager/lazy-independent.
-        for w in sorted(self.state.tight_view(owners, 2), key=self.graph.order_of):
-            if w in (u, v) or w in u_neighbors or w in v_neighbors:
+        for w in sorted(self.state.tight_view(owners, 2), key=order.__getitem__):
+            if w in (su, sv) or w in u_neighbors or w in v_neighbors:
                 continue
             # {u, v, w} is independent and dominated only by the owner pair.
-            self._perform_two_swap(owners, w, u, v)
+            self._perform_two_swap(owners, w, su, sv)
             return

@@ -4,6 +4,10 @@ These brute-force checkers are deliberately simple and independent of the
 maintenance algorithms' bookkeeping; the test-suite uses them as ground truth
 (including inside Hypothesis property tests), and the experiment harness uses
 them to validate solutions before reporting quality numbers.
+
+The public functions accept and return vertex labels; the scans underneath
+run on the graph's slot views so they stay cheap even when called inside
+property tests with thousands of examples.
 """
 
 from __future__ import annotations
@@ -21,13 +25,21 @@ def is_independent_set(graph: DynamicGraph, vertices: Iterable[Vertex]) -> bool:
 
 def is_maximal_independent_set(graph: DynamicGraph, vertices: Iterable[Vertex]) -> bool:
     """Return ``True`` when ``vertices`` form a *maximal* independent set."""
-    members = set(vertices)
-    if not graph.is_independent_set(members):
-        return False
-    for v in graph.vertices():
-        if v in members:
+    slot_map = graph.slot_map_view()
+    members: Set[int] = set()
+    for v in vertices:
+        s = slot_map.get(v)
+        if s is None:
+            return False
+        members.add(s)
+    adj = graph.adjacency_slots_view()
+    for s in members:
+        if adj[s] & members:
+            return False
+    for s in graph.slots():
+        if s in members:
             continue
-        if not (graph.neighbors(v) & members):
+        if not (adj[s] & members):
             return False
     return True
 
@@ -44,19 +56,24 @@ def find_j_swap(
     """
     if j < 1:
         raise ValueError("j must be at least 1")
-    outside = [v for v in graph.vertices() if v not in solution]
-    for swap_out in combinations(sorted(solution, key=graph.order_of), j):
+    adj = graph.adjacency_slots_view()
+    label = graph.labels_view()
+    order = graph.orders_view()
+    # Strict oracle: a stale solution label is an error, not something to
+    # silently prune (slot_of raises VertexNotFoundError).
+    members = {graph.slot_of(v) for v in solution}
+    outside = [s for s in graph.slots() if s not in members]
+    for swap_out in combinations(sorted(members, key=order.__getitem__), j):
         removed = set(swap_out)
-        remaining = solution - removed
+        remaining = members - removed
         # Vertices that become available: not adjacent to the remaining solution.
-        available = [
-            v
-            for v in outside
-            if not (graph.neighbors(v) & remaining)
-        ]
+        available = [s for s in outside if not (adj[s] & remaining)]
         swap_in = _greedy_then_exact_independent_subset(graph, available, j + 1)
         if swap_in is not None:
-            return swap_out, tuple(swap_in)
+            return (
+                tuple(label[s] for s in swap_out),
+                tuple(label[s] for s in swap_in),
+            )
     return None
 
 
@@ -80,68 +97,78 @@ def find_one_swap(
     graph: DynamicGraph, solution: Set[Vertex]
 ) -> Optional[Tuple[Vertex, Tuple[Vertex, Vertex]]]:
     """Direct search for a 1-swap: a solution vertex with two non-adjacent tight neighbours."""
-    for v in solution:
+    adj = graph.adjacency_slots_view()
+    label = graph.labels_view()
+    # Strict oracle: stale solution labels raise (see find_j_swap).
+    members = {graph.slot_of(v) for v in solution}
+    for s in members:
         tight = [
-            u
-            for u in graph.neighbors(v)
-            if u not in solution and len(graph.neighbors(u) & solution) == 1
+            t
+            for t in adj[s]
+            if t not in members and len(adj[t] & members) == 1
         ]
         for a, b in combinations(tight, 2):
-            if not graph.has_edge(a, b):
-                return v, (a, b)
+            if b not in adj[a]:
+                return label[s], (label[a], label[b])
     return None
 
 
 def independence_violations(graph: DynamicGraph, vertices: Iterable[Vertex]) -> List[Tuple[Vertex, Vertex]]:
     """Return every edge of ``graph`` with both endpoints in ``vertices``."""
-    members = set(vertices)
+    slot_map = graph.slot_map_view()
+    adj = graph.adjacency_slots_view()
+    label = graph.labels_view()
+    order = graph.orders_view()
+    members = {slot_map[v] for v in vertices if v in slot_map}
     violations: List[Tuple[Vertex, Vertex]] = []
-    for v in members:
-        if not graph.has_vertex(v):
-            continue
-        for u in graph.neighbors(v):
-            if u in members and graph.order_of(u) > graph.order_of(v):
-                violations.append((v, u))
+    for s in members:
+        for t in adj[s]:
+            if t in members and order[t] > order[s]:
+                violations.append((label[s], label[t]))
     return violations
 
 
 def greedy_independent_set(graph: DynamicGraph) -> Set[Vertex]:
     """Smallest-degree-first greedy maximal independent set (reference heuristic)."""
-    solution: Set[Vertex] = set()
-    blocked: Set[Vertex] = set()
-    for v in sorted(graph.vertices(), key=graph.degree_order_key):
-        if v in blocked:
+    adj = graph.adjacency_slots_view()
+    label = graph.labels_view()
+    solution: Set[int] = set()
+    blocked: Set[int] = set()
+    for s in sorted(graph.slots(), key=graph.slot_order_key):
+        if s in blocked:
             continue
-        solution.add(v)
-        blocked.add(v)
-        blocked.update(graph.neighbors(v))
-    return solution
+        solution.add(s)
+        blocked.add(s)
+        blocked.update(adj[s])
+    return {label[s] for s in solution}
 
 
 def _greedy_then_exact_independent_subset(
-    graph: DynamicGraph, candidates: List[Vertex], size: int
-) -> Optional[List[Vertex]]:
-    """Find an independent subset of ``candidates`` of the requested size.
+    graph: DynamicGraph, candidates: List[int], size: int
+) -> Optional[List[int]]:
+    """Find an independent subset of ``candidates`` (slots) of the requested size.
 
     Tries a cheap greedy pass first, then falls back to exhaustive search on
     the (small) candidate pool.
     """
     if len(candidates) < size:
         return None
+    adj = graph.adjacency_slots_view()
     # Greedy attempt.
-    chosen: List[Vertex] = []
-    chosen_set: Set[Vertex] = set()
-    for v in sorted(candidates, key=graph.degree_order_key):
-        if graph.neighbors(v) & chosen_set:
+    chosen: List[int] = []
+    chosen_set: Set[int] = set()
+    for s in sorted(candidates, key=graph.slot_order_key):
+        if adj[s] & chosen_set:
             continue
-        chosen.append(v)
-        chosen_set.add(v)
+        chosen.append(s)
+        chosen_set.add(s)
         if len(chosen) == size:
             return chosen
     # Exhaustive fallback (candidate pools in tests are tiny).
     if len(candidates) > 22:
-        candidates = sorted(candidates, key=graph.degree_order_key)[:22]
+        candidates = sorted(candidates, key=graph.slot_order_key)[:22]
     for combo in combinations(candidates, size):
-        if graph.is_independent_set(combo):
+        combo_set = set(combo)
+        if all(not (adj[s] & combo_set) for s in combo):
             return list(combo)
     return None

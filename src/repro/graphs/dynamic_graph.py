@@ -1,15 +1,30 @@
-"""A mutable, undirected, unweighted dynamic graph.
+"""A mutable, undirected, unweighted dynamic graph with a dense slot core.
 
 This is the substrate every algorithm in the library runs on.  The paper's
 dynamic MaxIS maintenance algorithms need exactly four structural update
 primitives — vertex insertion, vertex deletion, edge insertion and edge
-deletion — plus constant-time adjacency queries.  The implementation keeps an
-adjacency-set representation (``dict`` of ``set``) which offers expected O(1)
-membership tests and O(d(v)) neighbourhood iteration, matching the cost model
-used in the paper's complexity analysis.
+deletion — plus constant-time adjacency queries.
+
+Internally every vertex is assigned a **dense integer slot**: adjacency is a
+``list`` of ``set[int]`` indexed by slot, and all per-vertex attributes the
+hot paths need (degree, interned insertion order) are flat lists indexed by
+slot.  A free-list recycles the slots of deleted vertices, so the arrays stay
+dense under arbitrary insert/delete churn.  The *public* API still speaks
+arbitrary ``Hashable`` vertex labels — translation between labels and slots
+happens once at the boundary (one dict lookup per operation operand), never
+inside loops.  Maintenance algorithms use the slot-level primitives
+(:meth:`slot_of`, :meth:`vertex_of`, :meth:`neighbors_slots_view`,
+:meth:`adjacency_slots_view`, :meth:`orders_view`, …) and therefore do zero
+label hashing on their inner loops.
 
 Vertices are arbitrary hashable objects; the experiment code uses ``int``
-identifiers throughout.
+identifiers throughout, but strings (or any hashable label) work identically
+— see ``examples/quickstart.py``.
+
+Determinism: every vertex also carries a monotone *interned insertion index*
+(:meth:`order_of`) that is never reused, even when its slot is.  All greedy
+tie-breaks in the library sort by ``(degree, insertion index)``, so
+trajectories do not depend on slot recycling or set iteration order.
 """
 
 from __future__ import annotations
@@ -26,6 +41,10 @@ from repro.exceptions import (
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
+
+#: Sentinel stored in the slot→label table for recycled (free) slots.  A
+#: dedicated object so that ``None``/``False``/… remain usable vertex labels.
+_FREE = object()
 
 
 class DynamicGraph:
@@ -51,49 +70,202 @@ class DynamicGraph:
     False
     """
 
-    __slots__ = ("_adjacency", "_num_edges", "_order", "_next_order")
+    __slots__ = ("_slot", "_label", "_adj", "_order", "_free", "_num_edges", "_next_order")
 
     def __init__(
         self,
         vertices: Iterable[Vertex] | None = None,
         edges: Iterable[Edge] | None = None,
     ) -> None:
-        self._adjacency: Dict[Vertex, Set[Vertex]] = {}
+        # label -> slot (the only hashed structure; touched once per operand).
+        self._slot: Dict[Vertex, int] = {}
+        # slot -> label (_FREE for recycled slots awaiting reuse).
+        self._label: List[Vertex] = []
+        # slot -> set of neighbour slots.
+        self._adj: List[Set[int]] = []
+        # slot -> interned insertion index: a deterministic total order that
+        # is O(1) to compare, injective even for vertex types whose repr is
+        # not, and — unlike the slot itself — never reused.  Used as the
+        # tie-break in every greedy sort.
+        self._order: List[int] = []
+        # Recycled slots, reused LIFO by the next insertion.
+        self._free: List[int] = []
         self._num_edges = 0
-        # Monotone insertion index per vertex: a deterministic total order that
-        # is O(1) to compare (no string building) and injective even for vertex
-        # types whose repr is not.  Used as the tie-break in every greedy sort.
-        self._order: Dict[Vertex, int] = {}
         self._next_order = 0
         if vertices is not None:
+            slot_map = self._slot
             for v in vertices:
-                if v not in self._adjacency:
-                    self._adjacency[v] = set()
-                    self._intern(v)
+                if v not in slot_map:
+                    self._alloc(v)
         if edges is not None:
+            slot_map = self._slot
+            adj = self._adj
             for u, v in edges:
-                if u not in self._adjacency:
-                    self._adjacency[u] = set()
-                    self._intern(u)
-                if v not in self._adjacency:
-                    self._adjacency[v] = set()
-                    self._intern(v)
-                if u != v and v not in self._adjacency[u]:
-                    self._adjacency[u].add(v)
-                    self._adjacency[v].add(u)
+                su = slot_map.get(u)
+                if su is None:
+                    su = self._alloc(u)
+                sv = slot_map.get(v)
+                if sv is None:
+                    sv = self._alloc(v)
+                if su != sv and sv not in adj[su]:
+                    adj[su].add(sv)
+                    adj[sv].add(su)
                     self._num_edges += 1
 
-    def _intern(self, vertex: Vertex) -> None:
-        self._order[vertex] = self._next_order
+    # ------------------------------------------------------------------ #
+    # Slot management
+    # ------------------------------------------------------------------ #
+    def _alloc(self, vertex: Vertex) -> int:
+        """Assign ``vertex`` a slot (recycling a free one when available)."""
+        free = self._free
+        if free:
+            s = free.pop()
+            self._label[s] = vertex
+            self._order[s] = self._next_order
+        else:
+            s = len(self._label)
+            self._label.append(vertex)
+            self._adj.append(set())
+            self._order.append(self._next_order)
+        self._slot[vertex] = s
         self._next_order += 1
+        return s
+
+    def pop_vertex_slot(self, slot: int) -> Set[int]:
+        """Delete the vertex at ``slot``; return its former neighbour slots.
+
+        Slot-level twin of :meth:`remove_vertex` for callers that already
+        resolved the label.  The returned set is handed over to the caller
+        (the graph replaces it internally), so no copy is needed.
+        """
+        label = self._label[slot]
+        if label is _FREE:
+            raise VertexNotFoundError(slot)
+        del self._slot[label]
+        adj = self._adj
+        nbrs = adj[slot]
+        adj[slot] = set()
+        for t in nbrs:
+            adj[t].discard(slot)
+        self._num_edges -= len(nbrs)
+        self._label[slot] = _FREE
+        self._free.append(slot)
+        return nbrs
 
     # ------------------------------------------------------------------ #
-    # Basic accessors
+    # Slot-level primitives (the hot-path API)
+    # ------------------------------------------------------------------ #
+    def slot_of(self, vertex: Vertex) -> int:
+        """Return the dense slot of ``vertex`` (stable until it is deleted)."""
+        try:
+            return self._slot[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def vertex_of(self, slot: int) -> Vertex:
+        """Return the label stored at ``slot``."""
+        label = self._label[slot]
+        if label is _FREE:
+            raise VertexNotFoundError(slot)
+        return label
+
+    def is_live_slot(self, slot: int) -> bool:
+        """Return ``True`` when ``slot`` currently holds a vertex."""
+        return 0 <= slot < len(self._label) and self._label[slot] is not _FREE
+
+    @property
+    def num_slots(self) -> int:
+        """Size of the slot arrays (live vertices plus free slots)."""
+        return len(self._label)
+
+    def slots(self) -> Iterable[int]:
+        """Iterate over the slots of all live vertices, in insertion order."""
+        return self._slot.values()
+
+    def slot_map_view(self) -> Dict[Vertex, int]:
+        """Return the live label→slot mapping (read-only for callers).
+
+        Boundary code translates operands with one lookup here; hot loops
+        also use ``label in graph.slot_map_view()`` for membership tests.
+        """
+        return self._slot
+
+    def labels_view(self) -> List[Vertex]:
+        """Return the live slot→label table (read-only; free slots hold a sentinel)."""
+        return self._label
+
+    def adjacency_slots_view(self) -> List[Set[int]]:
+        """Return the live slot-indexed adjacency list (read-only for callers).
+
+        ``adjacency_slots_view()[s]`` is the neighbour-slot set of the vertex
+        at slot ``s`` — the zero-hash replacement for :meth:`neighbors` on
+        every inner loop.
+        """
+        return self._adj
+
+    def neighbors_slots_view(self, slot: int) -> Set[int]:
+        """Return the live neighbour-slot set of the vertex at ``slot``."""
+        return self._adj[slot]
+
+    def orders_view(self) -> List[int]:
+        """Return the live slot-indexed interned-insertion-order table."""
+        return self._order
+
+    def degree_by_slot(self, slot: int) -> int:
+        """Return the degree of the vertex at ``slot``."""
+        return len(self._adj[slot])
+
+    def order_by_slot(self, slot: int) -> int:
+        """Return the interned insertion index of the vertex at ``slot``."""
+        return self._order[slot]
+
+    def slot_order_key(self, slot: int) -> Tuple[int, int]:
+        """Return ``(degree, insertion index)`` for ``slot`` — the canonical greedy key."""
+        return len(self._adj[slot]), self._order[slot]
+
+    def add_vertex_slot(self, vertex: Vertex) -> int:
+        """Insert an isolated vertex and return its assigned slot."""
+        if vertex in self._slot:
+            raise VertexExistsError(vertex)
+        return self._alloc(vertex)
+
+    def add_edge_slots(self, su: int, sv: int) -> None:
+        """Insert the edge between two live slots (validates like :meth:`add_edge`).
+
+        NOTE: the state classes (``MISState.add_edge_slots`` and the lazy
+        twin) inline this exact logic — validation, symmetric adjacency
+        update, ``_num_edges`` — to save a call on the stream hot path.
+        Any change to the edge bookkeeping here must be mirrored there.
+        """
+        if su == sv:
+            raise SelfLoopError(self._label[su])
+        adj = self._adj
+        if sv in adj[su]:
+            raise EdgeExistsError(self._label[su], self._label[sv])
+        adj[su].add(sv)
+        adj[sv].add(su)
+        self._num_edges += 1
+
+    def remove_edge_slots(self, su: int, sv: int) -> None:
+        """Delete the edge between two live slots (validates like :meth:`remove_edge`).
+
+        NOTE: inlined by ``MISState.remove_edge_structural`` and the lazy
+        twin (see :meth:`add_edge_slots`) — keep the bookkeeping in sync.
+        """
+        adj = self._adj
+        if sv not in adj[su]:
+            raise EdgeNotFoundError(self._label[su], self._label[sv])
+        adj[su].discard(sv)
+        adj[sv].discard(su)
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors (label boundary)
     # ------------------------------------------------------------------ #
     @property
     def num_vertices(self) -> int:
         """Number of vertices currently in the graph."""
-        return len(self._adjacency)
+        return len(self._slot)
 
     @property
     def num_edges(self) -> int:
@@ -101,104 +273,109 @@ class DynamicGraph:
         return self._num_edges
 
     def __len__(self) -> int:
-        return len(self._adjacency)
+        return len(self._slot)
 
     def __contains__(self, vertex: Vertex) -> bool:
-        return vertex in self._adjacency
+        return vertex in self._slot
 
     def __iter__(self) -> Iterator[Vertex]:
-        return iter(self._adjacency)
+        return iter(self._slot)
 
     def vertices(self) -> Iterator[Vertex]:
-        """Iterate over all vertices."""
-        return iter(self._adjacency)
+        """Iterate over all vertices (label insertion order)."""
+        return iter(self._slot)
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges, yielding each undirected edge exactly once."""
-        seen: Set[Vertex] = set()
-        for u, nbrs in self._adjacency.items():
-            for v in nbrs:
-                if v not in seen:
-                    yield (u, v)
-            seen.add(u)
+        label = self._label
+        adj = self._adj
+        seen: Set[int] = set()
+        for s in self._slot.values():
+            u = label[s]
+            for t in adj[s]:
+                if t not in seen:
+                    yield (u, label[t])
+            seen.add(s)
 
     def has_vertex(self, vertex: Vertex) -> bool:
         """Return ``True`` if ``vertex`` is in the graph."""
-        return vertex in self._adjacency
+        return vertex in self._slot
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         """Return ``True`` if the undirected edge ``(u, v)`` is in the graph."""
-        nbrs = self._adjacency.get(u)
-        return nbrs is not None and v in nbrs
+        su = self._slot.get(u)
+        if su is None:
+            return False
+        sv = self._slot.get(v)
+        return sv is not None and sv in self._adj[su]
 
     def neighbors(self, vertex: Vertex) -> Set[Vertex]:
-        """Return the open neighbourhood ``N(v)`` of ``vertex``.
+        """Return the open neighbourhood ``N(v)`` of ``vertex`` as a label set.
 
-        The returned set is the live internal adjacency set; callers must not
-        mutate it.  Use :meth:`neighbors_copy` when a stable snapshot is
-        needed while the graph is being modified.
+        Translated from the slot core, so the result is a fresh set per call;
+        hot loops use :meth:`neighbors_slots_view` instead and translate
+        nothing.
         """
         try:
-            return self._adjacency[vertex]
+            s = self._slot[vertex]
         except KeyError:
             raise VertexNotFoundError(vertex) from None
+        label = self._label
+        return {label[t] for t in self._adj[s]}
 
     def neighbors_copy(self, vertex: Vertex) -> Set[Vertex]:
         """Return a copy of the open neighbourhood of ``vertex``."""
-        return set(self.neighbors(vertex))
-
-    def vertices_view(self) -> Dict[Vertex, Set[Vertex]]:
-        """Return the live adjacency mapping for O(1) membership tests.
-
-        Hot loops use ``v in graph.vertices_view()`` instead of paying a
-        method call per :meth:`has_vertex` query.  Callers must not mutate
-        the mapping.
-        """
-        return self._adjacency
+        return self.neighbors(vertex)
 
     def closed_neighbors(self, vertex: Vertex) -> Set[Vertex]:
         """Return the closed neighbourhood ``N[v] = N(v) ∪ {v}`` as a new set."""
-        closed = set(self.neighbors(vertex))
+        closed = self.neighbors(vertex)
         closed.add(vertex)
         return closed
 
     def degree(self, vertex: Vertex) -> int:
         """Return the degree of ``vertex``."""
-        return len(self.neighbors(vertex))
+        try:
+            return len(self._adj[self._slot[vertex]])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
 
     def order_of(self, vertex: Vertex) -> int:
         """Return the insertion index of ``vertex`` (a deterministic total order).
 
         Indices are assigned monotonically when a vertex enters the graph and
-        are never reused; re-inserting a deleted vertex assigns a fresh, higher
-        index.
+        are never reused; re-inserting a deleted vertex assigns a fresh,
+        higher index even when its *slot* is recycled.
         """
         try:
-            return self._order[vertex]
+            return self._order[self._slot[vertex]]
         except KeyError:
             raise VertexNotFoundError(vertex) from None
 
     def degree_order_key(self, vertex: Vertex) -> Tuple[int, int]:
         """Return ``(degree, insertion index)`` — the canonical greedy sort key."""
-        return len(self._adjacency[vertex]), self._order[vertex]
+        s = self._slot[vertex]
+        return len(self._adj[s]), self._order[s]
 
     def max_degree(self) -> int:
         """Return the maximum degree Δ of the graph (0 for an empty graph)."""
-        if not self._adjacency:
+        if not self._slot:
             return 0
-        return max(len(nbrs) for nbrs in self._adjacency.values())
+        adj = self._adj
+        return max(len(adj[s]) for s in self._slot.values())
 
     def min_degree(self) -> int:
         """Return the minimum degree δ of the graph (0 for an empty graph)."""
-        if not self._adjacency:
+        if not self._slot:
             return 0
-        return min(len(nbrs) for nbrs in self._adjacency.values())
+        adj = self._adj
+        return min(len(adj[s]) for s in self._slot.values())
 
     def average_degree(self) -> float:
         """Return the average degree ``2m / n`` (0.0 for an empty graph)."""
-        if not self._adjacency:
+        if not self._slot:
             return 0.0
-        return 2.0 * self._num_edges / len(self._adjacency)
+        return 2.0 * self._num_edges / len(self._slot)
 
     # ------------------------------------------------------------------ #
     # Mutation primitives
@@ -211,17 +388,15 @@ class DynamicGraph:
         VertexExistsError
             If the vertex is already present.
         """
-        if vertex in self._adjacency:
+        if vertex in self._slot:
             raise VertexExistsError(vertex)
-        self._adjacency[vertex] = set()
-        self._intern(vertex)
+        self._alloc(vertex)
 
     def add_vertex_if_missing(self, vertex: Vertex) -> bool:
         """Insert ``vertex`` if absent.  Return ``True`` when it was inserted."""
-        if vertex in self._adjacency:
+        if vertex in self._slot:
             return False
-        self._adjacency[vertex] = set()
-        self._intern(vertex)
+        self._alloc(vertex)
         return True
 
     def remove_vertex(self, vertex: Vertex) -> Set[Vertex]:
@@ -239,14 +414,11 @@ class DynamicGraph:
             If the vertex is not present.
         """
         try:
-            nbrs = self._adjacency.pop(vertex)
+            s = self._slot[vertex]
         except KeyError:
             raise VertexNotFoundError(vertex) from None
-        del self._order[vertex]
-        for u in nbrs:
-            self._adjacency[u].discard(vertex)
-        self._num_edges -= len(nbrs)
-        return nbrs
+        label = self._label
+        return {label[t] for t in self.pop_vertex_slot(s)}
 
     def add_edge(self, u: Vertex, v: Vertex, *, add_missing_vertices: bool = False) -> None:
         """Insert the undirected edge ``(u, v)``.
@@ -266,20 +438,22 @@ class DynamicGraph:
         """
         if u == v:
             raise SelfLoopError(u)
-        if u not in self._adjacency:
+        slot_map = self._slot
+        su = slot_map.get(u)
+        if su is None:
             if not add_missing_vertices:
                 raise VertexNotFoundError(u)
-            self._adjacency[u] = set()
-            self._intern(u)
-        if v not in self._adjacency:
+            su = self._alloc(u)
+        sv = slot_map.get(v)
+        if sv is None:
             if not add_missing_vertices:
                 raise VertexNotFoundError(v)
-            self._adjacency[v] = set()
-            self._intern(v)
-        if v in self._adjacency[u]:
+            sv = self._alloc(v)
+        adj = self._adj
+        if sv in adj[su]:
             raise EdgeExistsError(u, v)
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)
+        adj[su].add(sv)
+        adj[sv].add(su)
         self._num_edges += 1
 
     def add_edge_if_missing(self, u: Vertex, v: Vertex) -> bool:
@@ -290,16 +464,18 @@ class DynamicGraph:
         """
         if u == v:
             return False
-        if u not in self._adjacency:
-            self._adjacency[u] = set()
-            self._intern(u)
-        if v not in self._adjacency:
-            self._adjacency[v] = set()
-            self._intern(v)
-        if v in self._adjacency[u]:
+        slot_map = self._slot
+        su = slot_map.get(u)
+        if su is None:
+            su = self._alloc(u)
+        sv = slot_map.get(v)
+        if sv is None:
+            sv = self._alloc(v)
+        adj = self._adj
+        if sv in adj[su]:
             return False
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)
+        adj[su].add(sv)
+        adj[sv].add(su)
         self._num_edges += 1
         return True
 
@@ -313,25 +489,37 @@ class DynamicGraph:
         VertexNotFoundError
             If either endpoint is not present.
         """
-        if u not in self._adjacency:
+        slot_map = self._slot
+        su = slot_map.get(u)
+        if su is None:
             raise VertexNotFoundError(u)
-        if v not in self._adjacency:
+        sv = slot_map.get(v)
+        if sv is None:
             raise VertexNotFoundError(v)
-        if v not in self._adjacency[u]:
+        adj = self._adj
+        if sv not in adj[su]:
             raise EdgeNotFoundError(u, v)
-        self._adjacency[u].discard(v)
-        self._adjacency[v].discard(u)
+        adj[su].discard(sv)
+        adj[sv].discard(su)
         self._num_edges -= 1
 
     # ------------------------------------------------------------------ #
     # Derived views
     # ------------------------------------------------------------------ #
     def copy(self) -> "DynamicGraph":
-        """Return a deep copy of the graph structure."""
+        """Return a deep copy of the graph structure.
+
+        Slots, interned orders and the free-list are preserved, so algorithms
+        running on a copy walk exactly the same slot trajectories as on the
+        original.
+        """
         clone = DynamicGraph()
-        clone._adjacency = {v: set(nbrs) for v, nbrs in self._adjacency.items()}
+        clone._slot = dict(self._slot)
+        clone._label = list(self._label)
+        clone._adj = [set(nbrs) for nbrs in self._adj]
+        clone._order = list(self._order)
+        clone._free = list(self._free)
         clone._num_edges = self._num_edges
-        clone._order = dict(self._order)
         clone._next_order = self._next_order
         return clone
 
@@ -340,68 +528,95 @@ class DynamicGraph:
 
         Vertices not present in the graph are silently ignored, which makes it
         convenient to project candidate sets that may reference stale ids.
+        The parent's insertion order is inherited so tie-breaks stay
+        consistent between a graph and its projections; slots are reassigned
+        densely.
         """
-        keep = {v for v in vertices if v in self._adjacency}
+        slot_map = self._slot
+        keep_slots = {slot_map[v] for v in vertices if v in slot_map}
         sub = DynamicGraph()
-        sub._adjacency = {v: self._adjacency[v] & keep for v in keep}
-        sub._num_edges = sum(len(nbrs) for nbrs in sub._adjacency.values()) // 2
-        # Inherit the parent's insertion order so tie-breaks stay consistent
-        # between a graph and its projections.
-        sub._order = {v: self._order[v] for v in keep}
+        label = self._label
+        order = self._order
+        # Allocate in parent-slot order for a deterministic dense layout.
+        translate: Dict[int, int] = {}
+        for s in sorted(keep_slots):
+            t = sub._alloc(label[s])
+            sub._order[t] = order[s]
+            translate[s] = t
         sub._next_order = self._next_order
+        adj = self._adj
+        sub_adj = sub._adj
+        edge_count = 0
+        for s in keep_slots:
+            t = translate[s]
+            projected = {translate[x] for x in adj[s] if x in keep_slots}
+            sub_adj[t] = projected
+            edge_count += len(projected)
+        sub._num_edges = edge_count // 2
         return sub
 
     def degree_sequence(self) -> List[int]:
         """Return the (unsorted) list of vertex degrees."""
-        return [len(nbrs) for nbrs in self._adjacency.values()]
+        adj = self._adj
+        return [len(adj[s]) for s in self._slot.values()]
 
     def degree_histogram(self) -> Dict[int, int]:
         """Return a mapping ``degree -> number of vertices with that degree``."""
         histogram: Dict[int, int] = {}
-        for nbrs in self._adjacency.values():
-            d = len(nbrs)
+        adj = self._adj
+        for s in self._slot.values():
+            d = len(adj[s])
             histogram[d] = histogram.get(d, 0) + 1
         return histogram
 
     def is_independent_set(self, vertices: Iterable[Vertex]) -> bool:
         """Return ``True`` if ``vertices`` form an independent set in the graph."""
-        members = set(vertices)
-        for v in members:
-            nbrs = self._adjacency.get(v)
-            if nbrs is None:
+        slot_map = self._slot
+        members: Set[int] = set()
+        for v in vertices:
+            s = slot_map.get(v)
+            if s is None:
                 return False
-            if nbrs & members:
+            members.add(s)
+        adj = self._adj
+        for s in members:
+            if adj[s] & members:
                 return False
         return True
 
     def is_clique(self, vertices: Iterable[Vertex]) -> bool:
         """Return ``True`` if ``vertices`` induce a complete subgraph."""
-        members = [v for v in vertices]
-        member_set = set(members)
-        for v in member_set:
-            nbrs = self._adjacency.get(v)
-            if nbrs is None:
+        slot_map = self._slot
+        members: Set[int] = set()
+        for v in vertices:
+            s = slot_map.get(v)
+            if s is None:
                 return False
-            if len(member_set - nbrs - {v}) > 0:
+            members.add(s)
+        adj = self._adj
+        for s in members:
+            if len(members - adj[s] - {s}) > 0:
                 return False
         return True
 
     def connected_components(self) -> List[Set[Vertex]]:
         """Return the connected components as a list of vertex sets."""
-        seen: Set[Vertex] = set()
+        label = self._label
+        adj = self._adj
+        seen: Set[int] = set()
         components: List[Set[Vertex]] = []
-        for start in self._adjacency:
+        for start in self._slot.values():
             if start in seen:
                 continue
             stack = [start]
-            component: Set[Vertex] = {start}
+            component: Set[Vertex] = {label[start]}
             seen.add(start)
             while stack:
                 node = stack.pop()
-                for nbr in self._adjacency[node]:
+                for nbr in adj[node]:
                     if nbr not in seen:
                         seen.add(nbr)
-                        component.add(nbr)
+                        component.add(label[nbr])
                         stack.append(nbr)
             components.append(component)
         return components
@@ -409,7 +624,14 @@ class DynamicGraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DynamicGraph):
             return NotImplemented
-        return self._adjacency == other._adjacency
+        if len(self._slot) != len(other._slot) or self._num_edges != other._num_edges:
+            return False
+        for v in self._slot:
+            if v not in other._slot:
+                return False
+            if self.neighbors(v) != other.neighbors(v):
+                return False
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"DynamicGraph(n={self.num_vertices}, m={self.num_edges})"
@@ -418,17 +640,33 @@ class DynamicGraph:
     # Validation
     # ------------------------------------------------------------------ #
     def check_consistency(self) -> None:
-        """Verify the adjacency structure is symmetric and the edge count matches.
+        """Verify the slot structures are coherent and the edge count matches.
 
         Intended for tests and debugging; raises ``AssertionError`` on failure.
         """
-        assert set(self._order) == set(self._adjacency), "order map out of sync"
+        n_slots = len(self._label)
+        assert len(self._adj) == n_slots, "adjacency table size out of sync"
+        assert len(self._order) == n_slots, "order table size out of sync"
+        assert len(self._slot) + len(self._free) == n_slots, (
+            f"{len(self._slot)} live + {len(self._free)} free != {n_slots} slots"
+        )
+        assert len(set(self._free)) == len(self._free), "duplicate free slots"
+        for s in self._free:
+            assert self._label[s] is _FREE, f"free slot {s} still labelled"
+            assert not self._adj[s], f"free slot {s} has residual adjacency"
+        for v, s in self._slot.items():
+            assert 0 <= s < n_slots, f"slot {s} of {v!r} out of range"
+            assert self._label[s] == v, f"slot {s} label mismatch for {v!r}"
+            assert self._order[s] < self._next_order, "order index out of range"
         total = 0
-        for u, nbrs in self._adjacency.items():
-            assert u not in nbrs, f"self loop on {u!r}"
-            for v in nbrs:
-                assert v in self._adjacency, f"dangling endpoint {v!r}"
-                assert u in self._adjacency[v], f"asymmetric edge ({u!r}, {v!r})"
+        for s in self._slot.values():
+            nbrs = self._adj[s]
+            assert s not in nbrs, f"self loop on {self._label[s]!r}"
+            for t in nbrs:
+                assert self._label[t] is not _FREE, f"edge to free slot {t}"
+                assert s in self._adj[t], (
+                    f"asymmetric edge ({self._label[s]!r}, {self._label[t]!r})"
+                )
             total += len(nbrs)
         assert total % 2 == 0, "odd sum of degrees"
         assert total // 2 == self._num_edges, (
@@ -442,11 +680,15 @@ def complement_edges(graph: DynamicGraph, vertices: Iterable[Vertex]) -> List[Ed
     Used by the two-swap search, which looks for triangles in the complement of
     ``G[¯I≤2(S)]``.
     """
-    members = [v for v in vertices if graph.has_vertex(v)]
+    slot_map = graph.slot_map_view()
+    label = graph.labels_view()
+    adj = graph.adjacency_slots_view()
+    members = [slot_map[v] for v in vertices if v in slot_map]
     result: List[Edge] = []
-    for i, u in enumerate(members):
-        nbrs = graph.neighbors(u)
-        for v in members[i + 1 :]:
-            if v not in nbrs:
-                result.append((u, v))
+    for i, su in enumerate(members):
+        nbrs = adj[su]
+        u = label[su]
+        for sv in members[i + 1 :]:
+            if sv not in nbrs:
+                result.append((u, label[sv]))
     return result

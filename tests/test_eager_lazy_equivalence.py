@@ -89,6 +89,26 @@ class TestEagerLazyEquivalence:
         lazy = _run(KSwapFramework, graph, stream, lazy=True, batch_size=1, k=3)
         _assert_equivalent(eager, lazy)
 
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        graph_seed=st.integers(min_value=0, max_value=2**20),
+        stream_seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_equivalence_under_slot_recycling(self, graph_seed, stream_seed):
+        """Vertex-heavy streams recycle graph slots; trajectories must not notice.
+
+        With ``edge_fraction=0.25`` most operations delete/insert vertices,
+        so newly inserted vertices constantly land in recycled slots of the
+        dense-slot core (see ``tests/test_slot_reuse.py`` for the layer-level
+        contract).
+        """
+        graph = gnm_random_graph(22, 36, seed=graph_seed)
+        stream = mixed_update_stream(graph, 70, seed=stream_seed, edge_fraction=0.25)
+        for algorithm_class in (DyOneSwap, DyTwoSwap):
+            eager = _run(algorithm_class, graph, stream, lazy=False, batch_size=1)
+            lazy = _run(algorithm_class, graph, stream, lazy=True, batch_size=1)
+            _assert_equivalent(eager, lazy)
+
 
 class TestBatchedStreamSemantics:
     """Batched application must preserve the solution-quality guarantees.

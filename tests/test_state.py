@@ -173,13 +173,14 @@ class TestInvariantChecking:
 
     def test_check_invariants_detects_adjacent_solution(self, path_graph):
         state = make_state(path_graph, solution=[0])
-        # Corrupt the state on purpose.
-        state._in_solution.add(1)
+        # Corrupt the state on purpose (slot of label 1 is 1 in a fresh path).
+        state._in_sol[1] = 1
+        state._sol_slots.add(1)
         with pytest.raises(SolutionInvariantError):
             state.check_invariants()
 
     def test_check_invariants_detects_wrong_counts(self, path_graph):
         state = make_state(path_graph, solution=[0, 2])
-        state._solution_neighbors[1].discard(0)
+        state._sn[1].discard(0)
         with pytest.raises(SolutionInvariantError):
             state.check_invariants()

@@ -22,6 +22,12 @@ than ``--tolerance`` (default 15%) fails the run (exit code 1), and changed
 solution sizes fail unconditionally (the optimisations must never change the
 algorithmic decisions).  ``--compare-mode warn`` downgrades the failure to a
 loud warning for machines with known-noisy clocks.
+
+Since PR 3 the profile covers two streams (the historical ``mixed`` workload
+and a ``bursty`` flash-crowd workload) and the batched update engine
+(``batch_size=64`` scenarios), and every run *appends* its summary to the
+``trajectory`` list inside the output JSON — the machine-readable perf
+history seed → PR1 → PR2 → PR3 → … — instead of overwriting it.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ from pathlib import Path
 from repro.core import DyOneSwap, DyTwoSwap
 from repro.core.state import MISState
 from repro.generators import power_law_random_graph
-from repro.updates import mixed_update_stream
+from repro.updates import flash_crowd_stream, mixed_update_stream
 
 _GRAPH = power_law_random_graph(800, 2.2, seed=123)
 _STREAM = mixed_update_stream(_GRAPH, 400, seed=321, edge_fraction=0.8)
@@ -45,12 +51,32 @@ _STREAM = mixed_update_stream(_GRAPH, 400, seed=321, edge_fraction=0.8)
 _QUICK_UPDATES = 2000
 _QUICK_ROUNDS = 5
 
-#: Algorithm configurations measured by both entry points.
+#: Streams of the quick profile, built lazily on the canonical graph.  The
+#: ``mixed`` stream is the historical workload every PR is gated on; the
+#: ``bursty`` stream (flash crowds: transient vertices that arrive and
+#: mostly leave within one burst window) is where the batched update
+#: engine's coalescing pays off.
+_STREAM_FACTORIES = {
+    "mixed": lambda graph: mixed_update_stream(
+        graph, _QUICK_UPDATES, seed=321, edge_fraction=0.8
+    ),
+    "bursty": lambda graph: flash_crowd_stream(
+        graph, _QUICK_UPDATES, burst_size=24, max_neighbors=2, churn=0.9, seed=321
+    ),
+}
+
+#: Scenarios measured by the quick profile: (name, class, kwargs, stream).
+#: ``batch_size`` in kwargs routes through apply_stream's batched engine.
 _ALGORITHMS = [
-    ("DyOneSwap", DyOneSwap, {}),
-    ("DyOneSwap-lazy", DyOneSwap, {"lazy": True}),
-    ("DyTwoSwap", DyTwoSwap, {}),
-    ("DyTwoSwap-batch16", DyTwoSwap, {"batch_size": 16}),
+    ("DyOneSwap", DyOneSwap, {}, "mixed"),
+    ("DyOneSwap-lazy", DyOneSwap, {"lazy": True}, "mixed"),
+    ("DyTwoSwap", DyTwoSwap, {}, "mixed"),
+    ("DyTwoSwap-batch16", DyTwoSwap, {"batch_size": 16}, "mixed"),
+    ("DyTwoSwap-batch64", DyTwoSwap, {"batch_size": 64}, "mixed"),
+    ("DyOneSwap-bursty", DyOneSwap, {}, "bursty"),
+    ("DyOneSwap-bursty-batch64", DyOneSwap, {"batch_size": 64}, "bursty"),
+    ("DyTwoSwap-bursty", DyTwoSwap, {}, "bursty"),
+    ("DyTwoSwap-bursty-batch64", DyTwoSwap, {"batch_size": 64}, "bursty"),
 ]
 
 
@@ -81,11 +107,21 @@ if pytest is not None:
         [
             (DyOneSwap, {}),
             (DyOneSwap, {"lazy": True}),
+            (DyOneSwap, {"batch_size": 64}),
             (DyTwoSwap, {}),
+            (DyTwoSwap, {"batch_size": 64}),
             (DyARW, {}),
             (DGTwoDIS, {}),
         ],
-        ids=["DyOneSwap", "DyOneSwap-lazy", "DyTwoSwap", "DyARW", "DGTwoDIS"],
+        ids=[
+            "DyOneSwap",
+            "DyOneSwap-lazy",
+            "DyOneSwap-batch64",
+            "DyTwoSwap",
+            "DyTwoSwap-batch64",
+            "DyARW",
+            "DGTwoDIS",
+        ],
     )
     def test_per_update_cost(benchmark, algorithm_class, kwargs):
         size = benchmark.pedantic(
@@ -153,14 +189,17 @@ def _state_hot_op_rates(*, cycles: int = 2000, k: int = 2) -> dict:
 # Quick profile (standalone, writes BENCH_core.json)
 # --------------------------------------------------------------------------- #
 def run_quick_profile(rounds: int = _QUICK_ROUNDS) -> dict:
-    """Best-of-``rounds`` per-update cost on the canonical quick workload."""
+    """Best-of-``rounds`` per-update cost on the canonical quick workloads."""
     rounds = max(1, rounds)
     graph = power_law_random_graph(800, 2.2, seed=123)
-    stream = mixed_update_stream(graph, _QUICK_UPDATES, seed=321, edge_fraction=0.8)
+    streams = {
+        key: factory(graph) for key, factory in _STREAM_FACTORIES.items()
+    }
     results = {}
-    for name, algorithm_class, kwargs in _ALGORITHMS:
+    for name, algorithm_class, kwargs, stream_key in _ALGORITHMS:
         kwargs = dict(kwargs)
         batch_size = kwargs.pop("batch_size", 1)
+        stream = streams[stream_key]
         best = float("inf")
         size = 0
         for _ in range(rounds):
@@ -221,6 +260,52 @@ def compare_against_baseline(
     return failures
 
 
+def _load_trajectory(path: Path) -> list:
+    """Return the perf trajectory stored in ``path`` (seed → PR1 → PR2 → …).
+
+    Older baseline files carried the history as ``seed_reference`` /
+    ``pr1_reference`` blobs next to the then-current ``per_update`` section;
+    those are folded into trajectory entries so the machine-readable history
+    survives the format change.
+    """
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    trajectory = data.get("trajectory")
+    if trajectory:
+        return list(trajectory)
+    trajectory = []
+    seed_ref = data.get("seed_reference")
+    if seed_ref:
+        trajectory.append(
+            {"label": "seed", "per_update_us": dict(seed_ref["per_update_us"])}
+        )
+    pr1_ref = data.get("pr1_reference")
+    if pr1_ref:
+        trajectory.append(
+            {"label": "PR1", "per_update_us": dict(pr1_ref["per_update_us"])}
+        )
+    per_update = data.get("per_update")
+    if per_update:
+        trajectory.append(
+            {
+                "label": "PR2",
+                "per_update_us": {
+                    name: entry["per_update_us"]
+                    for name, entry in per_update.items()
+                },
+                "solution_size": {
+                    name: entry["solution_size"]
+                    for name, entry in per_update.items()
+                },
+            }
+        )
+    return trajectory
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -229,6 +314,12 @@ def main(argv=None) -> int:
         help="where to write the machine-readable results",
     )
     parser.add_argument("--rounds", type=int, default=_QUICK_ROUNDS)
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="trajectory label for this run (e.g. PR3); appended to the "
+        "'trajectory' list carried over from the previous --output file",
+    )
     parser.add_argument(
         "--compare",
         metavar="BASELINE_JSON",
@@ -256,20 +347,48 @@ def main(argv=None) -> int:
     if args.compare is not None:
         baseline = json.loads(Path(args.compare).read_text())
 
+    output = Path(args.output)
+    # The trajectory (seed → PR1 → PR2 → …) is carried over from the
+    # previous contents of --output so history is appended to, never
+    # overwritten; each run adds one entry.  A fresh output path (e.g. CI's
+    # artifact file) inherits the history from the --compare baseline, so
+    # warn-mode CI runs still leave the full machine-readable record.
+    trajectory = _load_trajectory(output)
+    if not trajectory and args.compare is not None:
+        trajectory = _load_trajectory(Path(args.compare))
+
     per_update = run_quick_profile(rounds=args.rounds)
     hot_ops = _state_hot_op_rates()
+    trajectory.append(
+        {
+            "label": args.label or f"run-{len(trajectory)}",
+            "python": platform.python_version(),
+            "per_update_us": {
+                name: entry["per_update_us"] for name, entry in per_update.items()
+            },
+            "solution_size": {
+                name: entry["solution_size"] for name, entry in per_update.items()
+            },
+        }
+    )
     payload = {
         "benchmark": "bench_core_operations.quick_profile",
         "workload": {
             "graph": "power_law_random_graph(800, 2.2, seed=123)",
-            "stream": f"mixed_update_stream(n={_QUICK_UPDATES}, seed=321, edge_fraction=0.8)",
+            "streams": {
+                "mixed": f"mixed_update_stream(n={_QUICK_UPDATES}, seed=321, edge_fraction=0.8)",
+                "bursty": (
+                    f"flash_crowd_stream(n={_QUICK_UPDATES}, burst_size=24, "
+                    "max_neighbors=2, churn=0.9, seed=321)"
+                ),
+            },
             "timing": f"best of {args.rounds} rounds, apply_stream only (setup excluded)",
         },
         "python": platform.python_version(),
         "per_update": per_update,
         "state_hot_ops_per_sec": {k: round(v) for k, v in hot_ops.items()},
+        "trajectory": trajectory,
     }
-    output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     print(f"\nwritten to {output}")

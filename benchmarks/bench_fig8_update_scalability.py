@@ -3,13 +3,18 @@
 Expected shape (paper): response time grows roughly linearly with the update
 count for every algorithm, accuracy degrades slowly for DyOneSwap/DyTwoSwap
 and faster for the index-based baselines.
+
+The batched companion sweeps ``batch_size`` over the same stream: the
+solution is then only observed at batch boundaries (where it is k-maximal),
+and stream coalescing may cancel operations outright — the batching
+dimension the original figure does not have.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.experiments import figure8_update_scalability
+from repro.experiments import figure8_batched_scalability, figure8_update_scalability
 
 
 def test_figure8_update_scalability(benchmark, profile, show_rows):
@@ -27,3 +32,25 @@ def test_figure8_update_scalability(benchmark, profile, show_rows):
         if runs[0]["finished"] and runs[-1]["finished"]:
             assert runs[-1]["time_s"] >= 0.5 * runs[0]["time_s"]
     show_rows("Fig 8 — scalability in the number of updates", rows)
+
+
+def test_figure8_batched_modes(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(
+        figure8_batched_scalability, args=(profile,), rounds=1, iterations=1
+    )
+    assert rows
+    by_algorithm = defaultdict(dict)
+    for row in rows:
+        assert row["finished"]
+        assert row["final_size"] > 0
+        by_algorithm[row["algorithm"]][row["batch_size"]] = row
+    for algorithm, runs in by_algorithm.items():
+        assert 1 in runs, f"{algorithm} must include the unbatched reference"
+        # Unbatched runs never coalesce; batched runs never lose updates.
+        assert runs[1]["coalesced"] == 0
+        for batch_size, row in runs.items():
+            assert row["updates"] == runs[1]["updates"]
+            # Batch-boundary solutions stay in the same quality regime as
+            # the per-operation run (both are k-maximal sets).
+            assert row["final_size"] >= 0.8 * runs[1]["final_size"]
+    show_rows("Fig 8 companion — batched update engine sweep", rows)

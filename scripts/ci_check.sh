@@ -11,6 +11,10 @@
 #                    (default 0.15, i.e. fail on >15% per-update slowdown)
 #   BENCH_MODE       "fail" (default) or "warn" — set to warn on machines with
 #                    known-noisy clocks (e.g. shared CI runners)
+#   BENCH_OUTPUT     where to write the fresh results (default: a mktemp file);
+#                    CI points this at a stable path and uploads it as an
+#                    artifact so warn-mode runs still leave a perf record
+#   BENCH_LABEL      trajectory label recorded in the fresh results
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,10 +26,11 @@ python -m pytest -x -q
 echo
 echo "== quick benchmark vs committed BENCH_core.json (per-update regression"
 echo "   beyond the tolerance or any solution-size change fails the check) =="
-scratch="$(mktemp -t bench_core_ci.XXXXXX.json)"
+scratch="${BENCH_OUTPUT:-$(mktemp -t bench_core_ci.XXXXXX.json)}"
 python benchmarks/bench_core_operations.py \
     --rounds "${BENCH_ROUNDS:-3}" \
     --output "$scratch" \
+    --label "${BENCH_LABEL:-ci-check}" \
     --compare BENCH_core.json \
     --tolerance "${BENCH_TOLERANCE:-0.15}" \
     --compare-mode "${BENCH_MODE:-fail}"

@@ -9,6 +9,10 @@ common:
 * applying the four structural update kinds while keeping the solution
   maximal ("``G_t ← G_{t-1} ⊕ op`` and keep ``I`` maximal" — line 1 of every
   algorithm in the paper),
+* the **batched update engine** (:meth:`DynamicMISBase.apply_batch`): stream
+  coalescing (:mod:`repro.updates.coalesce`), bulk structural apply over the
+  states' slot arrays, and one shared maximality-repair + candidate-drain
+  pass per batch — k-maximality is guaranteed at batch boundaries,
 * turning count-change events into *candidates*: pairs ``(S, C(S))`` of a
   solution subset and the vertices newly added to ``¯I_{|S|}(S)``,
 * the ``MOVEIN`` / ``MOVEOUT`` primitives with maximality repair,
@@ -28,13 +32,16 @@ new swaps are not signalled by a count change).
 from __future__ import annotations
 
 import abc
+from collections import Counter
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.core.lazy import LazyMISState
 from repro.core.state import MISState
 from repro.exceptions import SolutionInvariantError, UpdateError, VertexNotFoundError
 from repro.graphs.dynamic_graph import _FREE, DynamicGraph, Vertex
+from repro.updates.coalesce import coalesce_batch
 from repro.updates.operations import UpdateKind, UpdateOperation
 
 
@@ -43,13 +50,18 @@ class AlgorithmStatistics:
     """Counters describing the work an algorithm instance has performed."""
 
     updates_processed: int = 0
-    swaps_performed: Dict[int, int] = field(default_factory=dict)
+    swaps_performed: Counter = field(default_factory=Counter)
     perturbations: int = 0
     candidates_processed: int = 0
+    #: Operations cancelled/merged away by batch coalescing (they still count
+    #: towards ``updates_processed``: the stream contained them).
+    operations_coalesced: int = 0
+    #: Number of :meth:`DynamicMISBase.apply_batch` invocations.
+    batches_applied: int = 0
 
     def record_swap(self, size: int) -> None:
         """Record one successful ``size``-swap."""
-        self.swaps_performed[size] = self.swaps_performed.get(size, 0) + 1
+        self.swaps_performed[size] += 1
 
     @property
     def total_swaps(self) -> int:
@@ -172,12 +184,13 @@ class DynamicMISBase(abc.ABC):
         """Apply a whole update stream in order.
 
         ``batch_size`` generalises the paper's lazy-collection idea to the
-        stream level: structural updates (with their maximality repair) are
-        applied immediately, but the swap-searching candidate drain is
-        deferred until ``batch_size`` operations have been absorbed.  The
-        solution is maximal after every single operation and k-maximal at
-        every batch boundary — in particular at the end of the stream.  With
-        the default ``batch_size=1`` the semantics are identical to calling
+        stream level: with ``batch_size > 1`` consecutive operations are
+        grouped and handed to :meth:`apply_batch`, which coalesces them to
+        their net effect, applies the structural mutations in one pass, and
+        runs a *single* maximality repair and candidate drain per batch.  The
+        solution is independent at all times and k-maximal at every batch
+        boundary — in particular at the end of the stream.  With the default
+        ``batch_size=1`` the semantics are identical to calling
         :meth:`apply_update` per operation.
         """
         if batch_size <= 1:
@@ -207,20 +220,288 @@ class DynamicMISBase(abc.ABC):
                 if self.check_invariants:
                     self._verify()
             return
-        pending = 0
-        for operation in operations:
-            self._dispatch(operation)
-            self.stats.updates_processed += 1
-            pending += 1
-            if pending >= batch_size:
-                self._process_candidates()
-                pending = 0
-                if self.check_invariants:
-                    self._verify()
-        if pending:
+        iterator = iter(operations)
+        apply_batch = self.apply_batch
+        while True:
+            chunk = list(islice(iterator, batch_size))
+            if not chunk:
+                break
+            apply_batch(chunk)
+
+    #: Batch length from which apply_batch switches to the bulk strategy
+    #: (coalesce + one-pass structural apply + one shared repair pass).
+    #: Below it, the per-batch fixed costs (net-effect simulation, touched-
+    #: slot bookkeeping, the final sort) outweigh what they amortise, so
+    #: small batches use per-operation dispatch with a single deferred
+    #: candidate drain instead — both strategies leave the solution
+    #: k-maximal at the batch boundary.
+    BULK_APPLY_THRESHOLD = 32
+
+    def apply_batch(
+        self, operations: Sequence[UpdateOperation], *, coalesce: bool = True
+    ) -> None:
+        """Apply a batch of updates with one shared repair pass.
+
+        For batches of at least :data:`BULK_APPLY_THRESHOLD` operations, the
+        batch is first coalesced to its net effect (inverse pairs cancel,
+        toggles collapse — see :mod:`repro.updates.coalesce`; disable with
+        ``coalesce=False``), the remaining structural mutations are applied
+        in one pass that accumulates the *touched* slots (every slot whose
+        count dropped into the tracked range, plus new vertices, evicted
+        vertices and the endpoints of outside/outside edge deletions), and
+        maximality repair, candidate registration and the swap-searching
+        drain each run **once** at the end of the batch instead of once per
+        operation.  Shorter batches keep per-operation dispatch (whose
+        repair is immediate) and only defer the candidate drain — the bulk
+        machinery's fixed costs don't amortise below the threshold.
+
+        Invariants: the solution stays independent throughout (conflicting
+        edge insertions still evict immediately) and is k-maximal when the
+        call returns.  Mid-batch the solution may be transiently
+        non-maximal; callers that observe the solution between operations
+        must use :meth:`apply_update`.  Batched and unbatched runs may pick
+        different (equally valid) k-maximal solutions.
+
+        Failure atomicity: on the default *bulk* path (at least
+        :data:`BULK_APPLY_THRESHOLD` operations, ``coalesce=True``) an
+        invalid batch is rejected by the coalescer *before* any state is
+        mutated.  Batches below the threshold dispatch per operation and
+        fail like :meth:`apply_stream` does: the valid prefix stays applied
+        and the deferred candidate drain is skipped, so the solution may be
+        maximal but not yet k-maximal when the exception propagates.
+        ``coalesce=False`` skips validation entirely and assumes a valid
+        sequence — an invalid one raises mid-apply and may leave the batch
+        partially applied with its repair pass not yet run.
+        """
+        ops = operations if isinstance(operations, list) else list(operations)
+        if not ops:
+            return
+        stats = self.stats
+        if len(ops) < self.BULK_APPLY_THRESHOLD:
+            dispatch = self._dispatch
+            for operation in ops:
+                dispatch(operation)
             self._process_candidates()
-            if self.check_invariants:
-                self._verify()
+        elif coalesce:
+            net = coalesce_batch(self.graph, ops)
+            stats.operations_coalesced += net.num_coalesced
+            self._finalize_batch(self._apply_net_batch(net))
+        else:
+            self._finalize_batch(self._apply_batch_structural(ops))
+        stats.updates_processed += len(ops)
+        stats.batches_applied += 1
+        if self.check_invariants:
+            self._verify()
+
+    def _evict_conflicts(
+        self, conflicts: List, touched: Set[int]
+    ) -> None:
+        """Evict one endpoint of every still-standing both-in-solution pair.
+
+        Shared touched-slot admission policy of both batch strategies: the
+        evicted slot and its decreased neighbours enter ``touched`` only
+        while their count is within the tracked range (see
+        :meth:`_apply_net_batch`).
+        """
+        state = self.state
+        in_sol = self._in_sol
+        counts = self._counts
+        adj = self._adj
+        k = self.k
+        for su, sv in conflicts:
+            # An earlier eviction in this run may have resolved the
+            # conflict already.
+            if in_sol[su] and in_sol[sv]:
+                evicted = self._choose_eviction(su, sv)
+                state.move_out_slot(evicted)
+                touched.update(
+                    t for t in adj[evicted] if not in_sol[t] and counts[t] <= k
+                )
+                if counts[evicted] <= k:
+                    touched.add(evicted)
+
+    def _touch_outside(self, outside: List, touched: Set[int]) -> None:
+        """Admit the endpoints of outside/outside edge deletions.
+
+        The complement of the tight neighbourhood gained an edge: both
+        endpoints are re-registered at batch end (the batched analogue of
+        :meth:`_on_edge_deleted_outside`), subject to the count filter.
+        """
+        counts = self._counts
+        k = self.k
+        for su, sv in outside:
+            if counts[su] <= k:
+                touched.add(su)
+            if counts[sv] <= k:
+                touched.add(sv)
+
+    def _apply_net_batch(self, net) -> Set[int]:
+        """Apply a coalesced net effect phase by phase; return the touched slots.
+
+        The four phases of a :class:`~repro.updates.coalesce.CoalescedBatch`
+        are each applied as one bulk pass over the slot arrays: a whole run
+        of edge operations is label-translated in one sweep
+        (:meth:`DynamicGraph.resolve_edge_slots`) and mutated by the state's
+        bulk primitives, with no per-operation dispatch at all.
+        """
+        state = self.state
+        graph = self.graph
+        in_sol = self._in_sol
+        counts = self._counts
+        k = self.k
+        touched: Set[int] = set()
+        # Admission filter: a slot enters ``touched`` only while its count is
+        # within the tracked range [0, k].  That loses nothing — every
+        # decrement is its own touch event, so a high-count slot sliding down
+        # is re-offered at each level and caught the moment it enters range —
+        # and it keeps the repair/registration pass proportional to the
+        # *relevant* neighbourhood, not the whole touched surface.
+        if net.edge_deletions:
+            dropped, outside = state.remove_edges_slots_bulk(
+                graph.resolve_edge_slots(net.edge_deletions)
+            )
+            touched.update(s for s in dropped if counts[s] <= k)
+            self._touch_outside(outside, touched)
+        if net.vertex_deletions:
+            slot_map = self._slot_map
+            for label in net.vertex_deletions:
+                try:
+                    slot = slot_map[label]
+                except KeyError:
+                    raise VertexNotFoundError(label) from None
+                was_in, neighbor_slots = state.remove_vertex_slot(slot)
+                if was_in:
+                    touched.update(
+                        t
+                        for t in neighbor_slots
+                        if not in_sol[t] and counts[t] <= k
+                    )
+        for label, neighbors in net.vertex_insertions:
+            slot, count = state.add_vertex_slot(label, neighbors)
+            if count <= k:
+                touched.add(slot)
+        if net.edge_insertions:
+            # The count *increases* (``bumped``) need neither repair nor
+            # registration: a slot whose count only rose cannot reach zero,
+            # and an edge insertion only restricts the swap space — any swap
+            # available after it was already available before, so the
+            # previous k-maximal state covers it (same reason the
+            # per-operation insert-edge handler registers nothing).
+            _bumped, conflicts = state.add_edges_slots_bulk(
+                graph.resolve_edge_slots(net.edge_insertions)
+            )
+            self._evict_conflicts(conflicts, touched)
+        return touched
+
+    def _apply_batch_structural(
+        self, operations: Sequence[UpdateOperation]
+    ) -> Set[int]:
+        """Apply the structural part of a raw (uncoalesced) batch; return the touched slots.
+
+        Mirrors the four per-operation handlers but defers all maximality
+        repair and candidate registration: instead of repairing after each
+        operation, every slot whose count changed (or, for outside/outside
+        edge deletions, whose complement neighbourhood changed) is collected
+        into the returned set for :meth:`_finalize_batch`.  Conflicting edge
+        insertions still evict immediately so the solution never stops being
+        independent.
+        """
+        state = self.state
+        graph = self.graph
+        slot_map = self._slot_map
+        in_sol = self._in_sol
+        counts = self._counts
+        k = self.k
+        touched: Set[int] = set()
+        touched_add = touched.add
+        ops = operations
+        n = len(ops)
+        i = 0
+        while i < n:
+            kind = ops[i].kind
+            if kind is UpdateKind.INSERT_EDGE or kind is UpdateKind.DELETE_EDGE:
+                # Maximal run of same-kind edge operations (the coalescer
+                # emits them phase-grouped, so runs are long): translate the
+                # labels in one pass, mutate the slot arrays in one pass.
+                j = i + 1
+                while j < n and ops[j].kind is kind:
+                    j += 1
+                pairs = graph.resolve_edge_slots(
+                    ops[t].edge for t in range(i, j)
+                )
+                if kind is UpdateKind.INSERT_EDGE:
+                    # Count increases need neither repair nor registration
+                    # (see _apply_net_batch).
+                    _bumped, conflicts = state.add_edges_slots_bulk(pairs)
+                    self._evict_conflicts(conflicts, touched)
+                else:
+                    dropped, outside = state.remove_edges_slots_bulk(pairs)
+                    touched.update(s for s in dropped if counts[s] <= k)
+                    self._touch_outside(outside, touched)
+                i = j
+                continue
+            operation = ops[i]
+            i += 1
+            if kind is UpdateKind.INSERT_VERTEX:
+                slot, count = state.add_vertex_slot(
+                    operation.vertex, operation.neighbors
+                )
+                if count <= k:
+                    touched_add(slot)
+            elif kind is UpdateKind.DELETE_VERTEX:
+                try:
+                    slot = slot_map[operation.vertex]
+                except KeyError:
+                    raise VertexNotFoundError(operation.vertex) from None
+                was_in, neighbor_slots = state.remove_vertex_slot(slot)
+                if was_in:
+                    touched.update(
+                        t
+                        for t in neighbor_slots
+                        if not in_sol[t] and counts[t] <= k
+                    )
+            else:  # pragma: no cover - exhaustive enum
+                raise UpdateError(f"unknown update kind {kind!r}")
+        return touched
+
+    def _finalize_batch(self, touched: Iterable[int]) -> None:
+        """One shared repair pass: restore maximality, register, drain.
+
+        Every touched slot with count zero is moved into the solution
+        (smallest greedy key first, re-checking the count before each move),
+        then every touched slot whose final count lies in ``[1, k]`` is
+        registered under its current owner set, and the candidate queues are
+        drained once.  Soundness: counts only change at touched slots, the
+        solution was maximal at the previous batch boundary, and any vertex
+        newly entering some ``¯I_j(S)`` during the batch had a count change —
+        so registering touched slots by *final* count covers every swap
+        opportunity the per-operation path would have registered eventually.
+        """
+        graph = self.graph
+        labels = self._labels
+        in_sol = self._in_sol
+        counts = self._counts
+        live = [s for s in touched if labels[s] is not _FREE]
+        if live:
+            zero = [s for s in live if not in_sol[s] and counts[s] == 0]
+            if zero:
+                if len(zero) > 1:
+                    zero.sort(key=graph.slot_order_key)
+                move_in = self.state.move_in_slot
+                for s in zero:
+                    if not in_sol[s] and counts[s] == 0:
+                        move_in(s)
+            # Registration order follows the interned insertion order so the
+            # candidate-queue insertion (hence drain) order is identical for
+            # the eager and the lazy state.  The count filter is inlined:
+            # most touched slots carry counts beyond k and register nothing.
+            live.sort(key=self._orders.__getitem__)
+            register = self._register_slot
+            k = self.k
+            for s in live:
+                if not in_sol[s] and 1 <= counts[s] <= k:
+                    register(s)
+        self._process_candidates()
 
     def _dispatch(self, operation: UpdateOperation) -> None:
         """Apply the structural part of one update (no candidate drain)."""

@@ -401,6 +401,67 @@ class LazyMISState:
         return counts[s_out]
 
     # ------------------------------------------------------------------ #
+    # Bulk structural mutation (the batched update engine's hot path)
+    # ------------------------------------------------------------------ #
+    def add_edges_slots_bulk(
+        self, pairs: List[Tuple[int, int]]
+    ) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Insert a run of edges in one pass; see :meth:`MISState.add_edges_slots_bulk`."""
+        adj = self._adj
+        in_sol = self._in_sol
+        counts = self._count
+        graph = self.graph
+        bumped: List[int] = []
+        conflicts: List[Tuple[int, int]] = []
+        for su, sv in pairs:
+            if su == sv:
+                raise SelfLoopError(graph.vertex_of(su))
+            adj_u = adj[su]
+            if sv in adj_u:
+                raise EdgeExistsError(graph.vertex_of(su), graph.vertex_of(sv))
+            adj_u.add(sv)
+            adj[sv].add(su)
+            graph._num_edges += 1
+            if in_sol[su]:
+                if in_sol[sv]:
+                    conflicts.append((su, sv))
+                else:
+                    counts[sv] += 1
+                    bumped.append(sv)
+            elif in_sol[sv]:
+                counts[su] += 1
+                bumped.append(su)
+        self.stats.count_updates += len(bumped)
+        return bumped, conflicts
+
+    def remove_edges_slots_bulk(
+        self, pairs: List[Tuple[int, int]]
+    ) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Delete a run of edges in one pass; see :meth:`MISState.remove_edges_slots_bulk`."""
+        adj = self._adj
+        in_sol = self._in_sol
+        counts = self._count
+        graph = self.graph
+        dropped: List[int] = []
+        outside: List[Tuple[int, int]] = []
+        for su, sv in pairs:
+            adj_u = adj[su]
+            if sv not in adj_u:
+                raise EdgeNotFoundError(graph.vertex_of(su), graph.vertex_of(sv))
+            adj_u.discard(sv)
+            adj[sv].discard(su)
+            graph._num_edges -= 1
+            u_in = in_sol[su]
+            if u_in != in_sol[sv]:
+                s_out, s_in = (sv, su) if u_in else (su, sv)
+                counts[s_out] -= 1
+                dropped.append(s_out)
+            elif not u_in:
+                outside.append((su, sv))
+        self.stats.count_updates += len(dropped)
+        return dropped, outside
+
+    # ------------------------------------------------------------------ #
     # Invariant checking
     # ------------------------------------------------------------------ #
     def check_invariants(self) -> None:

@@ -642,6 +642,81 @@ class MISState:
         return new
 
     # ------------------------------------------------------------------ #
+    # Bulk structural mutation (the batched update engine's hot path)
+    # ------------------------------------------------------------------ #
+    def add_edges_slots_bulk(
+        self, pairs: List[Tuple[int, int]]
+    ) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Insert a run of edges (slot pairs) in one pass over the slot arrays.
+
+        Returns ``(bumped, conflicts)``: the non-solution slots whose count
+        rose, and the pairs whose endpoints are *both* in the solution.
+        Conflicting edges are inserted structurally but their counts are left
+        untouched — the caller must evict one endpoint of each conflict
+        before the solution is observed (exactly as with
+        :meth:`add_edge_slots`, just batched).
+        """
+        adj = self._adj
+        in_sol = self._in_sol
+        graph = self.graph
+        bumped: List[int] = []
+        conflicts: List[Tuple[int, int]] = []
+        add_sn = self._add_solution_neighbor
+        for su, sv in pairs:
+            if su == sv:
+                raise SelfLoopError(graph.vertex_of(su))
+            adj_u = adj[su]
+            if sv in adj_u:
+                raise EdgeExistsError(graph.vertex_of(su), graph.vertex_of(sv))
+            adj_u.add(sv)
+            adj[sv].add(su)
+            graph._num_edges += 1
+            if in_sol[su]:
+                if in_sol[sv]:
+                    conflicts.append((su, sv))
+                else:
+                    add_sn(sv, su)
+                    bumped.append(sv)
+            elif in_sol[sv]:
+                add_sn(su, sv)
+                bumped.append(su)
+        return bumped, conflicts
+
+    def remove_edges_slots_bulk(
+        self, pairs: List[Tuple[int, int]]
+    ) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Delete a run of edges (slot pairs) in one pass over the slot arrays.
+
+        Returns ``(dropped, outside)``: the non-solution slots whose count
+        fell (one per one-sided deletion), and the pairs with both endpoints
+        outside the solution (whose complement neighbourhood changed without
+        any count change).  Pairs with both endpoints inside the solution —
+        possible transiently while a batch's conflicts are pending — are
+        removed structurally with no count change.
+        """
+        adj = self._adj
+        in_sol = self._in_sol
+        graph = self.graph
+        dropped: List[int] = []
+        outside: List[Tuple[int, int]] = []
+        remove_sn = self._remove_solution_neighbor
+        for su, sv in pairs:
+            adj_u = adj[su]
+            if sv not in adj_u:
+                raise EdgeNotFoundError(graph.vertex_of(su), graph.vertex_of(sv))
+            adj_u.discard(sv)
+            adj[sv].discard(su)
+            graph._num_edges -= 1
+            u_in = in_sol[su]
+            if u_in != in_sol[sv]:
+                s_out, s_in = (sv, su) if u_in else (su, sv)
+                remove_sn(s_out, s_in)
+                dropped.append(s_out)
+            elif not u_in:
+                outside.append((su, sv))
+        return dropped, outside
+
+    # ------------------------------------------------------------------ #
     # Invariant checking
     # ------------------------------------------------------------------ #
     def check_invariants(self) -> None:

@@ -230,6 +230,56 @@ def figure8_update_scalability(
     return rows
 
 
+def figure8_batched_scalability(
+    profile="quick",
+    *,
+    dataset: Optional[str] = None,
+    batch_sizes: Sequence[int] = (1, 16, 64),
+    algorithms: Sequence[str] = ("DyOneSwap", "DyTwoSwap"),
+) -> List[Dict[str, object]]:
+    """Fig 8 companion: per-update cost of the batched engine as batches grow.
+
+    Runs the swap-based maintenance algorithms over the same update stream
+    at several ``batch_size`` settings (1 = the classical per-operation
+    path) and reports per-update time, the operations cancelled by stream
+    coalescing and the final solution size — the batching dimension the
+    original figure does not have.
+    """
+    profile = get_profile(profile)
+    name = dataset or profile.easy_datasets[0]
+    graph, stream = dataset_and_stream(profile, name, profile.updates_large)
+    rows: List[Dict[str, object]] = []
+    for algorithm in algorithms:
+        for batch_size in batch_sizes:
+            measurement = run_algorithm(
+                algorithm,
+                graph,
+                stream,
+                dataset=name,
+                batch_size=batch_size,
+                time_limit_seconds=profile.time_limit_seconds,
+            )
+            updates = max(1, measurement.num_updates)
+            rows.append(
+                {
+                    "dataset": name,
+                    "algorithm": algorithm,
+                    "batch_size": batch_size,
+                    "updates": measurement.num_updates,
+                    "time_s": round(measurement.elapsed_seconds, 4),
+                    "per_update_us": round(
+                        measurement.elapsed_seconds / updates * 1e6, 3
+                    ),
+                    "coalesced": int(
+                        measurement.extra.get("operations_coalesced", 0)
+                    ),
+                    "final_size": measurement.final_size,
+                    "finished": measurement.finished,
+                }
+            )
+    return rows
+
+
 # --------------------------------------------------------------------------- #
 # Figure 9: effect of the swap depth k
 # --------------------------------------------------------------------------- #

@@ -93,8 +93,16 @@ def _timed_stream_run(
     stopwatch: Stopwatch,
     time_limit_seconds: Optional[float],
     check_interval: int,
+    batch_size: int = 1,
 ) -> Tuple[int, bool]:
     """Apply ``stream`` to ``algorithm``; return ``(processed, finished)``.
+
+    With ``batch_size > 1`` and an algorithm exposing ``apply_batch`` (the
+    core maintenance algorithms and :class:`~repro.baselines.dyn_arw.DyARW`),
+    the stream is fed through the batched update engine — coalescing plus
+    one repair pass per batch; algorithms without batch support (the DGDIS
+    baselines) silently fall back to per-operation application so batched
+    competitions stay runnable across the whole registry.
 
     The time-limit cutoff is kept off the per-update hot path: without a
     limit the loop carries no bookkeeping at all, and with a limit the
@@ -102,6 +110,28 @@ def _timed_stream_run(
     (stride-wise via ``islice``) instead of evaluating a modulo-and-compare
     on every single update.
     """
+    apply_batch = getattr(algorithm, "apply_batch", None)
+    if batch_size > 1 and apply_batch is not None:
+        iterator = iter(stream)
+        processed = 0
+        batch = list(islice(iterator, batch_size))
+        while batch:
+            apply_batch(batch)
+            processed += len(batch)
+            # Prefetch before consulting the stopwatch so a limit elapsing
+            # during the final batch never flags a completed run.
+            batch = (
+                list(islice(iterator, batch_size))
+                if len(batch) == batch_size
+                else []
+            )
+            if (
+                batch
+                and time_limit_seconds is not None
+                and stopwatch.peek() > time_limit_seconds
+            ):
+                return processed, False
+        return processed, True
     apply_update = algorithm.apply_update
     if time_limit_seconds is None:
         processed = 0
@@ -174,6 +204,7 @@ def run_algorithm(
     initial_solution: Optional[Iterable[Vertex]] = None,
     time_limit_seconds: Optional[float] = None,
     check_interval: int = 64,
+    batch_size: int = 1,
     **options,
 ) -> RunMeasurement:
     """Run one algorithm over one update stream and measure it.
@@ -191,6 +222,10 @@ def run_algorithm(
     check_interval:
         How often (in updates) the time limit is checked.  The check runs
         once per stride, so the cutoff adds no per-update overhead.
+    batch_size:
+        When greater than one, feed the stream through the batched update
+        engine (coalescing plus one repair pass per batch); algorithms
+        without batch support fall back to per-operation application.
     """
     working_graph = graph.copy()
     algorithm = create_algorithm(name, working_graph, initial_solution, **options)
@@ -198,7 +233,12 @@ def run_algorithm(
     stopwatch = Stopwatch()
     with stopwatch:
         processed, finished = _timed_stream_run(
-            algorithm, stream, stopwatch, time_limit_seconds, check_interval
+            algorithm,
+            stream,
+            stopwatch,
+            time_limit_seconds,
+            check_interval,
+            batch_size,
         )
     return RunMeasurement(
         algorithm=name,
@@ -222,6 +262,7 @@ def run_competition(
     initial_solution: Optional[Iterable[Vertex]] = None,
     time_limit_seconds: Optional[float] = None,
     check_interval: int = 64,
+    batch_size: int = 1,
     reference_node_budget: int = 150_000,
     attach_reference: bool = True,
     algorithm_options: Optional[Dict[str, Dict]] = None,
@@ -231,7 +272,10 @@ def run_competition(
     Returns a mapping ``algorithm name -> RunMeasurement``.  When
     ``attach_reference`` is true, the reference size of the *final* graph is
     computed once (exact if possible, best-known otherwise, seeded with every
-    algorithm's final solution) and attached to each measurement.
+    algorithm's final solution) and attached to each measurement.  With
+    ``batch_size > 1`` every batch-capable algorithm processes the stream
+    through the batched update engine (the DGDIS baselines fall back to
+    per-operation application).
     """
     algorithm_options = algorithm_options or {}
     measurements: Dict[str, RunMeasurement] = {}
@@ -245,7 +289,12 @@ def run_competition(
         stopwatch = Stopwatch()
         with stopwatch:
             processed, finished = _timed_stream_run(
-                algorithm, stream, stopwatch, time_limit_seconds, check_interval
+                algorithm,
+                stream,
+                stopwatch,
+                time_limit_seconds,
+                check_interval,
+                batch_size,
             )
         measurements[name] = RunMeasurement(
             algorithm=name,
@@ -296,6 +345,12 @@ def _algorithm_extras(algorithm) -> Dict[str, float]:
     scanned = getattr(stats, "index_entries_scanned", None)
     if scanned is not None:
         extra["index_scans"] = float(scanned)
+    coalesced = getattr(stats, "operations_coalesced", None)
+    if coalesced:
+        extra["operations_coalesced"] = float(coalesced)
+    batches = getattr(stats, "batches_applied", None)
+    if batches:
+        extra["batches_applied"] = float(batches)
     return extra
 
 

@@ -229,6 +229,30 @@ class DynamicGraph:
             raise VertexExistsError(vertex)
         return self._alloc(vertex)
 
+    def resolve_edge_slots(
+        self, edges: Iterable[Edge]
+    ) -> List[Tuple[int, int]]:
+        """Translate label pairs to slot pairs in one pass over the slot map.
+
+        The boundary step of the batched update engine: a whole run of edge
+        operations is translated with two dict lookups per edge here, and the
+        bulk mutators of the state layer then work purely on slot arrays.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If any endpoint is not currently in the graph.
+        """
+        slot_map = self._slot
+        pairs: List[Tuple[int, int]] = []
+        append = pairs.append
+        try:
+            for u, v in edges:
+                append((slot_map[u], slot_map[v]))
+        except KeyError as exc:
+            raise VertexNotFoundError(exc.args[0]) from None
+        return pairs
+
     def add_edge_slots(self, su: int, sv: int) -> None:
         """Insert the edge between two live slots (validates like :meth:`add_edge`).
 

@@ -1,9 +1,12 @@
-"""Update operations and update-stream generators for dynamic graphs."""
+"""Update operations, stream generators and batch coalescing for dynamic graphs."""
 
+from repro.updates.coalesce import CoalescedBatch, coalesce_batch
 from repro.updates.operations import UpdateKind, UpdateOperation, apply_update, invert_update
 from repro.updates.streams import (
     UpdateStream,
     burst_stream,
+    bursty_churn_stream,
+    flash_crowd_stream,
     insertion_only_stream,
     mixed_update_stream,
     random_edge_stream,
@@ -16,11 +19,15 @@ __all__ = [
     "UpdateOperation",
     "apply_update",
     "invert_update",
+    "CoalescedBatch",
+    "coalesce_batch",
     "UpdateStream",
     "random_edge_stream",
     "random_vertex_stream",
     "mixed_update_stream",
     "sliding_window_stream",
     "burst_stream",
+    "bursty_churn_stream",
+    "flash_crowd_stream",
     "insertion_only_stream",
 ]

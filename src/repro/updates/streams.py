@@ -13,9 +13,17 @@ The main entry points are:
 * :func:`mixed_update_stream` — the paper's default workload (a mix of all
   four operation kinds),
 * :func:`sliding_window_stream` — an insertion-then-expiry pattern typical of
-  streaming applications,
+  streaming applications (with an optional *flicker* fraction of edges that
+  retract almost immediately),
 * :func:`burst_stream` — bursts of insertions around hub vertices, modelling
-  the "hot topic" scenario the introduction motivates.
+  the "hot topic" scenario the introduction motivates,
+* :func:`bursty_churn_stream` — hub bursts where most of the burst is
+  retracted within the same window, the workload the batched update engine's
+  stream coalescing is built for (inverse pairs inside one batch cancel),
+* :func:`flash_crowd_stream` — bursts of *transient vertices* that arrive,
+  interact and leave within one window; the heaviest coalescing win, since a
+  cancelled vertex insertion/deletion pair also cancels all its incident
+  edges and the maximality repair both would have triggered.
 """
 
 from __future__ import annotations
@@ -268,13 +276,21 @@ def sliding_window_stream(
     num_updates: int,
     *,
     window: int = 100,
+    flicker: float = 0.0,
     seed: Optional[int] = None,
 ) -> UpdateStream:
     """Generate an insertion stream where edges expire after ``window`` further updates.
 
     Models streaming workloads (interaction graphs, temporal networks) where
-    only the most recent interactions are kept.
+    only the most recent interactions are kept.  With ``flicker > 0``, that
+    fraction of inserted edges is retracted on the very next operation
+    instead of waiting for expiry — the short-lived interactions real
+    streams are full of.  Flickered pairs are adjacent inverse operations,
+    so batch coalescing (:mod:`repro.updates.coalesce`) cancels them
+    whenever both ends fall inside one batch.
     """
+    if not 0.0 <= flicker <= 1.0:
+        raise UpdateError("flicker must lie in [0, 1]")
     builder = _StreamBuilder(graph, seed)
     live: List = []
     produced = 0
@@ -290,13 +306,20 @@ def sliding_window_stream(
         before = len(builder.operations)
         if builder.insert_random_edge():
             op = builder.operations[before]
-            live.append(op.edge)
             produced += 1
+            if produced < num_updates and builder.rng.random() < flicker:
+                builder._emit(UpdateOperation.delete_edge(*op.edge))
+                produced += 1
+            else:
+                live.append(op.edge)
     return UpdateStream(
         operations=builder.operations,
-        description=f"sliding_window_stream(n={num_updates}, window={window})",
+        description=(
+            f"sliding_window_stream(n={num_updates}, window={window}, "
+            f"flicker={flicker})"
+        ),
         seed=seed,
-        metadata={"window": window},
+        metadata={"window": window, "flicker": flicker},
     )
 
 
@@ -344,6 +367,133 @@ def burst_stream(
         description=f"burst_stream(n={num_updates}, burst_size={burst_size})",
         seed=seed,
         metadata={"burst_size": burst_size},
+    )
+
+
+def bursty_churn_stream(
+    graph: DynamicGraph,
+    num_updates: int,
+    *,
+    burst_size: int = 32,
+    churn: float = 0.75,
+    seed: Optional[int] = None,
+) -> UpdateStream:
+    """Generate hub bursts where most of each burst is retracted immediately.
+
+    The "hot topic" pattern of the paper's introduction taken to its bursty
+    extreme: a hub acquires ``burst_size`` new neighbours at once, and a
+    ``churn`` fraction of exactly those edges is deleted again within the
+    same burst window (the topic cools as fast as it flared).  Every
+    retracted edge forms an insert/delete inverse pair a few positions
+    apart, so a batched consumer cancels them outright: with
+    ``batch_size >= burst_size * (1 + churn)`` the net effect of a burst is
+    only its surviving ``1 - churn`` fraction.
+    """
+    if not 0.0 <= churn <= 1.0:
+        raise UpdateError("churn must lie in [0, 1]")
+    if burst_size < 1:
+        raise UpdateError("burst_size must be at least 1")
+    builder = _StreamBuilder(graph, seed)
+    vertices = list(builder.scratch.vertices())
+    produced = 0
+    guard = 0
+    while produced < num_updates and vertices and guard < 20 * num_updates + 100:
+        guard += 1
+        hub = builder.rng.choice(vertices)
+        if not builder.scratch.has_vertex(hub):
+            continue
+        inserted: List = []
+        for _ in range(min(burst_size, num_updates - produced)):
+            target = builder.rng.choice(vertices)
+            if (
+                target != hub
+                and builder.scratch.has_vertex(target)
+                and not builder.scratch.has_edge(hub, target)
+            ):
+                builder._emit(UpdateOperation.insert_edge(hub, target))
+                inserted.append(target)
+                produced += 1
+        # Retraction wave: the most recent interactions vanish first.
+        retract = int(len(inserted) * churn)
+        for target in reversed(inserted[len(inserted) - retract :]):
+            if produced >= num_updates:
+                break
+            if builder.scratch.has_edge(hub, target):
+                builder._emit(UpdateOperation.delete_edge(hub, target))
+                produced += 1
+    return UpdateStream(
+        operations=builder.operations,
+        description=(
+            f"bursty_churn_stream(n={num_updates}, burst_size={burst_size}, "
+            f"churn={churn})"
+        ),
+        seed=seed,
+        metadata={"burst_size": burst_size, "churn": churn},
+    )
+
+
+def flash_crowd_stream(
+    graph: DynamicGraph,
+    num_updates: int,
+    *,
+    burst_size: int = 24,
+    max_neighbors: int = 2,
+    churn: float = 0.9,
+    seed: Optional[int] = None,
+) -> UpdateStream:
+    """Generate bursts of transient vertices: arrive, interact, mostly leave.
+
+    The bursty workload of the batched update engine: each burst inserts
+    ``burst_size`` fresh vertices wired to up to ``max_neighbors`` random
+    existing vertices, then deletes a ``churn`` fraction of exactly those
+    vertices before the next burst (a flash crowd dispersing).  Because the
+    arrivals carry few edges, many enter the maintained solution on arrival
+    and force repair work on departure — expensive one-by-one, but an exact
+    inverse pair under coalescing: with ``batch_size`` covering a burst and
+    its retraction wave, the net effect is only the surviving fraction.
+    """
+    if not 0.0 <= churn <= 1.0:
+        raise UpdateError("churn must lie in [0, 1]")
+    if burst_size < 1:
+        raise UpdateError("burst_size must be at least 1")
+    builder = _StreamBuilder(graph, seed)
+    produced = 0
+    guard = 0
+    while produced < num_updates and guard < 20 * num_updates + 100:
+        guard += 1
+        arrivals: List = []
+        for _ in range(min(burst_size, num_updates - produced)):
+            before = len(builder.operations)
+            builder.insert_random_vertex(max_neighbors=max_neighbors)
+            arrivals.append(builder.operations[before].vertex)
+            produced += 1
+        # Dispersal wave: the most recent arrivals leave first.  They sit at
+        # the tail of the builder's vertex pool (nothing else appends during
+        # a burst), so each one is popped off as it leaves — otherwise dead
+        # labels accumulate and every later arrival's candidate scan grows
+        # with the total number of past arrivals instead of the live graph.
+        retract = int(len(arrivals) * churn)
+        pool = builder._vertex_pool
+        for vertex in reversed(arrivals[len(arrivals) - retract :]):
+            if produced >= num_updates:
+                break
+            if builder.scratch.has_vertex(vertex):
+                builder._emit(UpdateOperation.delete_vertex(vertex))
+                if pool and pool[-1] == vertex:
+                    pool.pop()
+                produced += 1
+    return UpdateStream(
+        operations=builder.operations,
+        description=(
+            f"flash_crowd_stream(n={num_updates}, burst_size={burst_size}, "
+            f"max_neighbors={max_neighbors}, churn={churn})"
+        ),
+        seed=seed,
+        metadata={
+            "burst_size": burst_size,
+            "max_neighbors": max_neighbors,
+            "churn": churn,
+        },
     )
 
 

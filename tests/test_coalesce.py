@@ -1,0 +1,283 @@
+"""Unit tests for the stream coalescer (:mod:`repro.updates.coalesce`).
+
+The property suite in ``tests/test_batch_engine.py`` covers the end-to-end
+contract (net effect == one-by-one application); these tests pin the exact
+cancellation/merging semantics and the validation behaviour on hand-built
+batches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UpdateError
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.updates.coalesce import coalesce_batch
+from repro.updates.operations import UpdateOperation, apply_update
+
+
+@pytest.fixture
+def graph():
+    return DynamicGraph(edges=[(1, 2), (2, 3), (3, 4), (4, 1), (2, 4)])
+
+
+def _apply_net(graph, net):
+    working = graph.copy()
+    for op in net.operations:
+        apply_update(working, op)
+    working.check_consistency()
+    return working
+
+
+def _apply_raw(graph, ops):
+    working = graph.copy()
+    for op in ops:
+        apply_update(working, op)
+    working.check_consistency()
+    return working
+
+
+class TestCancellation:
+    def test_insert_delete_edge_cancels(self, graph):
+        batch = [
+            UpdateOperation.insert_edge(1, 3),
+            UpdateOperation.delete_edge(1, 3),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert len(net) == 0
+        assert net.num_input == 2
+        assert net.num_coalesced == 2
+
+    def test_delete_insert_edge_cancels(self, graph):
+        batch = [
+            UpdateOperation.delete_edge(1, 2),
+            UpdateOperation.insert_edge(1, 2),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert len(net) == 0
+        assert _apply_net(graph, net) == graph
+
+    def test_edge_toggle_collapses_to_single_operation(self, graph):
+        batch = [
+            UpdateOperation.insert_edge(1, 3),
+            UpdateOperation.delete_edge(1, 3),
+            UpdateOperation.insert_edge(1, 3),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert net.edge_insertions == [(1, 3)]
+        assert net.num_coalesced == 2
+
+    def test_vertex_flicker_cancels_with_incident_edges(self, graph):
+        batch = [
+            UpdateOperation.insert_vertex(9, [1, 3]),
+            UpdateOperation.delete_vertex(9),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert len(net) == 0
+        assert _apply_net(graph, net) == graph
+
+    def test_reversed_edge_orientation_cancels(self, graph):
+        batch = [
+            UpdateOperation.insert_edge(1, 3),
+            UpdateOperation.delete_edge(3, 1),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert len(net) == 0
+
+
+class TestNetEffect:
+    def test_vertex_churn_reduces_to_edge_diff(self, graph):
+        """Delete + re-insert of a surviving vertex emits only edge diffs."""
+        batch = [
+            UpdateOperation.delete_vertex(2),
+            UpdateOperation.insert_vertex(2, [1, 3]),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert net.vertex_deletions == []
+        assert net.vertex_insertions == []
+        # Vertex 2 had edges to 1, 3, 4 and comes back with edges to 1, 3.
+        assert net.edge_deletions == [(2, 4)]
+        assert net.edge_insertions == []
+        assert _apply_net(graph, net) == _apply_raw(graph, batch)
+
+    def test_new_vertex_carries_surviving_edges(self, graph):
+        batch = [
+            UpdateOperation.insert_vertex(8, [1, 2]),
+            UpdateOperation.delete_edge(8, 2),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert net.vertex_insertions == [(8, (1,))]
+        assert net.edge_deletions == []
+        assert _apply_net(graph, net) == _apply_raw(graph, batch)
+
+    def test_edge_between_two_new_vertices_attaches_to_later_one(self, graph):
+        batch = [
+            UpdateOperation.insert_vertex(8, [1]),
+            UpdateOperation.insert_vertex(9, [8]),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert net.vertex_insertions == [(8, (1,)), (9, (8,))]
+        assert net.edge_insertions == []
+        assert _apply_net(graph, net) == _apply_raw(graph, batch)
+
+    def test_deleted_vertex_suppresses_incident_edge_deletions(self, graph):
+        batch = [
+            UpdateOperation.delete_edge(2, 4),
+            UpdateOperation.delete_vertex(2),
+        ]
+        net = coalesce_batch(graph, batch)
+        # (2, 4) is already gone once vertex 2 is deleted; no separate edge
+        # deletion may be emitted (it would be invalid after phase 2).
+        assert net.edge_deletions == []
+        assert net.vertex_deletions == [2]
+        assert _apply_net(graph, net) == _apply_raw(graph, batch)
+
+    def test_operations_property_is_a_valid_sequence(self, graph):
+        batch = [
+            UpdateOperation.delete_vertex(3),
+            UpdateOperation.insert_vertex(7, [1]),
+            UpdateOperation.insert_edge(7, 2),
+            UpdateOperation.delete_edge(1, 2),
+            UpdateOperation.insert_vertex(3, [7]),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert _apply_net(graph, net) == _apply_raw(graph, batch)
+
+    def test_graph_is_never_mutated(self, graph):
+        snapshot = graph.copy()
+        coalesce_batch(
+            graph,
+            [
+                UpdateOperation.delete_vertex(2),
+                UpdateOperation.insert_vertex(11, [1, 4]),
+                UpdateOperation.delete_vertex(11),
+            ],
+        )
+        assert graph == snapshot
+
+    def test_string_labels_fall_back_to_unordered_keys(self):
+        graph = DynamicGraph(edges=[("a", "b"), ("b", 1)])
+        batch = [
+            UpdateOperation.insert_edge("a", 1),
+            UpdateOperation.delete_edge(1, "a"),
+            UpdateOperation.delete_edge("a", "b"),
+        ]
+        net = coalesce_batch(graph, batch)
+        assert net.num_coalesced == 2
+        assert _apply_net(graph, net) == _apply_raw(graph, batch)
+
+    def test_partially_ordered_labels_cancel_across_orientations(self):
+        """frozenset labels compare False both ways without raising —
+        the edge key must not depend on operand orientation."""
+        a, b = frozenset({1}), frozenset({2})
+        graph = DynamicGraph(vertices=[a, b])
+        net = coalesce_batch(
+            graph,
+            [UpdateOperation.insert_edge(a, b), UpdateOperation.delete_edge(b, a)],
+        )
+        assert len(net) == 0
+        assert net.num_coalesced == 2
+
+
+class TestValidation:
+    def test_duplicate_edge_insert_rejected(self, graph):
+        with pytest.raises(UpdateError):
+            coalesce_batch(graph, [UpdateOperation.insert_edge(1, 2)])
+
+    def test_duplicate_edge_insert_within_batch_rejected(self, graph):
+        with pytest.raises(UpdateError):
+            coalesce_batch(
+                graph,
+                [
+                    UpdateOperation.insert_edge(1, 3),
+                    UpdateOperation.insert_edge(3, 1),
+                ],
+            )
+
+    def test_deleting_missing_edge_rejected(self, graph):
+        with pytest.raises(UpdateError):
+            coalesce_batch(graph, [UpdateOperation.delete_edge(1, 3)])
+
+    def test_deleting_edge_of_deleted_vertex_rejected(self, graph):
+        with pytest.raises(UpdateError):
+            coalesce_batch(
+                graph,
+                [
+                    UpdateOperation.delete_vertex(2),
+                    UpdateOperation.delete_edge(1, 2),
+                ],
+            )
+
+    def test_inserting_edge_on_deleted_endpoint_rejected(self, graph):
+        # The deletion sweep already touched edge (1, 2); re-inserting it
+        # with a dead endpoint must be rejected, not silently dropped.
+        with pytest.raises(UpdateError):
+            coalesce_batch(
+                graph,
+                [
+                    UpdateOperation.delete_vertex(1),
+                    UpdateOperation.insert_edge(1, 2),
+                ],
+            )
+
+    def test_inserting_fresh_edge_on_deleted_endpoint_rejected(self, graph):
+        with pytest.raises(UpdateError):
+            coalesce_batch(
+                graph,
+                [
+                    UpdateOperation.delete_vertex(1),
+                    UpdateOperation.insert_edge(1, 3),
+                ],
+            )
+
+    def test_inserting_existing_vertex_rejected(self, graph):
+        with pytest.raises(UpdateError):
+            coalesce_batch(graph, [UpdateOperation.insert_vertex(1)])
+
+    def test_deleting_missing_vertex_rejected(self, graph):
+        with pytest.raises(UpdateError):
+            coalesce_batch(graph, [UpdateOperation.delete_vertex(99)])
+
+    def test_wiring_new_vertex_to_missing_endpoint_rejected(self, graph):
+        with pytest.raises(UpdateError):
+            coalesce_batch(graph, [UpdateOperation.insert_vertex(8, [99])])
+
+    def test_inserting_edge_with_unknown_endpoint_rejected(self, graph):
+        with pytest.raises(UpdateError):
+            coalesce_batch(graph, [UpdateOperation.insert_edge(1, 999)])
+
+    def test_edge_before_its_endpoint_insertion_rejected(self, graph):
+        """Per-operation semantics: an edge may not reference a vertex that
+        is only inserted later in the batch (no silent reordering)."""
+        with pytest.raises(UpdateError):
+            coalesce_batch(
+                graph,
+                [
+                    UpdateOperation.insert_edge(1, 8),
+                    UpdateOperation.insert_vertex(8),
+                ],
+            )
+
+    def test_invalid_batch_leaves_algorithm_state_untouched(self, graph):
+        """apply_batch must reject an invalid batch before mutating anything,
+        so the maintained solution stays maximal."""
+        from repro.core.one_swap import DyOneSwap
+        from repro.core.verification import is_maximal_independent_set
+        from repro.exceptions import UpdateError as UE
+
+        algo = DyOneSwap(graph.copy())
+        before_graph = algo.graph.copy()
+        before_solution = algo.solution()
+        # Pad past BULK_APPLY_THRESHOLD so the bulk engine runs; the bad
+        # operation references a vertex that never existed.
+        filler = []
+        for i in range(40):
+            filler.append(UpdateOperation.insert_vertex(100 + i, [1]))
+        batch = [UpdateOperation.delete_vertex(2)] + filler + [
+            UpdateOperation.insert_edge(1, 999)
+        ]
+        with pytest.raises(UE):
+            algo.apply_batch(batch)
+        assert algo.graph == before_graph
+        assert algo.solution() == before_solution
+        assert is_maximal_independent_set(algo.graph, algo.solution())

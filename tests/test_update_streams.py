@@ -10,9 +10,12 @@ import pytest
 
 from repro.exceptions import UpdateError
 from repro.generators.random_graphs import erdos_renyi_graph
+from repro.updates.coalesce import coalesce_batch
 from repro.updates.operations import UpdateKind
 from repro.updates.streams import (
     burst_stream,
+    bursty_churn_stream,
+    flash_crowd_stream,
     insertion_only_stream,
     mixed_update_stream,
     random_edge_stream,
@@ -133,6 +136,55 @@ class TestOtherWorkloads:
         stream = insertion_only_stream([(0, 5), (1, 7)])
         assert len(stream) == 2
         assert all(op.kind is UpdateKind.INSERT_EDGE for op in stream)
+
+    def test_sliding_window_flicker_valid_and_coalescible(self, base_graph):
+        stream = sliding_window_stream(
+            base_graph, 200, window=30, flicker=0.5, seed=16
+        )
+        assert len(stream) == 200
+        _assert_valid(base_graph, stream)
+        # Flickered pairs are adjacent inverse operations, so the coalesced
+        # net effect must be strictly smaller than the stream.
+        net = coalesce_batch(base_graph, list(stream))
+        assert net.num_coalesced > 0
+
+    def test_sliding_window_invalid_flicker_raises(self, base_graph):
+        with pytest.raises(UpdateError):
+            sliding_window_stream(base_graph, 10, flicker=1.5, seed=16)
+
+    def test_bursty_churn_stream_valid_and_coalescible(self, base_graph):
+        stream = bursty_churn_stream(
+            base_graph, 200, burst_size=20, churn=0.8, seed=17
+        )
+        assert len(stream) == 200
+        assert all(op.is_edge_operation for op in stream)
+        _assert_valid(base_graph, stream)
+        net = coalesce_batch(base_graph, list(stream))
+        # Most of every burst is retracted inside the stream, so the whole-
+        # stream net effect is a small fraction of the operation count.
+        assert net.num_coalesced >= len(stream) // 2
+
+    def test_bursty_churn_invalid_parameters_raise(self, base_graph):
+        with pytest.raises(UpdateError):
+            bursty_churn_stream(base_graph, 10, churn=-0.1, seed=18)
+        with pytest.raises(UpdateError):
+            bursty_churn_stream(base_graph, 10, burst_size=0, seed=18)
+
+    def test_flash_crowd_stream_valid_and_coalescible(self, base_graph):
+        stream = flash_crowd_stream(
+            base_graph, 200, burst_size=16, max_neighbors=2, churn=0.9, seed=19
+        )
+        assert len(stream) == 200
+        _assert_valid(base_graph, stream)
+        kinds = stream.counts_by_kind()
+        assert kinds.get(UpdateKind.INSERT_VERTEX, 0) > 0
+        assert kinds.get(UpdateKind.DELETE_VERTEX, 0) > 0
+        net = coalesce_batch(base_graph, list(stream))
+        assert net.num_coalesced >= len(stream) // 2
+
+    def test_flash_crowd_invalid_churn_raises(self, base_graph):
+        with pytest.raises(UpdateError):
+            flash_crowd_stream(base_graph, 10, churn=2.0, seed=20)
 
 
 class TestStreamContainer:

@@ -1,0 +1,91 @@
+"""Benchmark — temporal workload replay through the maintenance engine.
+
+Not a figure of the paper: the companion scenario for the ``repro.workloads``
+subsystem.  Every catalog workload (windowed, capacity-decay, bursty and
+append-only temporal replays) is run through the core maintainers, unbatched
+and through the batched update engine, and one windowed workload is
+additionally run with checkpointing enabled to price the snapshot layer —
+a checkpointed run must produce exactly the measurement of a plain run
+(checkpoint I/O is excluded from update time by design, so only wall-clock
+noise separates them).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    load_temporal_workload,
+    run_algorithm,
+    run_competition,
+    temporal_workload_names,
+)
+from repro.workloads import CheckpointConfig
+
+ALGORITHMS = ("DyOneSwap", "DyTwoSwap", "DyOneSwap+lazy")
+
+
+def temporal_replay_rows(profile):
+    rows = []
+    for name in temporal_workload_names():
+        graph, stream = load_temporal_workload(profile, name)
+        for batch_size in (1, 64):
+            results = run_competition(
+                graph,
+                stream,
+                dataset=name,
+                algorithms=ALGORITHMS,
+                batch_size=batch_size,
+                attach_reference=False,
+            )
+            for algorithm, measurement in results.items():
+                row = measurement.as_row()
+                row["batch_size"] = batch_size
+                rows.append(row)
+    return rows
+
+
+def checkpointed_replay_rows(profile, tmp_path):
+    graph, stream = load_temporal_workload(profile, "wiki-talk-window")
+    rows = []
+    plain = run_algorithm("DyOneSwap", graph, stream, dataset="wiki-talk-window")
+    row = plain.as_row()
+    row["mode"] = "plain"
+    rows.append(row)
+    config = CheckpointConfig(
+        directory=tmp_path, every=max(1, len(stream) // 8), keep=2
+    )
+    checkpointed = run_algorithm(
+        "DyOneSwap", graph, stream, dataset="wiki-talk-window", checkpoint=config
+    )
+    row = checkpointed.as_row()
+    row["mode"] = "checkpointed"
+    rows.append(row)
+    return rows
+
+
+def test_temporal_replay(benchmark, profile, show_rows):
+    rows = benchmark.pedantic(
+        temporal_replay_rows, args=(profile,), rounds=1, iterations=1
+    )
+    assert rows
+    by_key = {}
+    for row in rows:
+        assert row["finished"]
+        by_key[(row["dataset"], row["algorithm"], row["batch_size"])] = row
+    for (dataset, algorithm, batch_size), row in by_key.items():
+        reference = by_key[(dataset, algorithm, 1)]
+        # Batched and unbatched replays process the same stream and end in
+        # the same quality regime (both k-maximal at the boundary).
+        assert row["updates"] == reference["updates"]
+        assert row["final_size"] >= 0.8 * reference["final_size"]
+    show_rows("Temporal workload replay (catalog × batch modes)", rows)
+
+
+def test_checkpointed_replay_measurement_parity(benchmark, profile, show_rows, tmp_path):
+    rows = benchmark.pedantic(
+        checkpointed_replay_rows, args=(profile, tmp_path), rounds=1, iterations=1
+    )
+    plain, checkpointed = rows
+    # Checkpointing may cost wall-clock (I/O) but must not change the run.
+    for field in ("updates", "initial_size", "final_size", "memory"):
+        assert plain[field] == checkpointed[field], field
+    show_rows("Temporal replay — checkpointing overhead", rows)

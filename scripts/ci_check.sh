@@ -15,13 +15,27 @@
 #                    CI points this at a stable path and uploads it as an
 #                    artifact so warn-mode runs still leave a perf record
 #   BENCH_LABEL      trajectory label recorded in the fresh results
+#   COVERAGE         set to 1 to run the tier-1 tests under pytest-cov with a
+#                    hard floor (requires pytest-cov; CI enables this)
+#   COVERAGE_MIN     coverage floor in percent (default 85)
+#   COVERAGE_XML     where the XML report is written (default coverage.xml);
+#                    CI uploads it as an artifact next to the benchmark JSON
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
-python -m pytest -x -q
+if [[ "${COVERAGE:-0}" == "1" ]]; then
+    echo "== tier-1 tests (with coverage floor ${COVERAGE_MIN:-85}%) =="
+    python -m pytest -x -q \
+        --cov=repro \
+        --cov-report=term \
+        --cov-report="xml:${COVERAGE_XML:-coverage.xml}" \
+        --cov-fail-under="${COVERAGE_MIN:-85}"
+else
+    echo "== tier-1 tests =="
+    python -m pytest -x -q
+fi
 
 echo
 echo "== quick benchmark vs committed BENCH_core.json (per-update regression"

@@ -11,6 +11,8 @@ A from-scratch Python reproduction of the ICDE 2022 paper by Gao, Li and Miao
   DyTwoSwap and the theoretical bounds,
 * :mod:`repro.baselines` — the exact solver, greedy/reduction heuristics,
   ARW local search, DyARW, and the DGOneDIS/DGTwoDIS competitors,
+* :mod:`repro.workloads` — temporal-graph ingestion (timestamped edge lists
+  → update streams), engine snapshot/restore and resumable replay,
 * :mod:`repro.experiments` — the runner, metrics and the table/figure
   reproduction harness.
 
@@ -44,6 +46,14 @@ from repro.updates import (
     random_edge_stream,
     random_vertex_stream,
 )
+from repro.workloads import (
+    TemporalEdge,
+    cached_temporal_stream,
+    load_snapshot,
+    read_temporal_edge_list,
+    save_snapshot,
+    temporal_update_stream,
+)
 
 __version__ = "1.0.0"
 
@@ -58,6 +68,12 @@ __all__ = [
     "random_edge_stream",
     "random_vertex_stream",
     "mixed_update_stream",
+    "TemporalEdge",
+    "read_temporal_edge_list",
+    "temporal_update_stream",
+    "cached_temporal_stream",
+    "save_snapshot",
+    "load_snapshot",
     "is_independent_set",
     "is_maximal_independent_set",
     "is_k_maximal_independent_set",

@@ -43,17 +43,22 @@ class DyARW(DynamicMISBase):
     # Swap processing, ARW style
     # ------------------------------------------------------------------ #
     def _process_candidates(self) -> None:
+        # Deterministic sweep drain shared with the core maintainers — see
+        # base._sweep_level1 (the members are ignored: ARW re-derives the
+        # tight neighbourhood from scratch per examination).
+        queue = self._candidates[1]
+        if not queue:
+            return
         in_sol = self._in_sol
-        while True:
-            popped = self._pop_candidate(1)
-            if popped is None:
-                break
-            v, _members = popped
+
+        def visit(v: int, _members) -> None:
             if not in_sol[v]:
-                continue
+                return
             swap_in = self._ordered_scan(v)
             if swap_in is not None:
                 self._perform_swap(v, swap_in)
+
+        self._sweep_level1(queue, visit)
 
     def _ordered_scan(self, slot: int) -> Optional[Tuple[int, int]]:
         """Scan the *sorted* tight neighbourhood of ``slot`` for a non-adjacent pair.

@@ -35,7 +35,17 @@ import abc
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from repro.core.lazy import LazyMISState
 from repro.core.state import MISState
@@ -668,18 +678,54 @@ class DynamicMISBase(abc.ABC):
             for t in adj[s]:
                 register(t)
 
-    def _pop_candidate(self, level: int):
-        """Pop one ``(S, C(S))`` pair from the given level, or ``None`` if empty.
+    def _sorted_members(self, members: Set[int]) -> Iterable[int]:
+        """``C(S)`` in interned order — the canonical examination order.
 
-        At level 1 the returned key is the owner *slot*; at deeper levels it
-        is the frozenset of owner slots.
+        **Drain determinism.**  Every ``_process_candidates`` implementation
+        drains its queues by *sorted sweeps* (pending owners in interned
+        order, singleton queues popped directly) and examines members in
+        interned order, never via ``popitem()`` or raw set iteration.  The
+        trajectory must be a function of queue *contents* only:
+        registration reaches the queues through iteration over adjacency
+        sets, whose order depends on each set's allocation history — state
+        that a restored snapshot cannot reproduce.  Content-keyed draining
+        keeps the whole trajectory (which swaps happen, and therefore every
+        statistic) identical between an uninterrupted run and a
+        snapshot/restore/resume run, and between the eager and lazy states.
+
+        Singleton sets (the common case: one registration per owner per
+        repair) are returned as-is — no sort, no list allocation.
         """
-        queue = self._candidates[level]
-        if not queue:
-            return None
-        owners, members = queue.popitem()
-        self.stats.candidates_processed += 1
-        return owners, members
+        if len(members) <= 1:
+            return members
+        return sorted(members, key=self._orders.__getitem__)
+
+    def _sweep_level1(
+        self, queue: Dict[Any, Set[int]], visit: Callable[[int, Set[int]], None]
+    ) -> None:
+        """Drain a slot-keyed level-1 queue by deterministic sorted sweeps.
+
+        The one canonical implementation of the drain contract documented
+        on :meth:`_sorted_members`: singleton queues pop directly, larger
+        ones are swept in interned owner order with a pop-``None`` guard
+        for keys consumed or re-registered mid-sweep; owners registered
+        during a sweep are picked up by the next one.  ``visit`` is called
+        with ``(owner_slot, members)`` for every live entry.
+        """
+        orders = self._orders
+        stats = self.stats
+        while queue:
+            if len(queue) == 1:
+                owner, members = queue.popitem()
+                stats.candidates_processed += 1
+                visit(owner, members)
+                continue
+            for owner in sorted(queue, key=orders.__getitem__):
+                members = queue.pop(owner, None)
+                if members is None:
+                    continue
+                stats.candidates_processed += 1
+                visit(owner, members)
 
     def has_pending_candidates(self) -> bool:
         """Return ``True`` while any candidate queue is non-empty."""

@@ -67,22 +67,54 @@ class KSwapFramework(DynamicMISBase):
     # Bottom-up candidate processing
     # ------------------------------------------------------------------ #
     def _process_candidates(self) -> None:
-        while self.has_pending_candidates():
-            level = self._smallest_pending_level()
-            popped = self._pop_candidate(level)
-            if popped is None:
-                continue
-            owners, members = popped
-            if level == 1:
-                # Level-1 queues are keyed by the owner slot directly.
-                owners = frozenset((owners,))
-            self._examine_candidate(level, owners, members)
+        # Deterministic sorted sweeps per level (see base._sorted_members for
+        # why the drain must be a function of queue contents only).  The
+        # sweep keeps the bottom-up invariant: after any examination that
+        # creates lower-level work, the current level's sweep is abandoned
+        # and the smallest pending level is re-selected.
+        candidates = self._candidates
+        orders = self._orders
+        stats = self.stats
+        examine = self._examine_candidate
 
-    def _smallest_pending_level(self) -> int:
-        for level in range(1, self.k + 1):
-            if self._candidates[level]:
-                return level
-        return self.k
+        def examine1(owner: int, members) -> None:
+            # Level-1 queues are keyed by the owner slot directly.
+            examine(1, frozenset((owner,)), members)
+
+        def sweep(level: int) -> None:
+            """Drain all candidate work at levels ``<= level``, bottom-up."""
+            queue = candidates[level]
+            if level == 1:
+                self._sweep_level1(queue, examine1)
+                return
+            while True:
+                for lower in range(1, level):
+                    if candidates[lower]:
+                        sweep(lower)
+                if not queue:
+                    return
+                if len(queue) == 1:
+                    owners, members = queue.popitem()
+                    stats.candidates_processed += 1
+                    examine(level, owners, members)
+                    continue
+                keys = sorted(queue, key=lambda s: sorted(orders[x] for x in s))
+                for owners in keys:
+                    members = queue.pop(owners, None)
+                    if members is None:
+                        continue
+                    stats.candidates_processed += 1
+                    examine(level, owners, members)
+                    # Bottom-up priority without discarding the sorted key
+                    # list: recurse into any lower-level work, then keep
+                    # walking (stale keys fail the pop/validity guards;
+                    # same-level keys registered meanwhile wait for the
+                    # next re-sort of the enclosing while loop).
+                    for lower in range(1, level):
+                        if candidates[lower]:
+                            sweep(lower)
+
+        sweep(self.k)
 
     def _examine_candidate(
         self, level: int, owners: FrozenSet[int], members: Set[int]
@@ -94,7 +126,13 @@ class KSwapFramework(DynamicMISBase):
         if not all(in_sol[s] for s in owners):
             return
         pool = state.tight_up_to_slots(owners, level)
-        valid_members = [m for m in members if self._is_valid_member(m, owners, level)]
+        # Interned examination order: content-deterministic, so restored
+        # snapshots walk the same trajectory (see base._sorted_members).
+        valid_members = [
+            m
+            for m in self._sorted_members(members)
+            if self._is_valid_member(m, owners, level)
+        ]
         for slot in valid_members:
             swap_in = self._search_swap_in(slot, owners, pool, level)
             if swap_in is not None:

@@ -54,12 +54,11 @@ class DyOneSwap(DynamicMISBase):
     # Swap processing
     # ------------------------------------------------------------------ #
     def _process_candidates(self) -> None:
+        # Deterministic sweep drain — see base._sweep_level1 for the
+        # contract (trajectory must be a function of queue contents only).
         queue = self._candidates[1]
-        stats = self.stats
-        while queue:
-            owner, members = queue.popitem()
-            stats.candidates_processed += 1
-            self._examine_candidate(owner, members)
+        if queue:
+            self._sweep_level1(queue, self._examine_candidate)
 
     def _examine_candidate(self, v: int, members: Set[int]) -> None:
         """Check whether the solution slot ``v`` still forms a clique barrier."""
@@ -77,10 +76,10 @@ class DyOneSwap(DynamicMISBase):
             return
         # A candidate u is still usable exactly when it is tight on {v}, i.e.
         # u ∈ ¯I_1(v): stale members (deleted, absorbed, or re-counted
-        # vertices) simply fail the membership test.  Iterate ``members`` (not
-        # the tight view) so the examination order is identical for the eager
-        # and the lazy state.
-        for u in members:
+        # vertices) simply fail the membership test.  Canonical interned
+        # examination order (see base._sorted_members), not the tight view,
+        # not raw set order.
+        for u in self._sorted_members(members):
             if u in tight and self._has_nonneighbor_within(u, tight):
                 self._perform_one_swap(v, u, set(tight))
                 return

@@ -54,19 +54,44 @@ class DyTwoSwap(DynamicMISBase):
     # Swap processing (bottom-up)
     # ------------------------------------------------------------------ #
     def _process_candidates(self) -> None:
+        # Deterministic sweeps (not popitem): the drain order must be a
+        # function of queue contents only, so a snapshot-restored run walks
+        # the same trajectory (see base._sorted_members and the one-swap
+        # drain).  Level 1 keeps priority: after every level-2 examination
+        # any newly pending level-1 work is drained before the next level-2
+        # owner pair.
         candidates1, candidates2 = self._candidates[1], self._candidates[2]
+        if not candidates1 and not candidates2:
+            return
+        orders = self._orders
         stats = self.stats
+        find_one = self._find_one_swap
+        find_two = self._find_two_swap
+        sweep_ones = self._sweep_level1
+
         while True:
-            if candidates1:
-                v, members = candidates1.popitem()
-                stats.candidates_processed += 1
-                self._find_one_swap(v, members)
-            elif candidates2:
+            sweep_ones(candidates1, find_one)
+            if not candidates2:
+                break
+            if len(candidates2) == 1:
                 owners, members = candidates2.popitem()
                 stats.candidates_processed += 1
-                self._find_two_swap(owners, members)
-            else:
-                break
+                find_two(owners, members)
+                continue
+            for owners in sorted(
+                candidates2, key=lambda s: _pair_order_key(s, orders)
+            ):
+                members = candidates2.pop(owners, None)
+                if members is None:
+                    continue
+                stats.candidates_processed += 1
+                find_two(owners, members)
+                # Level-1 priority without discarding the sorted key list:
+                # service the new level-1 work, then keep walking (keys made
+                # stale by those swaps fail the pop/in_sol guards; level-2
+                # owners registered meanwhile wait for the next re-sort).
+                if candidates1:
+                    sweep_ones(candidates1, find_one)
 
     # -------------------------- level 1 ------------------------------- #
     def _find_one_swap(self, v: int, members: Set[int]) -> None:
@@ -75,10 +100,11 @@ class DyTwoSwap(DynamicMISBase):
             return
         # Live view; snapshots are taken only when a swap mutates the state.
         # A member u is still a usable level-1 candidate exactly when
-        # u ∈ ¯I_1(v).  Iterate ``members`` (not the tight view) so the
-        # examination order is identical for the eager and the lazy state.
+        # u ∈ ¯I_1(v).  Iterate the members in interned order (not the tight
+        # view, not raw set order) so the examination order is identical for
+        # the eager and the lazy state and for a snapshot-restored run.
         tight = state.tight1_view(v)
-        valid_members = [u for u in members if u in tight]
+        valid_members = [u for u in self._sorted_members(members) if u in tight]
         for u in valid_members:
             if self._has_nonneighbor_within(u, tight):
                 self._perform_one_swap(v, u, set(tight))
@@ -136,7 +162,13 @@ class DyTwoSwap(DynamicMISBase):
     def _find_two_swap(self, owners: FrozenSet[int], members: Set[int]) -> None:
         if len(owners) != 2:
             return
-        u, v = tuple(owners)
+        # Interned-order unpack: a two-element frozenset's iteration order
+        # can depend on its construction history, and swapping u/v swaps the
+        # y/z search pools below — normalise so restored runs agree.
+        u, v = owners
+        orders = self._orders
+        if orders[u] > orders[v]:
+            u, v = v, u
         state = self.state
         in_sol = self._in_sol
         if not (in_sol[u] and in_sol[v]):
@@ -144,8 +176,9 @@ class DyTwoSwap(DynamicMISBase):
         # Read-only views: _search_triple never mutates state, and
         # _perform_two_swap re-derives its pool before mutating.  A member x
         # is still a usable level-2 candidate exactly when x ∈ ¯I_2(S).
-        # Iterate ``members`` (not the tight view) so the examination order is
-        # identical for the eager and the lazy state.  The ¯I_1 views are
+        # Iterate the members in interned order (not the tight view, not raw
+        # set order) so the examination order is identical for the eager and
+        # the lazy state and for a snapshot-restored run.  The ¯I_1 views are
         # fetched only once a usable member exists — on the lazy state they
         # are neighbourhood scans, and most popped candidates are stale.
         tight_pair = state.tight_view(owners, 2)
@@ -153,7 +186,7 @@ class DyTwoSwap(DynamicMISBase):
             return
         tight_u: Optional[Set[int]] = None
         tight_v: Optional[Set[int]] = None
-        for x in members:
+        for x in self._sorted_members(members):
             if x not in tight_pair:
                 continue
             if tight_u is None:
@@ -270,3 +303,9 @@ class DyTwoSwap(DynamicMISBase):
             # {u, v, w} is independent and dominated only by the owner pair.
             self._perform_two_swap(owners, w, su, sv)
             return
+
+def _pair_order_key(owners, orders):
+    """Content-only sort key for a two-slot owner set (order-normalised pair)."""
+    u, v = owners
+    a, b = orders[u], orders[v]
+    return (a, b) if a <= b else (b, a)

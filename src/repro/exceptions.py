@@ -78,6 +78,25 @@ class DatasetError(ReproError):
     """Raised when a named dataset cannot be found or generated."""
 
 
+class SnapshotError(ReproError):
+    """Raised when an engine snapshot cannot be taken or restored.
+
+    Covers unsupported vertex-label types, malformed or version-incompatible
+    payloads, and restore-time consistency failures (a payload whose solution
+    is not installable on its own graph indicates corruption).
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when a replay checkpoint cannot be written, located or resumed.
+
+    Distinct from :class:`SnapshotError`: a checkpoint wraps a snapshot with
+    stream provenance (how many operations were consumed, of which stream),
+    and resuming against a different stream or algorithm is a checkpoint
+    error even when the embedded snapshot itself is intact.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""
 

@@ -25,6 +25,7 @@ from repro.exceptions import ExperimentError
 from repro.generators.datasets import dataset_names, load_dataset
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.updates.streams import UpdateStream, mixed_update_stream
+from repro.workloads.temporal import synthetic_temporal_events, temporal_update_stream
 
 
 @dataclass(frozen=True)
@@ -165,3 +166,133 @@ def dataset_and_stream(
     graph = load_profile_dataset(profile, name)
     stream = build_update_stream(profile, graph, num_updates, dataset=name)
     return graph, stream
+
+
+# --------------------------------------------------------------------- #
+# Temporal workload catalog
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TemporalWorkloadSpec:
+    """A named temporal replay workload (stand-in for a SNAP temporal dataset).
+
+    The real temporal datasets (wiki-Talk, email-Eu, sx-stackoverflow, …)
+    are not redistributable inside this repository, so each catalog entry
+    generates a deterministic hub-biased interaction sequence at the
+    profile's scale (:func:`repro.workloads.temporal.synthetic_temporal_events`)
+    and replays it through the named retention policy
+    (:func:`repro.workloads.temporal.temporal_update_stream`).
+
+    Attributes
+    ----------
+    name:
+        Catalog key.
+    events_factor:
+        Timestamped interactions generated per profile "small" update
+        (deletions synthesized by the policy come on top, so the resulting
+        stream is longer than the event count).
+    window:
+        Time-window retention in timestamp units (``None`` disables it).
+    max_live:
+        Capacity decay: at most this many live interactions (``None``
+        disables it).
+    gc_isolated:
+        Delete endpoints isolated by expiries (vertex churn, exercising the
+        engine's slot recycling).
+    hub_fraction, hub_bias:
+        Skew knobs of the synthetic event generator.
+    description:
+        The real-world scenario the workload models.
+    """
+
+    name: str
+    events_factor: float = 1.0
+    window: Optional[float] = None
+    max_live: Optional[int] = None
+    gc_isolated: bool = True
+    hub_fraction: float = 0.05
+    hub_bias: float = 0.6
+    description: str = ""
+
+
+TEMPORAL_WORKLOADS: Dict[str, TemporalWorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        TemporalWorkloadSpec(
+            name="wiki-talk-window",
+            events_factor=1.0,
+            window=40.0,
+            description="message-graph replay where interactions expire after a time window",
+        ),
+        TemporalWorkloadSpec(
+            name="email-eu-decay",
+            events_factor=1.0,
+            max_live=400,
+            hub_bias=0.7,
+            description="mail traffic with a bounded live set (capacity decay, oldest first)",
+        ),
+        TemporalWorkloadSpec(
+            name="stackoverflow-burst",
+            events_factor=1.0,
+            window=15.0,
+            hub_fraction=0.02,
+            hub_bias=0.8,
+            description="hot-question bursts: short window, heavy hub skew, fast churn",
+        ),
+        TemporalWorkloadSpec(
+            name="citation-growth",
+            events_factor=1.0,
+            window=None,
+            max_live=None,
+            gc_isolated=False,
+            hub_bias=0.4,
+            description="append-only citation growth (no deletions; the graph only accretes)",
+        ),
+    )
+}
+
+
+def temporal_workload_names() -> Tuple[str, ...]:
+    """Names accepted by :func:`load_temporal_workload`."""
+    return tuple(TEMPORAL_WORKLOADS)
+
+
+def load_temporal_workload(
+    profile, name: str, *, num_events: Optional[int] = None
+) -> Tuple[DynamicGraph, UpdateStream]:
+    """Build a catalog temporal workload at the profile's scale.
+
+    Returns ``(initial graph, stream)`` ready for
+    :func:`~repro.experiments.runner.run_algorithm` /
+    :func:`~repro.experiments.runner.run_competition`: the initial graph is
+    empty (a temporal replay builds its graph from the stream) and the
+    stream replays ``num_events`` timestamped interactions (default: the
+    profile's small update count times the spec's ``events_factor``) through
+    the spec's retention policy.
+    """
+    profile = get_profile(profile)
+    try:
+        spec = TEMPORAL_WORKLOADS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown temporal workload {name!r}; known: {sorted(TEMPORAL_WORKLOADS)}"
+        ) from None
+    if num_events is None:
+        num_events = max(1, int(profile.updates_small * spec.events_factor))
+    seed = profile.seed + sum(ord(c) for c in name)
+    events = synthetic_temporal_events(
+        num_events,
+        num_vertices=profile.easy_vertices,
+        seed=seed,
+        hub_fraction=spec.hub_fraction,
+        hub_bias=spec.hub_bias,
+    )
+    stream = temporal_update_stream(
+        events,
+        window=spec.window,
+        max_live=spec.max_live,
+        gc_isolated=spec.gc_isolated,
+        description=name,
+    )
+    stream.metadata["workload"] = name
+    stream.metadata["profile"] = profile.name
+    return DynamicGraph(), stream

@@ -18,7 +18,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from itertools import islice
-from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple, Union
 
 from repro.baselines.arw import ArwLocalSearch
 from repro.baselines.dgdis import DGOneDIS, DGTwoDIS
@@ -31,6 +32,12 @@ from repro.exceptions import ExperimentError, SolverTimeoutError
 from repro.experiments.metrics import RunMeasurement, Stopwatch
 from repro.graphs.dynamic_graph import DynamicGraph, Vertex
 from repro.updates.streams import UpdateStream
+from repro.workloads.replay import (
+    CheckpointConfig,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 #: Algorithm names in the order the paper's tables list them.
 PAPER_ALGORITHMS: Tuple[str, ...] = (
@@ -64,6 +71,27 @@ ALGORITHM_FACTORIES: Dict[str, Callable] = {
     "DyTwoSwap+lazy": _make_factory(DyTwoSwap, lazy=True),
     "KSwapFramework": _make_factory(KSwapFramework),
 }
+
+
+#: Registry entries whose instances support engine snapshots — every
+#: DynamicMISBase maintainer (all of which are deterministic and keep their
+#: whole state in graph + membership + counters); the index-based DGDIS
+#: baselines are not snapshot-capable.
+SNAPSHOT_CAPABLE: Tuple[str, ...] = (
+    "DyOneSwap",
+    "DyTwoSwap",
+    "DyARW",
+    "DyOneSwap+perturb",
+    "DyTwoSwap+perturb",
+    "DyOneSwap+lazy",
+    "DyTwoSwap+lazy",
+    "KSwapFramework",
+)
+
+
+def _supports_snapshots(name: str, options: Dict) -> bool:
+    del options  # capability is a property of the registered class
+    return name in SNAPSHOT_CAPABLE
 
 
 def available_algorithms() -> Tuple[str, ...]:
@@ -195,6 +223,184 @@ def compute_reference(
     return ReferenceResult(size=best, kind="best-known")
 
 
+def _run_single(
+    name: str,
+    graph: DynamicGraph,
+    stream: UpdateStream,
+    *,
+    dataset: str,
+    initial_solution: Optional[Iterable[Vertex]],
+    time_limit_seconds: Optional[float],
+    check_interval: int,
+    batch_size: int,
+    checkpoint: Optional[CheckpointConfig],
+    resume_from: Optional[Union[str, Path]],
+    options: Dict,
+) -> Tuple[RunMeasurement, object]:
+    """Shared engine of :func:`run_algorithm` / :func:`run_competition`.
+
+    Returns ``(measurement, algorithm)`` — the caller may need the live
+    algorithm for its final graph/solution (the competition's shared
+    reference).  Handles the optional checkpoint/resume wiring:
+
+    * with ``checkpoint`` set, the stream is consumed in chunks of
+      ``checkpoint.every`` operations and a checkpoint file is written after
+      each chunk (checkpoint I/O is excluded from the measured update time),
+    * with ``resume_from`` set, the algorithm is restored bit-for-bit from
+      that checkpoint, the first ``processed`` operations of the stream are
+      skipped, and measurement fields (update count, elapsed time, initial
+      size) continue from the checkpointed values — so a resumed run is
+      indistinguishable from an uninterrupted one.
+    """
+    stream_length: Optional[int] = len(stream) if hasattr(stream, "__len__") else None
+    stream_description = getattr(stream, "description", "")
+    if checkpoint is not None:
+        if not _supports_snapshots(name, options):
+            # Fail before any stream work is done — discovering the missing
+            # capability at the first save_checkpoint would burn a full
+            # chunk of updates first.
+            raise ExperimentError(
+                f"algorithm {name!r} does not support engine snapshots; "
+                f"checkpointing is available for {SNAPSHOT_CAPABLE}"
+            )
+        if batch_size > 1 and checkpoint.every % batch_size:
+            raise ExperimentError(
+                f"checkpoint interval {checkpoint.every} must be a multiple of "
+                f"batch_size {batch_size} so checkpoints land on batch boundaries"
+            )
+    skip = 0
+    elapsed_offset = 0.0
+    if resume_from is not None:
+        restored = load_checkpoint(resume_from)
+        if restored.algorithm_name != name:
+            raise ExperimentError(
+                f"checkpoint {restored.path} belongs to {restored.algorithm_name!r}, "
+                f"not {name!r}"
+            )
+        if (
+            restored.stream_length is not None
+            and stream_length is not None
+            and restored.stream_length != stream_length
+        ):
+            raise ExperimentError(
+                f"checkpoint {restored.path} was taken on a stream of "
+                f"{restored.stream_length} operations; got {stream_length}"
+            )
+        if (
+            restored.stream_description
+            and stream_description
+            and restored.stream_description != stream_description
+        ):
+            raise ExperimentError(
+                f"checkpoint {restored.path} was taken on stream "
+                f"{restored.stream_description!r}; resuming against "
+                f"{stream_description!r} would silently mix two runs"
+            )
+        if restored.dataset and dataset and restored.dataset != dataset:
+            raise ExperimentError(
+                f"checkpoint {restored.path} was taken on dataset "
+                f"{restored.dataset!r}, not {dataset!r}"
+            )
+        if restored.batch_size != batch_size:
+            # Batch boundaries are part of the trajectory: resuming an
+            # unbatched checkpoint in batched mode (or vice versa) would
+            # shift every coalescing group relative to an uninterrupted run.
+            raise ExperimentError(
+                f"checkpoint {restored.path} was written by a "
+                f"batch_size={restored.batch_size} run; resuming with "
+                f"batch_size={batch_size} would shift every batch boundary"
+            )
+        if stream_length is not None and restored.processed > stream_length:
+            raise ExperimentError(
+                f"checkpoint {restored.path} consumed {restored.processed} "
+                f"operations but the stream only has {stream_length}"
+            )
+
+        def factory(restored_graph, solution, **snapshot_options):
+            merged = dict(options)
+            merged.update(snapshot_options)
+            return create_algorithm(name, restored_graph, solution, **merged)
+
+        algorithm = restored.restore(factory)
+        skip = restored.processed
+        initial_size = restored.initial_size
+        elapsed_offset = restored.elapsed_seconds
+    else:
+        working_graph = graph.copy()
+        algorithm = create_algorithm(name, working_graph, initial_solution, **options)
+        initial_size = algorithm.solution_size
+    # The per-session cutoff accounts for update time already spent before
+    # the resume, mirroring the paper's per-run budget.
+    session_limit = (
+        None if time_limit_seconds is None else time_limit_seconds - elapsed_offset
+    )
+    stopwatch = Stopwatch()
+    iterator = iter(stream)
+    if skip:
+        next(islice(iterator, skip - 1, skip), None)
+    processed = skip
+    finished = True
+    if session_limit is not None and session_limit <= 0:
+        finished = stream_length is not None and processed >= stream_length
+    elif checkpoint is None:
+        with stopwatch:
+            done, finished = _timed_stream_run(
+                algorithm,
+                iterator,
+                stopwatch,
+                session_limit,
+                check_interval,
+                batch_size,
+            )
+        processed += done
+    else:
+        while True:
+            chunk = list(islice(iterator, checkpoint.every))
+            if not chunk:
+                break
+            with stopwatch:
+                done, chunk_finished = _timed_stream_run(
+                    algorithm,
+                    chunk,
+                    stopwatch,
+                    session_limit,
+                    check_interval,
+                    batch_size,
+                )
+            processed += done
+            if not chunk_finished:
+                finished = False
+                break
+            # Checkpoint I/O happens outside the stopwatch: persisting state
+            # must not count as update time.
+            save_checkpoint(
+                algorithm,
+                checkpoint,
+                algorithm_name=name,
+                processed=processed,
+                initial_size=initial_size,
+                elapsed_seconds=elapsed_offset + stopwatch.elapsed,
+                dataset=dataset,
+                stream_length=stream_length,
+                stream_description=stream_description,
+                batch_size=batch_size,
+            )
+            if len(chunk) < checkpoint.every:
+                break
+    measurement = RunMeasurement(
+        algorithm=name,
+        dataset=dataset,
+        num_updates=processed,
+        initial_size=initial_size,
+        final_size=algorithm.solution_size,
+        elapsed_seconds=elapsed_offset + stopwatch.elapsed,
+        memory_footprint=algorithm.memory_footprint(),
+        finished=finished,
+        extra=_algorithm_extras(algorithm),
+    )
+    return measurement, algorithm
+
+
 def run_algorithm(
     name: str,
     graph: DynamicGraph,
@@ -205,6 +411,8 @@ def run_algorithm(
     time_limit_seconds: Optional[float] = None,
     check_interval: int = 64,
     batch_size: int = 1,
+    checkpoint: Optional[CheckpointConfig] = None,
+    resume_from: Optional[Union[str, Path]] = None,
     **options,
 ) -> RunMeasurement:
     """Run one algorithm over one update stream and measure it.
@@ -226,31 +434,31 @@ def run_algorithm(
         When greater than one, feed the stream through the batched update
         engine (coalescing plus one repair pass per batch); algorithms
         without batch support fall back to per-operation application.
+    checkpoint:
+        When set, write a resumable checkpoint every
+        :attr:`~repro.workloads.replay.CheckpointConfig.every` operations
+        (I/O excluded from the measured time).  Checkpointing requires a
+        :class:`~repro.core.base.DynamicMISBase` algorithm (the core
+        maintainers); the index-based baselines are not snapshot-capable.
+    resume_from:
+        Path of a checkpoint to resume from; the run continues mid-stream
+        and its measurement reports cumulative totals, so the result is
+        identical to an uninterrupted run (asserted by the test suite).
     """
-    working_graph = graph.copy()
-    algorithm = create_algorithm(name, working_graph, initial_solution, **options)
-    initial_size = algorithm.solution_size
-    stopwatch = Stopwatch()
-    with stopwatch:
-        processed, finished = _timed_stream_run(
-            algorithm,
-            stream,
-            stopwatch,
-            time_limit_seconds,
-            check_interval,
-            batch_size,
-        )
-    return RunMeasurement(
-        algorithm=name,
+    measurement, _algorithm = _run_single(
+        name,
+        graph,
+        stream,
         dataset=dataset,
-        num_updates=processed,
-        initial_size=initial_size,
-        final_size=algorithm.solution_size,
-        elapsed_seconds=stopwatch.elapsed,
-        memory_footprint=algorithm.memory_footprint(),
-        finished=finished,
-        extra=_algorithm_extras(algorithm),
+        initial_solution=initial_solution,
+        time_limit_seconds=time_limit_seconds,
+        check_interval=check_interval,
+        batch_size=batch_size,
+        checkpoint=checkpoint,
+        resume_from=resume_from,
+        options=options,
     )
+    return measurement
 
 
 def run_competition(
@@ -266,6 +474,8 @@ def run_competition(
     reference_node_budget: int = 150_000,
     attach_reference: bool = True,
     algorithm_options: Optional[Dict[str, Dict]] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    resume: bool = False,
 ) -> Dict[str, RunMeasurement]:
     """Run several algorithms on the same dataset/stream and attach a shared reference.
 
@@ -276,40 +486,51 @@ def run_competition(
     ``batch_size > 1`` every batch-capable algorithm processes the stream
     through the batched update engine (the DGDIS baselines fall back to
     per-operation application).
+
+    With ``checkpoint`` set, every snapshot-capable algorithm (the
+    :class:`~repro.core.base.DynamicMISBase` maintainers) writes resumable
+    checkpoints into the shared directory — filenames embed the algorithm
+    name, so one directory serves the whole competition; algorithms without
+    snapshot support run straight through.  With ``resume=True`` each
+    algorithm restarts from its newest checkpoint in that directory (fresh
+    when it has none), which makes an interrupted competition restartable
+    with the completed prefix priced in.
     """
     algorithm_options = algorithm_options or {}
+    if resume and checkpoint is None:
+        raise ExperimentError(
+            "resume=True requires checkpoint=CheckpointConfig(...): without a "
+            "checkpoint directory there is nothing to resume from"
+        )
     measurements: Dict[str, RunMeasurement] = {}
     final_solutions = []
     final_graph: Optional[DynamicGraph] = None
     for name in algorithms:
         options = algorithm_options.get(name, {})
-        working_graph = graph.copy()
-        algorithm = create_algorithm(name, working_graph, initial_solution, **options)
-        initial_size = algorithm.solution_size
-        stopwatch = Stopwatch()
-        with stopwatch:
-            processed, finished = _timed_stream_run(
-                algorithm,
-                stream,
-                stopwatch,
-                time_limit_seconds,
-                check_interval,
-                batch_size,
-            )
-        measurements[name] = RunMeasurement(
-            algorithm=name,
+        algorithm_checkpoint = checkpoint
+        resume_from = None
+        if checkpoint is not None:
+            if not _supports_snapshots(name, options):
+                algorithm_checkpoint = None
+            elif resume:
+                resume_from = latest_checkpoint(checkpoint.directory, name)
+        measurement, algorithm = _run_single(
+            name,
+            graph,
+            stream,
             dataset=dataset,
-            num_updates=processed,
-            initial_size=initial_size,
-            final_size=algorithm.solution_size,
-            elapsed_seconds=stopwatch.elapsed,
-            memory_footprint=algorithm.memory_footprint(),
-            finished=finished,
-            extra=_algorithm_extras(algorithm),
+            initial_solution=initial_solution,
+            time_limit_seconds=time_limit_seconds,
+            check_interval=check_interval,
+            batch_size=batch_size,
+            checkpoint=algorithm_checkpoint,
+            resume_from=resume_from,
+            options=options,
         )
-        if finished:
+        measurements[name] = measurement
+        if measurement.finished:
             final_solutions.append(algorithm.solution())
-            final_graph = working_graph
+            final_graph = algorithm.graph
     if attach_reference and final_graph is not None:
         reference = compute_reference(
             final_graph,

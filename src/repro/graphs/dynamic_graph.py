@@ -29,11 +29,12 @@ trajectories do not depend on slot recycling or set iteration order.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Set, Tuple
 
 from repro.exceptions import (
     EdgeExistsError,
     EdgeNotFoundError,
+    GraphError,
     SelfLoopError,
     VertexExistsError,
     VertexNotFoundError,
@@ -659,6 +660,126 @@ class DynamicGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"DynamicGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Bit-for-bit serialisation (the snapshot substrate)
+    # ------------------------------------------------------------------ #
+    #: Version tag of :meth:`to_payload`; bumped with the representation.
+    PAYLOAD_FORMAT = "repro-graph/1"
+
+    def to_payload(self, encode_label: Callable[["Vertex"], object]) -> Dict:
+        """Capture the graph bit-for-bit as a plain-data document.
+
+        Everything trajectory-relevant is included: the label→slot
+        assignment (in slot-map insertion order), adjacency, the interned
+        orders, and the free-list in LIFO order — so a graph rebuilt by
+        :meth:`from_payload` resolves every future operand to the same slot
+        and recycles slots in the same order.  ``encode_label`` maps a
+        vertex label to a JSON-safe value (the serialisation format owns
+        that policy, not the graph).
+
+        This method lives on the graph so the payload contract evolves
+        together with the internal representation; external modules must
+        not reach into the slot arrays directly.
+        """
+        labels = self._label
+        return {
+            "format": self.PAYLOAD_FORMAT,
+            "labels": [
+                None if label is _FREE else encode_label(label) for label in labels
+            ],
+            "adjacency": [sorted(nbrs) for nbrs in self._adj],
+            "orders": list(self._order),
+            "free": list(self._free),
+            "live": list(self._slot.values()),  # slot-map insertion order
+            "num_edges": self._num_edges,
+            "next_order": self._next_order,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict, decode_label: Callable[[object], "Vertex"]
+    ) -> "DynamicGraph":
+        """Rebuild a graph captured by :meth:`to_payload` (bit-for-bit inverse).
+
+        Raises
+        ------
+        GraphError
+            On a version mismatch, a malformed document, or a structurally
+            inconsistent one.  Validation is raise-based on purpose (not
+            the assert-based :meth:`check_consistency`, which vanishes
+            under ``python -O``): restoring corrupt data must fail loudly.
+        """
+        if payload.get("format") != cls.PAYLOAD_FORMAT:
+            raise GraphError(
+                f"unsupported graph payload format {payload.get('format')!r} "
+                f"(expected {cls.PAYLOAD_FORMAT!r})"
+            )
+        graph = cls()
+        try:
+            graph._label = [
+                _FREE if entry is None else decode_label(entry)
+                for entry in payload["labels"]
+            ]
+            graph._adj = [set(neighbors) for neighbors in payload["adjacency"]]
+            graph._order = list(payload["orders"])
+            graph._free = list(payload["free"])
+            graph._slot = {graph._label[s]: s for s in payload["live"]}
+            graph._num_edges = payload["num_edges"]
+            graph._next_order = payload["next_order"]
+            # Inside the envelope: type-corrupt fields (e.g. string order
+            # indices) surface as TypeError from the comparisons below and
+            # must become GraphError like every other malformation.
+            graph._validate_restored()
+        except (KeyError, TypeError, IndexError) as exc:
+            raise GraphError(f"malformed graph payload: {exc}") from exc
+        return graph
+
+    def _validate_restored(self) -> None:
+        """Raise :class:`GraphError` if the rebuilt structures are incoherent."""
+        labels = self._label
+        adj = self._adj
+        orders = self._order
+        n = len(labels)
+
+        def fail(reason: str) -> None:
+            raise GraphError(f"inconsistent graph payload: {reason}")
+
+        if len(adj) != n or len(orders) != n:
+            fail("slot table sizes out of sync")
+        if len(self._slot) + len(self._free) != n:
+            fail(
+                f"{len(self._slot)} live + {len(self._free)} free slots "
+                f"!= {n} total"
+            )
+        if len(set(self._free)) != len(self._free):
+            fail("duplicate free slots")
+        for s in self._free:
+            if not (0 <= s < n) or labels[s] is not _FREE:
+                fail(f"free slot {s} still labelled")
+            if adj[s]:
+                fail(f"free slot {s} has residual adjacency")
+        for v, s in self._slot.items():
+            if not (0 <= s < n) or labels[s] != v:
+                fail(f"slot {s} label mismatch for {v!r}")
+            if orders[s] >= self._next_order:
+                fail(f"order index of slot {s} beyond next_order")
+        degree_total = 0
+        for s in self._slot.values():
+            nbrs = adj[s]
+            if s in nbrs:
+                fail(f"self loop on slot {s}")
+            for t in nbrs:
+                if not (0 <= t < n) or labels[t] is _FREE:
+                    fail(f"slot {s} adjacent to free slot {t}")
+                if s not in adj[t]:
+                    fail(f"asymmetric edge between slots {s} and {t}")
+            degree_total += len(nbrs)
+        if degree_total % 2 or degree_total // 2 != self._num_edges:
+            fail(
+                f"edge counter {self._num_edges} does not match structure "
+                f"{degree_total // 2}"
+            )
 
     # ------------------------------------------------------------------ #
     # Validation

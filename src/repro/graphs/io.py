@@ -23,6 +23,7 @@ def read_edge_list(
     *,
     comment_prefix: str = "#",
     directed_input: bool = False,
+    allow_self_loops: bool = True,
 ) -> DynamicGraph:
     """Read a whitespace-separated edge list (SNAP format) into a graph.
 
@@ -36,11 +37,24 @@ def read_edge_list(
         SNAP files for undirected graphs sometimes list each edge in both
         directions; duplicates are ignored either way, so this flag only
         exists for documentation purposes.
+    allow_self_loops:
+        When ``True`` (the SNAP-tolerant default) a self loop keeps its
+        vertex but contributes no edge; when ``False`` it raises
+        :class:`~repro.exceptions.GraphError` with the offending line number,
+        for pipelines that must reject dirty inputs instead of repairing
+        them.
 
     Returns
     -------
     DynamicGraph
         The parsed graph.  Vertex identifiers are integers.
+
+    Raises
+    ------
+    GraphError
+        On malformed lines (fewer than two fields, non-integer ids) and —
+        with ``allow_self_loops=False`` — on self loops.  Every message
+        carries ``path:line_number`` so dirty inputs are diagnosable.
     """
     del directed_input  # duplicates are tolerated regardless
     graph = DynamicGraph()
@@ -62,6 +76,10 @@ def read_edge_list(
                     f"{path}:{line_number}: vertex ids must be integers, got {line!r}"
                 ) from exc
             if u == v:
+                if not allow_self_loops:
+                    raise GraphError(
+                        f"{path}:{line_number}: self loop on vertex {u}"
+                    )
                 # Self loops carry no information for independent sets.
                 graph.add_vertex_if_missing(u)
                 continue

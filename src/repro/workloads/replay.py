@@ -1,0 +1,197 @@
+"""Replay checkpoints: interrupt a stream run and resume it mid-stream.
+
+A checkpoint wraps an engine snapshot (:mod:`repro.workloads.snapshot`) with
+stream provenance: how many operations of which stream were consumed, how
+much update time had elapsed, and the initial solution size of the run (so a
+resumed run reports the same :class:`~repro.experiments.metrics.RunMeasurement`
+fields as an uninterrupted one).  The experiment runner
+(:func:`repro.experiments.runner.run_algorithm` /
+:func:`~repro.experiments.runner.run_competition`) writes one every
+``CheckpointConfig.every`` operations and resumes from the newest on request.
+
+Checkpoint files are JSON documents named
+``<algorithm>-<processed>.ckpt.json`` inside ``CheckpointConfig.directory``,
+so several algorithms can share one directory and the newest checkpoint of
+each is discoverable by filename alone.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import CheckpointError
+from repro.workloads.snapshot import (
+    algorithm_from_payload,
+    algorithm_to_payload,
+    atomic_write_text,
+)
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FORMAT = "repro-checkpoint/1"
+
+#: Algorithm names may contain ``+`` (option variants); everything outside
+#: this set is flattened to ``_`` in filenames.
+_SAFE = re.compile(r"[^A-Za-z0-9+._-]")
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """How often and where a replay run persists its state.
+
+    Attributes
+    ----------
+    directory:
+        Where checkpoint files are written (created on first use).
+    every:
+        Checkpoint after each ``every`` processed operations.  With a
+        batched run this must be a multiple of the batch size so checkpoint
+        boundaries coincide with batch boundaries (where the solution is
+        k-maximal and the candidate queues are drained).
+    keep:
+        Retain at most this many checkpoints per algorithm (oldest pruned
+        first); ``None`` keeps every checkpoint.
+    """
+
+    directory: PathLike
+    every: int
+    keep: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise CheckpointError("checkpoint interval 'every' must be at least 1")
+        if self.keep is not None and self.keep < 1:
+            raise CheckpointError("'keep' must be at least 1 when given")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A loaded checkpoint document."""
+
+    algorithm_name: str
+    dataset: str
+    processed: int
+    initial_size: int
+    elapsed_seconds: float
+    stream_length: Optional[int]
+    stream_description: str
+    batch_size: int
+    payload: Dict
+    path: Optional[Path] = None
+
+    def restore(self, factory: Optional[Callable] = None):
+        """Rebuild the algorithm instance (see :func:`snapshot.algorithm_from_payload`)."""
+        return algorithm_from_payload(self.payload, factory)
+
+
+def checkpoint_path(directory: PathLike, algorithm_name: str, processed: int) -> Path:
+    """The canonical file path for a checkpoint of ``algorithm_name`` at ``processed``."""
+    safe = _SAFE.sub("_", algorithm_name)
+    return Path(directory) / f"{safe}-{processed:010d}.ckpt.json"
+
+
+def save_checkpoint(
+    algorithm,
+    config_or_directory: Union[CheckpointConfig, PathLike],
+    *,
+    algorithm_name: str,
+    processed: int,
+    initial_size: int,
+    elapsed_seconds: float = 0.0,
+    dataset: str = "",
+    stream_length: Optional[int] = None,
+    stream_description: str = "",
+    batch_size: int = 1,
+) -> Path:
+    """Write a checkpoint for ``algorithm`` after ``processed`` operations.
+
+    Returns the path written.  With a :class:`CheckpointConfig` whose
+    ``keep`` is set, older checkpoints of the same algorithm beyond the
+    retention limit are pruned.
+    """
+    if isinstance(config_or_directory, CheckpointConfig):
+        directory = Path(config_or_directory.directory)
+        keep = config_or_directory.keep
+    else:
+        directory = Path(config_or_directory)
+        keep = None
+    directory.mkdir(parents=True, exist_ok=True)
+    path = checkpoint_path(directory, algorithm_name, processed)
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "algorithm_name": algorithm_name,
+        "dataset": dataset,
+        "processed": processed,
+        "initial_size": initial_size,
+        "elapsed_seconds": elapsed_seconds,
+        "stream": {"length": stream_length, "description": stream_description},
+        "batch_size": batch_size,
+        "algorithm": algorithm_to_payload(algorithm),
+    }
+    # Atomic replace: a crash mid-write (the exact scenario checkpoints
+    # exist for) must never leave a truncated newest checkpoint shadowing
+    # the intact older ones.
+    atomic_write_text(path, json.dumps(document))
+    if keep is not None:
+        existing = find_checkpoints(directory, algorithm_name)
+        for _, stale in existing[: max(0, len(existing) - keep)]:
+            stale.unlink(missing_ok=True)
+    return path
+
+
+def load_checkpoint(path: PathLike) -> Checkpoint:
+    """Load and validate a checkpoint document."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint format {document.get('format')!r} "
+            f"(expected {CHECKPOINT_FORMAT!r})"
+        )
+    try:
+        stream_info = document.get("stream") or {}
+        return Checkpoint(
+            algorithm_name=document["algorithm_name"],
+            dataset=document.get("dataset", ""),
+            processed=document["processed"],
+            initial_size=document["initial_size"],
+            elapsed_seconds=document.get("elapsed_seconds", 0.0),
+            stream_length=stream_info.get("length"),
+            stream_description=stream_info.get("description", ""),
+            batch_size=document.get("batch_size", 1),
+            payload=document["algorithm"],
+            path=path,
+        )
+    except KeyError as exc:
+        raise CheckpointError(f"{path}: missing checkpoint field {exc}") from exc
+
+
+def find_checkpoints(
+    directory: PathLike, algorithm_name: str
+) -> List[Tuple[int, Path]]:
+    """All checkpoints of ``algorithm_name`` in ``directory``, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    safe = _SAFE.sub("_", algorithm_name)
+    pattern = re.compile(re.escape(safe) + r"-(\d+)\.ckpt\.json$")
+    found: List[Tuple[int, Path]] = []
+    for path in directory.iterdir():
+        match = pattern.fullmatch(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    found.sort()
+    return found
+
+
+def latest_checkpoint(directory: PathLike, algorithm_name: str) -> Optional[Path]:
+    """Path of the newest checkpoint of ``algorithm_name``, or ``None``."""
+    found = find_checkpoints(directory, algorithm_name)
+    return found[-1][1] if found else None

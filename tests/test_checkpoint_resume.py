@@ -1,0 +1,265 @@
+"""Runner-level checkpoint/resume: interrupt a replay at any checkpoint.
+
+Asserts the ISSUE's acceptance criterion: a temporal dataset replay can be
+interrupted at an *arbitrary* checkpoint and resumed, and the resumed run's
+final solution, graph and per-algorithm statistics are identical to an
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CheckpointError, ExperimentError
+from repro.experiments import (
+    load_temporal_workload,
+    run_algorithm,
+    run_competition,
+)
+from repro.updates.streams import UpdateStream
+from repro.workloads import (
+    CheckpointConfig,
+    find_checkpoints,
+    latest_checkpoint,
+    load_checkpoint,
+)
+from repro.workloads.snapshot import graph_to_payload
+
+
+@pytest.fixture(scope="module")
+def temporal_workload():
+    return load_temporal_workload("quick", "wiki-talk-window", num_events=260)
+
+
+def _measurement_fingerprint(measurement):
+    return (
+        measurement.num_updates,
+        measurement.initial_size,
+        measurement.final_size,
+        measurement.memory_footprint,
+        measurement.finished,
+        measurement.extra,
+    )
+
+
+class TestRunAlgorithmCheckpointing:
+    def test_checkpoints_written_on_schedule(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=100)
+        measurement = run_algorithm(
+            "DyOneSwap", graph, stream, dataset="t", checkpoint=config
+        )
+        assert measurement.finished
+        checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
+        assert [processed for processed, _ in checkpoints[:3]] == [100, 200, 300]
+        # The final (partial-chunk) checkpoint covers the whole stream.
+        assert checkpoints[-1][0] == len(stream) == measurement.num_updates
+
+    def test_resume_from_every_checkpoint_is_identical(
+        self, temporal_workload, tmp_path
+    ):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=150)
+        reference = run_algorithm(
+            "DyOneSwap", graph, stream, dataset="t", checkpoint=config
+        )
+        checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
+        assert len(checkpoints) >= 3
+        reference_graph = graph_to_payload(
+            load_checkpoint(checkpoints[-1][1]).restore().graph
+        )
+        for _processed, path in checkpoints[:-1]:
+            resumed = run_algorithm(
+                "DyOneSwap", graph, stream, dataset="t", resume_from=path
+            )
+            assert _measurement_fingerprint(resumed) == _measurement_fingerprint(
+                reference
+            )
+        # Resuming the last checkpoint and re-checkpointing reproduces the
+        # reference's final graph bit-for-bit.
+        resumed_dir = tmp_path / "resumed"
+        resumed_config = CheckpointConfig(directory=resumed_dir, every=150)
+        run_algorithm(
+            "DyOneSwap",
+            graph,
+            stream,
+            dataset="t",
+            resume_from=checkpoints[0][1],
+            checkpoint=resumed_config,
+        )
+        resumed_last = find_checkpoints(resumed_dir, "DyOneSwap")[-1]
+        assert resumed_last[0] == len(stream)
+        resumed_graph = graph_to_payload(
+            load_checkpoint(resumed_last[1]).restore().graph
+        )
+        assert resumed_graph == reference_graph
+
+    def test_batched_checkpointing_requires_aligned_interval(
+        self, temporal_workload, tmp_path
+    ):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=130)
+        with pytest.raises(ExperimentError, match="multiple"):
+            run_algorithm(
+                "DyOneSwap", graph, stream, batch_size=64, checkpoint=config
+            )
+
+    def test_dyarw_resume_is_identical(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=150)
+        reference = run_algorithm(
+            "DyARW", graph, stream, dataset="t", checkpoint=config
+        )
+        mid = find_checkpoints(tmp_path, "DyARW")[1][1]
+        resumed = run_algorithm("DyARW", graph, stream, dataset="t", resume_from=mid)
+        assert _measurement_fingerprint(resumed) == _measurement_fingerprint(reference)
+
+    def test_batched_resume_is_identical(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=128)
+        reference = run_algorithm(
+            "DyOneSwap", graph, stream, dataset="t", batch_size=64, checkpoint=config
+        )
+        checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
+        mid = checkpoints[len(checkpoints) // 2][1]
+        resumed = run_algorithm(
+            "DyOneSwap", graph, stream, dataset="t", batch_size=64, resume_from=mid
+        )
+        assert _measurement_fingerprint(resumed) == _measurement_fingerprint(reference)
+
+    def test_resume_validates_dataset(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=200)
+        run_algorithm("DyOneSwap", graph, stream, dataset="workload-a", checkpoint=config)
+        path = latest_checkpoint(tmp_path, "DyOneSwap")
+        with pytest.raises(ExperimentError, match="dataset"):
+            run_algorithm(
+                "DyOneSwap", graph, stream, dataset="workload-b", resume_from=path
+            )
+
+    def test_resume_validates_batch_size(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=128)
+        run_algorithm("DyOneSwap", graph, stream, checkpoint=config)
+        path = find_checkpoints(tmp_path, "DyOneSwap")[0][1]
+        # An unbatched checkpoint resumed in batched mode would shift every
+        # batch boundary relative to an uninterrupted batched run.
+        with pytest.raises(ExperimentError, match="batch_size"):
+            run_algorithm("DyOneSwap", graph, stream, batch_size=64, resume_from=path)
+
+    def test_keep_prunes_old_checkpoints(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=100, keep=2)
+        run_algorithm("DyOneSwap", graph, stream, checkpoint=config)
+        checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
+        assert len(checkpoints) == 2
+        assert checkpoints[-1][0] == len(stream)
+
+    def test_resume_validates_algorithm_name(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=200)
+        run_algorithm("DyOneSwap", graph, stream, checkpoint=config)
+        path = latest_checkpoint(tmp_path, "DyOneSwap")
+        with pytest.raises(ExperimentError, match="belongs to"):
+            run_algorithm("DyTwoSwap", graph, stream, resume_from=path)
+
+    def test_resume_validates_stream_length(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=200)
+        run_algorithm("DyOneSwap", graph, stream, checkpoint=config)
+        path = latest_checkpoint(tmp_path, "DyOneSwap")
+        with pytest.raises(ExperimentError, match="stream"):
+            run_algorithm("DyOneSwap", graph, stream.prefix(50), resume_from=path)
+
+    def test_resume_validates_stream_identity(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=200)
+        run_algorithm("DyOneSwap", graph, stream, checkpoint=config)
+        path = latest_checkpoint(tmp_path, "DyOneSwap")
+        # Same length, different provenance: the length check alone would
+        # let this through and silently mix two runs.
+        other = UpdateStream(
+            operations=list(stream.operations), description="some-other-workload"
+        )
+        with pytest.raises(ExperimentError, match="mix two runs"):
+            run_algorithm("DyOneSwap", graph, other, resume_from=path)
+
+    def test_non_snapshot_capable_algorithm_fails_fast(
+        self, temporal_workload, tmp_path
+    ):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=100)
+        with pytest.raises(ExperimentError, match="does not support engine snapshots"):
+            run_algorithm("DGOneDIS", graph, stream, checkpoint=config)
+        assert not find_checkpoints(tmp_path, "DGOneDIS")
+
+    def test_checkpoint_files_have_no_temp_residue(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every=100)
+        run_algorithm("DyOneSwap", graph, stream, checkpoint=config)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_missing_checkpoint_raises(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        with pytest.raises(CheckpointError):
+            run_algorithm(
+                "DyOneSwap", graph, stream, resume_from=tmp_path / "nope.ckpt.json"
+            )
+
+    def test_invalid_config_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointConfig(directory=tmp_path, every=0)
+        with pytest.raises(CheckpointError):
+            CheckpointConfig(directory=tmp_path, every=10, keep=0)
+
+
+class TestRunCompetitionCheckpointing:
+    def test_resume_without_checkpoint_rejected(self, temporal_workload):
+        graph, stream = temporal_workload
+        with pytest.raises(ExperimentError, match="resume=True requires"):
+            run_competition(graph, stream, resume=True, attach_reference=False)
+
+    def test_competition_resume_matches_straight_run(
+        self, temporal_workload, tmp_path
+    ):
+        graph, stream = temporal_workload
+        algorithms = ("DyOneSwap", "DyTwoSwap", "DGOneDIS")
+        straight = run_competition(
+            graph,
+            stream,
+            dataset="t",
+            algorithms=algorithms,
+            attach_reference=False,
+        )
+        config = CheckpointConfig(directory=tmp_path, every=120)
+        checkpointed = run_competition(
+            graph,
+            stream,
+            dataset="t",
+            algorithms=algorithms,
+            attach_reference=False,
+            checkpoint=config,
+        )
+        # Snapshot-capable algorithms left checkpoints; baselines did not.
+        assert find_checkpoints(tmp_path, "DyOneSwap")
+        assert find_checkpoints(tmp_path, "DyTwoSwap")
+        assert not find_checkpoints(tmp_path, "DGOneDIS")
+        # Rerunning with resume=True restarts each algorithm from its newest
+        # checkpoint (the end of the stream) and must reproduce the totals.
+        resumed = run_competition(
+            graph,
+            stream,
+            dataset="t",
+            algorithms=algorithms,
+            attach_reference=False,
+            checkpoint=config,
+            resume=True,
+        )
+        for name in algorithms:
+            assert _measurement_fingerprint(straight[name]) == _measurement_fingerprint(
+                checkpointed[name]
+            )
+            assert _measurement_fingerprint(straight[name]) == _measurement_fingerprint(
+                resumed[name]
+            )

@@ -30,7 +30,8 @@ class TestExamples:
     def test_examples_directory_contains_required_scripts(self):
         names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert {"quickstart.py", "social_network_maintenance.py",
-                "streaming_window.py", "reproduce_paper.py"} <= names
+                "streaming_window.py", "temporal_replay.py",
+                "reproduce_paper.py"} <= names
 
     def test_quickstart_runs(self, capsys):
         module = _load_module("quickstart")
@@ -51,6 +52,13 @@ class TestExamples:
         module.main()
         output = capsys.readouterr().out
         assert "per-update latency" in output
+
+    def test_temporal_replay_example_runs(self, capsys):
+        module = _load_module("temporal_replay")
+        module.main()
+        output = capsys.readouterr().out
+        assert "cache: first ingest miss, second ingest hit" in output
+        assert "resume check passed" in output
 
     def test_reproduce_paper_module_importable(self):
         module = _load_module("reproduce_paper")

@@ -42,16 +42,28 @@ class TestEdgeList:
         assert graph.has_vertex(5)
         assert graph.num_edges == 1
 
+    def test_read_self_loop_rejected_in_strict_mode(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n5 5\n")
+        with pytest.raises(GraphError, match=r"graph\.txt:2.*self loop"):
+            read_edge_list(path, allow_self_loops=False)
+
     def test_read_malformed_line_raises(self, tmp_path):
         path = tmp_path / "graph.txt"
         path.write_text("1\n")
-        with pytest.raises(GraphError):
+        with pytest.raises(GraphError, match=r"graph\.txt:1"):
+            read_edge_list(path)
+
+    def test_read_malformed_line_reports_its_line_number(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header\n1 2\n3\n")
+        with pytest.raises(GraphError, match=r"graph\.txt:3"):
             read_edge_list(path)
 
     def test_read_non_integer_ids_raise(self, tmp_path):
         path = tmp_path / "graph.txt"
         path.write_text("a b\n")
-        with pytest.raises(GraphError):
+        with pytest.raises(GraphError, match=r"graph\.txt:1.*integers"):
             read_edge_list(path)
 
     def test_write_contains_statistics_header(self, tmp_path, path_graph):

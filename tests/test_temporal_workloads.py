@@ -1,0 +1,275 @@
+"""Tests for the temporal ingestion layer (parser, policies, cache, catalog)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import GraphError, UpdateError
+from repro.experiments import (
+    QUICK_PROFILE,
+    load_temporal_workload,
+    temporal_workload_names,
+)
+from repro.exceptions import ExperimentError
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.updates.operations import UpdateKind
+from repro.workloads.temporal import (
+    TemporalEdge,
+    cached_temporal_stream,
+    read_temporal_edge_list,
+    synthetic_temporal_events,
+    temporal_update_stream,
+    write_temporal_edge_list,
+)
+
+
+class TestTemporalParser:
+    def test_roundtrip(self, tmp_path):
+        events = [TemporalEdge(1, 2, 10.0), TemporalEdge(2, 3, 11.0), TemporalEdge(1, 3, 14.0)]
+        path = tmp_path / "events.txt"
+        write_temporal_edge_list(events, path, header="three interactions")
+        assert read_temporal_edge_list(path) == events
+
+    def test_roundtrip_preserves_epoch_scale_timestamps(self, tmp_path):
+        # SNAP temporal files carry unix epochs; fixed-precision formatting
+        # (e.g. %g) would collapse these three distinct timestamps.
+        events = [
+            TemporalEdge(1, 2, 1217567877.0),
+            TemporalEdge(2, 3, 1217567878.0),
+            TemporalEdge(3, 4, 1217567999.5),
+        ]
+        path = tmp_path / "epochs.txt"
+        write_temporal_edge_list(events, path)
+        assert read_temporal_edge_list(path) == events
+
+    def test_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("# header\n\n1 2 5\n\n# trailing\n2 3 6\n")
+        assert len(read_temporal_edge_list(path)) == 2
+
+    def test_missing_timestamp_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("1 2 5\n3 4\n")
+        with pytest.raises(GraphError, match=r"events\.txt:2"):
+            read_temporal_edge_list(path)
+
+    def test_non_integer_vertex_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("1 2 5\na 4 6\n")
+        with pytest.raises(GraphError, match=r"events\.txt:2.*integers"):
+            read_temporal_edge_list(path)
+
+    def test_non_numeric_timestamp_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("1 2 noon\n")
+        with pytest.raises(GraphError, match=r"events\.txt:1.*timestamp"):
+            read_temporal_edge_list(path)
+
+    def test_self_loop_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("1 2 5\n3 3 6\n")
+        with pytest.raises(GraphError, match=r"events\.txt:2.*self loop"):
+            read_temporal_edge_list(path)
+
+    def test_self_loop_skip_policy(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("1 2 5\n3 3 6\n2 3 7\n")
+        events = read_temporal_edge_list(path, self_loops="skip")
+        assert [(e.u, e.v) for e in events] == [(1, 2), (2, 3)]
+
+    def test_non_monotone_timestamp_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("1 2 10\n2 3 9\n")
+        with pytest.raises(GraphError, match=r"events\.txt:2.*smaller"):
+            read_temporal_edge_list(path)
+
+    def test_non_monotone_sort_policy(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("1 2 10\n2 3 9\n1 3 11\n")
+        events = read_temporal_edge_list(path, unsorted="sort")
+        assert [e.timestamp for e in events] == [9.0, 10.0, 11.0]
+
+    def test_unknown_policies_rejected(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("1 2 5\n")
+        with pytest.raises(ValueError):
+            read_temporal_edge_list(path, self_loops="maybe")
+        with pytest.raises(ValueError):
+            read_temporal_edge_list(path, unsorted="shuffle")
+
+
+class TestWindowingPolicies:
+    def test_insertion_only_when_no_policy(self):
+        events = [TemporalEdge(0, 1, 0.0), TemporalEdge(1, 2, 5.0)]
+        stream = temporal_update_stream(events)
+        assert all(op.is_insertion for op in stream)
+        graph = DynamicGraph()
+        stream.apply_all(graph)
+        assert graph.num_edges == 2
+
+    def test_time_window_synthesizes_deletions(self):
+        events = [
+            TemporalEdge(0, 1, 0.0),
+            TemporalEdge(1, 2, 1.0),
+            TemporalEdge(2, 3, 20.0),  # expires (0,1) and (1,2)
+        ]
+        stream = temporal_update_stream(events, window=10.0, gc_isolated=False)
+        kinds = [op.kind for op in stream]
+        assert kinds.count(UpdateKind.DELETE_EDGE) == 2
+        graph = DynamicGraph()
+        stream.apply_all(graph)
+        assert graph.num_edges == 1
+        assert graph.has_edge(2, 3)
+
+    def test_gc_isolated_deletes_orphaned_vertices(self):
+        events = [TemporalEdge(0, 1, 0.0), TemporalEdge(5, 6, 50.0)]
+        stream = temporal_update_stream(events, window=10.0, gc_isolated=True)
+        graph = DynamicGraph()
+        stream.apply_all(graph)
+        assert not graph.has_vertex(0) and not graph.has_vertex(1)
+        assert graph.has_edge(5, 6)
+        assert any(op.kind is UpdateKind.DELETE_VERTEX for op in stream)
+
+    def test_capacity_decay_evicts_oldest(self):
+        events = [TemporalEdge(i, i + 1, float(i)) for i in range(5)]
+        stream = temporal_update_stream(events, max_live=2, gc_isolated=False)
+        graph = DynamicGraph()
+        stream.apply_all(graph)
+        assert graph.num_edges == 2
+        assert graph.has_edge(3, 4) and graph.has_edge(4, 5)
+
+    def test_duplicate_interaction_refreshes_instead_of_reinserting(self):
+        events = [
+            TemporalEdge(0, 1, 0.0),
+            TemporalEdge(1, 0, 8.0),   # same undirected interaction, refreshed
+            TemporalEdge(2, 3, 15.0),  # 15 - 8 < window: (0,1) must survive
+        ]
+        stream = temporal_update_stream(events, window=10.0)
+        assert stream.metadata["duplicates_refreshed"] == 1
+        graph = DynamicGraph()
+        stream.apply_all(graph)
+        assert graph.has_edge(0, 1)
+
+    def test_streams_are_valid_by_construction(self):
+        events = synthetic_temporal_events(400, num_vertices=50, seed=9)
+        stream = temporal_update_stream(events, window=12.0, max_live=60)
+        graph = DynamicGraph()
+        stream.apply_all(graph)  # would raise UpdateError on any invalid op
+        assert graph.num_vertices == stream.metadata["final_vertices"]
+        assert graph.num_edges == stream.metadata["final_edges"]
+
+    def test_invalid_policy_parameters(self):
+        with pytest.raises(UpdateError):
+            temporal_update_stream([], window=0)
+        with pytest.raises(UpdateError):
+            temporal_update_stream([], max_live=0)
+
+    def test_decreasing_event_timestamps_rejected(self):
+        events = [TemporalEdge(0, 1, 5.0), TemporalEdge(1, 2, 4.0)]
+        with pytest.raises(UpdateError):
+            temporal_update_stream(events)
+
+
+class TestStreamCache:
+    def _events_file(self, tmp_path, seed=1):
+        events = synthetic_temporal_events(120, num_vertices=30, seed=seed)
+        path = tmp_path / "events.txt"
+        write_temporal_edge_list(events, path)
+        return path
+
+    def test_miss_then_hit_returns_identical_stream(self, tmp_path):
+        path = self._events_file(tmp_path)
+        first = cached_temporal_stream(path, window=8.0)
+        second = cached_temporal_stream(path, window=8.0)
+        assert first.metadata["cache"] == "miss"
+        assert second.metadata["cache"] == "hit"
+        assert [str(a) for a in first] == [str(b) for b in second]
+        assert first.description == second.description
+
+    def test_policy_change_invalidates(self, tmp_path):
+        path = self._events_file(tmp_path)
+        cached_temporal_stream(path, window=8.0)
+        other = cached_temporal_stream(path, window=9.0)
+        assert other.metadata["cache"] == "miss"
+
+    def test_file_change_invalidates(self, tmp_path):
+        path = self._events_file(tmp_path)
+        cached_temporal_stream(path, window=8.0)
+        import os
+
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("998 999 1000000\n")
+        os.utime(path, ns=(0, 0))  # force a distinct identity even on coarse clocks
+        refreshed = cached_temporal_stream(path, window=8.0)
+        assert refreshed.metadata["cache"] == "miss"
+        assert any(
+            op.kind is UpdateKind.INSERT_EDGE and set(op.edge) == {998, 999}
+            for op in refreshed
+        )
+
+    def test_source_edit_overwrites_entry_instead_of_accumulating(self, tmp_path):
+        import os
+
+        path = self._events_file(tmp_path)
+        cached_temporal_stream(path, window=8.0)
+        cache_dir = tmp_path / ".stream-cache"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("998 999 1000000\n")
+        os.utime(path, ns=(0, 0))
+        refreshed = cached_temporal_stream(path, window=8.0)
+        assert refreshed.metadata["cache"] == "miss"
+        # Same (source, policy) → same file, rebuilt in place: no orphaned
+        # dataset-sized entries pile up across edits.
+        assert len(list(cache_dir.iterdir())) == 1
+
+    def test_corrupt_cache_entry_is_rebuilt(self, tmp_path):
+        path = self._events_file(tmp_path)
+        first = cached_temporal_stream(path, window=8.0)
+        cache_file = tmp_path / ".stream-cache"
+        entries = list(cache_file.iterdir())
+        assert len(entries) == 1
+        entries[0].write_text("{not json", encoding="utf-8")
+        rebuilt = cached_temporal_stream(path, window=8.0)
+        assert rebuilt.metadata["cache"] == "miss"
+        assert [str(a) for a in first] == [str(b) for b in rebuilt]
+        # The rebuilt entry must be valid JSON again.
+        json.loads(entries[0].read_text(encoding="utf-8"))
+
+    def test_explicit_cache_dir(self, tmp_path):
+        path = self._events_file(tmp_path)
+        cache_dir = tmp_path / "elsewhere"
+        stream = cached_temporal_stream(path, cache_dir=cache_dir, window=8.0)
+        assert stream.metadata["cache"] == "miss"
+        assert list(cache_dir.iterdir())
+
+
+class TestWorkloadCatalog:
+    def test_names_are_stable(self):
+        names = temporal_workload_names()
+        assert "wiki-talk-window" in names
+        assert "citation-growth" in names
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ExperimentError):
+            load_temporal_workload(QUICK_PROFILE, "no-such-workload")
+
+    def test_workloads_are_deterministic_and_valid(self):
+        for name in temporal_workload_names():
+            graph, stream = load_temporal_workload("quick", name, num_events=150)
+            _again, stream_again = load_temporal_workload("quick", name, num_events=150)
+            assert [str(a) for a in stream] == [str(b) for b in stream_again]
+            assert graph.num_vertices == 0  # temporal replays start empty
+            scratch = DynamicGraph()
+            stream.apply_all(scratch)
+
+    def test_growth_workload_never_deletes(self):
+        _graph, stream = load_temporal_workload("quick", "citation-growth", num_events=150)
+        assert all(op.is_insertion for op in stream)
+
+    def test_windowed_workload_churns_vertices(self):
+        _graph, stream = load_temporal_workload("quick", "wiki-talk-window", num_events=300)
+        kinds = stream.counts_by_kind()
+        assert kinds.get(UpdateKind.DELETE_EDGE, 0) > 0
+        assert kinds.get(UpdateKind.DELETE_VERTEX, 0) > 0

@@ -28,6 +28,13 @@ and a ``bursty`` flash-crowd workload) and the batched update engine
 (``batch_size=64`` scenarios), and every run *appends* its summary to the
 ``trajectory`` list inside the output JSON — the machine-readable perf
 history seed → PR1 → PR2 → PR3 → … — instead of overwriting it.
+
+Since PR 5 every scenario additionally records its **tracemalloc peak**
+(``peak_kb``: allocations during ``apply_stream``, measured in one separate
+untimed round so the ~2× tracemalloc slowdown never pollutes the timings),
+and ``--compare`` gates *memory* regressions too: a peak more than
+``--memory-tolerance`` (default 25%) above the committed baseline fails the
+run alongside the time gate.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ import argparse
 import json
 import platform
 import time
+import tracemalloc
 from pathlib import Path
 
 from repro.core import DyOneSwap, DyTwoSwap
@@ -208,21 +216,39 @@ def run_quick_profile(rounds: int = _QUICK_ROUNDS) -> dict:
             algo.apply_stream(stream, batch_size=batch_size)
             best = min(best, time.perf_counter() - start)
             size = algo.solution_size
+        # One separate untimed round under tracemalloc: the instrumentation
+        # roughly doubles runtime, so it must never share a round with the
+        # timer.  The baseline is taken after construction, so the peak is
+        # the stream-processing allocation footprint of the scenario.
+        algo = algorithm_class(graph.copy(), **kwargs)
+        tracemalloc.start()
+        baseline = tracemalloc.get_traced_memory()[0]
+        algo.apply_stream(stream, batch_size=batch_size)
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
         results[name] = {
             "per_update_us": round(best / len(stream) * 1e6, 3),
             "solution_size": size,
+            "peak_kb": round((peak - baseline) / 1024, 1),
         }
     return results
 
 
 def compare_against_baseline(
-    per_update: dict, baseline: dict, *, tolerance: float, label: str = "baseline"
+    per_update: dict,
+    baseline: dict,
+    *,
+    tolerance: float,
+    memory_tolerance: float = 0.25,
+    label: str = "baseline",
 ) -> list:
     """Return a list of regression messages vs the committed baseline payload.
 
     A regression is a per-update time more than ``tolerance`` (fractional)
-    above the baseline, or any change in solution size.  Algorithms present
-    only on one side are reported informationally but never fail the gate.
+    above the baseline, a tracemalloc peak more than ``memory_tolerance``
+    above it, or any change in solution size.  Algorithms (or fields, e.g. a
+    baseline predating the memory gate) present only on one side are
+    reported informationally but never fail the gate.
     """
     reference = baseline.get("per_update", {})
     failures = []
@@ -245,6 +271,23 @@ def compare_against_baseline(
                 f"ok: {name} {new_us:.3f} us/update vs baseline {ref_us:.3f} us "
                 f"({(new_us / ref_us - 1.0):+.1%})"
             )
+        ref_kb = ref.get("peak_kb")
+        new_kb = fresh.get("peak_kb")
+        if ref_kb is None:
+            print(f"note: {name} has no memory baseline in {label} (pre-PR5)")
+        elif new_kb is not None and ref_kb > 0:
+            mem_limit = ref_kb * (1.0 + memory_tolerance)
+            if new_kb > mem_limit:
+                failures.append(
+                    f"{name}: peak memory {new_kb:.1f} KiB exceeds baseline "
+                    f"{ref_kb:.1f} KiB by more than {memory_tolerance:.0%} "
+                    f"(limit {mem_limit:.1f} KiB)"
+                )
+            else:
+                print(
+                    f"ok: {name} peak {new_kb:.1f} KiB vs baseline "
+                    f"{ref_kb:.1f} KiB ({(new_kb / ref_kb - 1.0):+.1%})"
+                )
         if fresh.get("solution_size") != ref.get("solution_size"):
             failures.append(
                 f"{name}: solution size changed "
@@ -333,6 +376,12 @@ def main(argv=None) -> int:
         help="fractional per-update regression allowed before the gate trips",
     )
     parser.add_argument(
+        "--memory-tolerance",
+        type=float,
+        default=0.25,
+        help="fractional peak-memory regression allowed before the gate trips",
+    )
+    parser.add_argument(
         "--compare-mode",
         choices=("fail", "warn"),
         default="fail",
@@ -369,6 +418,9 @@ def main(argv=None) -> int:
             "solution_size": {
                 name: entry["solution_size"] for name, entry in per_update.items()
             },
+            "peak_kb": {
+                name: entry["peak_kb"] for name, entry in per_update.items()
+            },
         }
     )
     payload = {
@@ -396,7 +448,11 @@ def main(argv=None) -> int:
     if baseline is None:
         return 0
     failures = compare_against_baseline(
-        per_update, baseline, tolerance=args.tolerance, label=args.compare
+        per_update,
+        baseline,
+        tolerance=args.tolerance,
+        memory_tolerance=args.memory_tolerance,
+        label=args.compare,
     )
     if not failures:
         print(f"benchmark gate OK (tolerance {args.tolerance:.0%})")

@@ -51,7 +51,7 @@ def checkpointed_replay_rows(profile, tmp_path):
     row["mode"] = "plain"
     rows.append(row)
     config = CheckpointConfig(
-        directory=tmp_path, every=max(1, len(stream) // 8), keep=2
+        directory=tmp_path, every=max(1, stream.count() // 8), keep=2
     )
     checkpointed = run_algorithm(
         "DyOneSwap", graph, stream, dataset="wiki-talk-window", checkpoint=config

@@ -34,7 +34,6 @@ from __future__ import annotations
 import abc
 from collections import Counter
 from dataclasses import dataclass, field
-from itertools import islice
 from typing import (
     Any,
     Callable,
@@ -53,6 +52,7 @@ from repro.exceptions import SolutionInvariantError, UpdateError, VertexNotFound
 from repro.graphs.dynamic_graph import _FREE, DynamicGraph, Vertex
 from repro.updates.coalesce import coalesce_batch
 from repro.updates.operations import UpdateKind, UpdateOperation
+from repro.updates.protocol import chunked
 
 
 @dataclass
@@ -202,6 +202,11 @@ class DynamicMISBase(abc.ABC):
         boundary — in particular at the end of the stream.  With the default
         ``batch_size=1`` the semantics are identical to calling
         :meth:`apply_update` per operation.
+
+        ``operations`` may be any iterable — a materialised list or an
+        unbounded generator.  The stream is consumed strictly one operation
+        (or one ``batch_size`` window) at a time, so the engine's resident
+        footprint is independent of the stream length.
         """
         if batch_size <= 1:
             # Inlined apply_update: one dispatch per operation with all
@@ -230,12 +235,8 @@ class DynamicMISBase(abc.ABC):
                 if self.check_invariants:
                     self._verify()
             return
-        iterator = iter(operations)
         apply_batch = self.apply_batch
-        while True:
-            chunk = list(islice(iterator, batch_size))
-            if not chunk:
-                break
+        for chunk in chunked(operations, batch_size):
             apply_batch(chunk)
 
     #: Batch length from which apply_batch switches to the bulk strategy
@@ -248,7 +249,7 @@ class DynamicMISBase(abc.ABC):
     BULK_APPLY_THRESHOLD = 32
 
     def apply_batch(
-        self, operations: Sequence[UpdateOperation], *, coalesce: bool = True
+        self, operations: Iterable[UpdateOperation], *, coalesce: bool = True
     ) -> None:
         """Apply a batch of updates with one shared repair pass.
 

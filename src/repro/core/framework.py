@@ -21,14 +21,19 @@ Guarantee
 ---------
 For ``k <= 2`` the candidate propagation is complete and the maintained set
 is exactly k-maximal after every update (the same guarantee as DyOneSwap and
-DyTwoSwap).  For ``k >= 3`` the promotion step is the natural generalisation
-of Algorithm 3's level-1-to-level-2 promotion (it requires a witness of count
-``j + 1``), which is no longer exhaustive: deep swaps whose swap-in sets
-consist solely of lower-count vertices can be missed.  The paper's framework
-leaves the general promotion unspecified and only instantiates ``k <= 2``;
-accordingly this class guarantees 2-maximality for every ``k >= 2`` and finds
-deeper swaps best-effort, which is how the Fig 9 k-sweep experiment uses it
-(solution quality still improves monotonically with ``k`` in practice).
+DyTwoSwap).  For ``k >= 3`` the promotion step generalises Algorithm 3's
+level-1-to-level-2 promotion by registering the *union* of the failed
+candidate's owner set with each witness's own owner set (see
+:meth:`KSwapFramework._promote`) — this covers the "sideways" owner-set
+combinations that a strict-superset chain misses, the gap class uncovered by
+PR 4's differential probing (regression-pinned in
+``tests/test_framework.py``).  The paper's framework leaves the general
+promotion unspecified and only instantiates ``k <= 2``; accordingly this
+class guarantees 2-maximality for every ``k >= 2`` and finds deeper swaps
+best-effort (no completeness proof for ``k >= 3``), which is how the Fig 9
+k-sweep experiment uses it (solution quality improves monotonically with
+``k`` in practice, and randomized probing across seeds finds no residual
+gaps — see the regression test).
 """
 
 from __future__ import annotations
@@ -238,19 +243,34 @@ class KSwapFramework(DynamicMISBase):
     def _promote(
         self, owners: FrozenSet[int], members: Sequence[int], level: int
     ) -> None:
-        """Register supersets ``S' ⊃ owners`` of size ``level + 1`` that may admit a swap.
+        """Register owner sets ``S' ⊋ owners`` (``|S'| <= k``) that may admit a swap.
 
         By the bottom-up invariant the solution is ``level``-maximal here, so
-        a new ``(level+1)``-swap for ``S'`` must include a vertex ``w`` with
-        ``I(w) = S'`` that is not adjacent to at least one of the newly added
-        members.  Such ``w`` is found by scanning the neighbourhoods of the
-        owners.
+        a deeper swap removing some ``S' ⊃ owners`` must include a witness
+        ``w ∈ ¯I_{≤|S'|}(S')`` that is not adjacent to at least one of the
+        newly added members.  Witnesses are found by scanning the
+        neighbourhoods of the owners, and each registers the *union*
+        ``S' = owners ∪ I(w)``.
+
+        The union form is what closes the k ≥ 3 promotion gap found by the
+        differential probing of PR 4: the old rule only accepted witnesses
+        with ``count == level + 1`` and ``I(w) ⊋ owners``, i.e. it climbed
+        one level at a time along a chain of strict-superset owner sets.  A
+        swap whose swap-in members carry owner sets that only *jointly*
+        cover ``S'`` (e.g. members owned by ``{a}`` and ``{b, c}`` for
+        ``S' = {a, b, c}``) has no such chain and was never registered.
+        Taking the union admits exactly those sideways combinations — every
+        candidate the old rule produced is still produced (there
+        ``owners ∪ I(w) = I(w)``), so this is a strict widening; candidates
+        sit at strictly higher levels (``|S'| > level`` is enforced), so the
+        bottom-up drain still terminates.
         """
         graph = self.graph
         state = self.state
         adj = self._adj
         in_sol = self._in_sol
         counts = self._counts
+        k = self.k
         owner_set = set(owners)
         seen: Set[int] = set()
         for owner in owners:
@@ -261,14 +281,15 @@ class KSwapFramework(DynamicMISBase):
                 if w in seen or in_sol[w]:
                     continue
                 seen.add(w)
-                if counts[w] != level + 1:
+                count_w = counts[w]
+                if count_w == 0 or count_w > k:
                     continue
-                w_owners = state.sn_slots_view(w)
-                if not owner_set < w_owners:
+                union = owner_set | state.sn_slots_view(w)
+                if len(union) <= level or len(union) > k:
                     continue
                 w_neighbors = adj[w]
                 if any(m != w and m not in w_neighbors for m in members):
-                    self._add_candidate(frozenset(w_owners), w)
+                    self._add_candidate(frozenset(union), w)
 
     # ------------------------------------------------------------------ #
     # Edge deletion between two non-solution vertices

@@ -25,7 +25,11 @@ from repro.exceptions import ExperimentError
 from repro.generators.datasets import dataset_names, load_dataset
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.updates.streams import UpdateStream, mixed_update_stream
-from repro.workloads.temporal import synthetic_temporal_events, temporal_update_stream
+from repro.workloads.temporal import (
+    TemporalUpdateStream,
+    synthetic_temporal_events,
+    temporal_update_stream,
+)
 
 
 @dataclass(frozen=True)
@@ -258,7 +262,7 @@ def temporal_workload_names() -> Tuple[str, ...]:
 
 def load_temporal_workload(
     profile, name: str, *, num_events: Optional[int] = None
-) -> Tuple[DynamicGraph, UpdateStream]:
+) -> Tuple[DynamicGraph, TemporalUpdateStream]:
     """Build a catalog temporal workload at the profile's scale.
 
     Returns ``(initial graph, stream)`` ready for
@@ -292,7 +296,8 @@ def load_temporal_workload(
         max_live=spec.max_live,
         gc_isolated=spec.gc_isolated,
         description=name,
+        # Passed at construction: poking stream.metadata afterwards would
+        # force an eager summary pass over the lazy stream.
+        extra_metadata={"workload": name, "profile": profile.name},
     )
-    stream.metadata["workload"] = name
-    stream.metadata["profile"] = profile.name
     return DynamicGraph(), stream

@@ -19,7 +19,17 @@ import time
 from dataclasses import dataclass
 from itertools import islice
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.baselines.arw import ArwLocalSearch
 from repro.baselines.dgdis import DGOneDIS, DGTwoDIS
@@ -31,6 +41,11 @@ from repro.core.two_swap import DyTwoSwap
 from repro.exceptions import ExperimentError, SolverTimeoutError
 from repro.experiments.metrics import RunMeasurement, Stopwatch
 from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+from repro.updates.protocol import (
+    StreamCursor,
+    stream_description,
+    stream_length_hint,
+)
 from repro.updates.streams import UpdateStream
 from repro.workloads.replay import (
     CheckpointConfig,
@@ -38,6 +53,19 @@ from repro.workloads.replay import (
     load_checkpoint,
     save_checkpoint,
 )
+
+#: Operations consumed between wall-clock checks when a
+#: :class:`~repro.workloads.replay.CheckpointConfig` carries only
+#: ``every_seconds`` (scaled by the batch size so chunk boundaries stay
+#: batch-aligned).
+WALL_CLOCK_STRIDE = 64
+
+#: Residency cap on the chunk a checkpointed run materialises between
+#: stopwatch sessions: a huge ``CheckpointConfig.every`` must not turn into
+#: an equally huge in-RAM operation list, so chunks are bounded by this
+#: (rounded to the batch size) and the checkpoint is written once the
+#: operations since the last write reach the interval.
+CHECKPOINT_CHUNK = 1024
 
 #: Algorithm names in the order the paper's tables list them.
 PAPER_ALGORITHMS: Tuple[str, ...] = (
@@ -117,7 +145,7 @@ def create_algorithm(
 
 def _timed_stream_run(
     algorithm,
-    stream: UpdateStream,
+    stream: Iterable,
     stopwatch: Stopwatch,
     time_limit_seconds: Optional[float],
     check_interval: int,
@@ -226,7 +254,7 @@ def compute_reference(
 def _run_single(
     name: str,
     graph: DynamicGraph,
-    stream: UpdateStream,
+    stream: Iterable,
     *,
     dataset: str,
     initial_solution: Optional[Iterable[Vertex]],
@@ -241,19 +269,27 @@ def _run_single(
 
     Returns ``(measurement, algorithm)`` — the caller may need the live
     algorithm for its final graph/solution (the competition's shared
-    reference).  Handles the optional checkpoint/resume wiring:
+    reference).  The stream is consumed strictly as an iterator (``len()``
+    is never called on it; a ``length_hint`` is recorded when the stream
+    offers one), so unbounded lazy streams run in O(batch window) memory.
+    Handles the optional checkpoint/resume wiring:
 
-    * with ``checkpoint`` set, the stream is consumed in chunks of
-      ``checkpoint.every`` operations and a checkpoint file is written after
-      each chunk (checkpoint I/O is excluded from the measured update time),
+    * with ``checkpoint`` set, the stream is consumed through a hashing
+      :class:`~repro.updates.protocol.StreamCursor` in chunks and a
+      checkpoint recording ``(offset, prefix fingerprint)`` is written after
+      every ``checkpoint.every`` operations and/or every
+      ``checkpoint.every_seconds`` of wall-clock time (checkpoint I/O and
+      fingerprinting are excluded from the measured update time),
     * with ``resume_from`` set, the algorithm is restored bit-for-bit from
       that checkpoint, the first ``processed`` operations of the stream are
-      skipped, and measurement fields (update count, elapsed time, initial
-      size) continue from the checkpointed values — so a resumed run is
+      skipped by consuming the iterator, the fingerprint of the skipped
+      prefix is verified against the checkpoint's recorded identity, and
+      measurement fields (update count, elapsed time, initial size)
+      continue from the checkpointed values — so a resumed run is
       indistinguishable from an uninterrupted one.
     """
-    stream_length: Optional[int] = len(stream) if hasattr(stream, "__len__") else None
-    stream_description = getattr(stream, "description", "")
+    stream_length: Optional[int] = stream_length_hint(stream)
+    description = stream_description(stream)
     if checkpoint is not None:
         if not _supports_snapshots(name, options):
             # Fail before any stream work is done — discovering the missing
@@ -263,13 +299,18 @@ def _run_single(
                 f"algorithm {name!r} does not support engine snapshots; "
                 f"checkpointing is available for {SNAPSHOT_CAPABLE}"
             )
-        if batch_size > 1 and checkpoint.every % batch_size:
+        if (
+            batch_size > 1
+            and checkpoint.every is not None
+            and checkpoint.every % batch_size
+        ):
             raise ExperimentError(
                 f"checkpoint interval {checkpoint.every} must be a multiple of "
                 f"batch_size {batch_size} so checkpoints land on batch boundaries"
             )
     skip = 0
     elapsed_offset = 0.0
+    restored = None
     if resume_from is not None:
         restored = load_checkpoint(resume_from)
         if restored.algorithm_name != name:
@@ -288,13 +329,13 @@ def _run_single(
             )
         if (
             restored.stream_description
-            and stream_description
-            and restored.stream_description != stream_description
+            and description
+            and restored.stream_description != description
         ):
             raise ExperimentError(
                 f"checkpoint {restored.path} was taken on stream "
                 f"{restored.stream_description!r}; resuming against "
-                f"{stream_description!r} would silently mix two runs"
+                f"{description!r} would silently mix two runs"
             )
         if restored.dataset and dataset and restored.dataset != dataset:
             raise ExperimentError(
@@ -335,9 +376,38 @@ def _run_single(
         None if time_limit_seconds is None else time_limit_seconds - elapsed_offset
     )
     stopwatch = Stopwatch()
-    iterator = iter(stream)
+    # A hashing cursor is only paid for when the run writes checkpoints or
+    # fast-forwards a resume; plain runs consume the raw iterator.
+    cursor: Optional[StreamCursor] = None
+    if checkpoint is not None or skip:
+        cursor = StreamCursor(stream)
+        iterator: Iterator = cursor
+    else:
+        iterator = iter(stream)
     if skip:
-        next(islice(iterator, skip - 1, skip), None)
+        assert cursor is not None and restored is not None
+        skipped = cursor.skip(skip)
+        if skipped < skip:
+            raise ExperimentError(
+                f"checkpoint {restored.path} consumed {skip} operations but "
+                f"the stream only yielded {skipped}"
+            )
+        if (
+            restored.stream_identity is not None
+            and cursor.fingerprint != restored.stream_identity
+        ):
+            raise ExperimentError(
+                f"checkpoint {restored.path} was taken at offset {skip} of a "
+                f"stream whose prefix fingerprint is "
+                f"{restored.stream_identity[:16]}…, but the supplied stream's "
+                f"prefix hashes to {cursor.fingerprint[:16]}… — resuming "
+                "would silently mix two runs"
+            )
+        if checkpoint is None:
+            # No further fingerprints are needed: hand the raw iterator to
+            # the timed loop so hashing never taxes the measured time.
+            iterator = cursor.detach()
+            cursor = None
     processed = skip
     finished = True
     if session_limit is not None and session_limit <= 0:
@@ -354,8 +424,37 @@ def _run_single(
             )
         processed += done
     else:
+        assert cursor is not None
+        # Chunking: each iteration materialises one bounded chunk (outside
+        # the stopwatch) and the checkpoint fires once the operations since
+        # the last write reach ``every`` and/or the wall clock passes
+        # ``every_seconds``.  The chunk is sized to the *remaining* distance
+        # to the next operation-interval checkpoint — so checkpoint offsets
+        # land exactly on multiples of ``every`` — but never beyond
+        # ``CHECKPOINT_CHUNK`` (residency stays O(chunk), not O(every)) nor,
+        # when a wall-clock interval is set, beyond the clock probe stride
+        # (a short ``every_seconds`` trips long before a huge ``every``
+        # chunk would complete: "whichever trips first").  All candidates
+        # are multiples of ``batch_size`` (``every`` is validated above),
+        # so chunk boundaries stay batch-aligned.
+        clock_stride = (
+            WALL_CLOCK_STRIDE * batch_size if batch_size > 1 else WALL_CLOCK_STRIDE
+        )
+        chunk_cap = (
+            max(batch_size, (CHECKPOINT_CHUNK // batch_size) * batch_size)
+            if batch_size > 1
+            else CHECKPOINT_CHUNK
+        )
+        pending = 0  # operations applied since the last checkpoint write
+        last_write = time.monotonic()
         while True:
-            chunk = list(islice(iterator, checkpoint.every))
+            if checkpoint.every is not None:
+                stride = min(checkpoint.every - pending, chunk_cap)
+                if checkpoint.every_seconds is not None:
+                    stride = min(stride, clock_stride)
+            else:
+                stride = clock_stride
+            chunk = cursor.take(stride)
             if not chunk:
                 break
             with stopwatch:
@@ -368,11 +467,39 @@ def _run_single(
                     batch_size,
                 )
             processed += done
+            pending += done
             if not chunk_finished:
                 finished = False
                 break
-            # Checkpoint I/O happens outside the stopwatch: persisting state
-            # must not count as update time.
+            due = (
+                checkpoint.every is not None and pending >= checkpoint.every
+            ) or (
+                checkpoint.every_seconds is not None
+                and time.monotonic() - last_write >= checkpoint.every_seconds
+            )
+            if due:
+                # Checkpoint I/O happens outside the stopwatch: persisting
+                # state must not count as update time.
+                save_checkpoint(
+                    algorithm,
+                    checkpoint,
+                    algorithm_name=name,
+                    processed=processed,
+                    initial_size=initial_size,
+                    elapsed_seconds=elapsed_offset + stopwatch.elapsed,
+                    dataset=dataset,
+                    stream_length=stream_length,
+                    stream_description=description,
+                    stream_identity=cursor.fingerprint,
+                    batch_size=batch_size,
+                )
+                pending = 0
+                last_write = time.monotonic()
+            if len(chunk) < stride:
+                break
+        if finished and pending:
+            # Wall-clock-only configs still leave a resumable checkpoint at
+            # end of stream (operation-interval configs wrote it in-loop).
             save_checkpoint(
                 algorithm,
                 checkpoint,
@@ -382,11 +509,10 @@ def _run_single(
                 elapsed_seconds=elapsed_offset + stopwatch.elapsed,
                 dataset=dataset,
                 stream_length=stream_length,
-                stream_description=stream_description,
+                stream_description=description,
+                stream_identity=cursor.fingerprint,
                 batch_size=batch_size,
             )
-            if len(chunk) < checkpoint.every:
-                break
     measurement = RunMeasurement(
         algorithm=name,
         dataset=dataset,
@@ -404,7 +530,7 @@ def _run_single(
 def run_algorithm(
     name: str,
     graph: DynamicGraph,
-    stream: UpdateStream,
+    stream: Iterable,
     *,
     dataset: str = "",
     initial_solution: Optional[Iterable[Vertex]] = None,
@@ -437,11 +563,17 @@ def run_algorithm(
     checkpoint:
         When set, write a resumable checkpoint every
         :attr:`~repro.workloads.replay.CheckpointConfig.every` operations
-        (I/O excluded from the measured time).  Checkpointing requires a
+        and/or every
+        :attr:`~repro.workloads.replay.CheckpointConfig.every_seconds` of
+        wall-clock time (I/O excluded from the measured time).  Each
+        checkpoint records the stream offset plus the incremental prefix
+        fingerprint, so resumes work on lazy streams that were never
+        materialised.  Checkpointing requires a
         :class:`~repro.core.base.DynamicMISBase` algorithm (the core
         maintainers); the index-based baselines are not snapshot-capable.
     resume_from:
-        Path of a checkpoint to resume from; the run continues mid-stream
+        Path of a checkpoint to resume from; the run skips ahead by
+        consuming the stream iterator (verifying the prefix fingerprint)
         and its measurement reports cumulative totals, so the result is
         identical to an uninterrupted run (asserted by the test suite).
     """
@@ -463,7 +595,7 @@ def run_algorithm(
 
 def run_competition(
     graph: DynamicGraph,
-    stream: UpdateStream,
+    stream: Iterable,
     *,
     dataset: str = "",
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
@@ -497,6 +629,20 @@ def run_competition(
     with the completed prefix priced in.
     """
     algorithm_options = algorithm_options or {}
+    if len(algorithms) > 1:
+        replayable = getattr(stream, "replayable", None)
+        if iter(stream) is stream or (
+            callable(replayable) and not replayable()
+        ):
+            # A competition replays the stream once per algorithm; feeding a
+            # one-shot iterator would hand algorithm 1 everything and every
+            # later algorithm a silently empty run.
+            raise ExperimentError(
+                "run_competition replays the stream once per algorithm; got a "
+                "one-shot stream — pass a replayable one (an UpdateStream, or "
+                "a lazy stream over a replayable source such as "
+                "iter_temporal_edge_list)"
+            )
     if resume and checkpoint is None:
         raise ExperimentError(
             "resume=True requires checkpoint=CheckpointConfig(...): without a "

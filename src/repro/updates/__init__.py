@@ -1,7 +1,22 @@
-"""Update operations, stream generators and batch coalescing for dynamic graphs."""
+"""Update operations, stream generators, batch coalescing and the lazy
+stream protocol for dynamic graphs."""
 
 from repro.updates.coalesce import CoalescedBatch, coalesce_batch
 from repro.updates.operations import UpdateKind, UpdateOperation, apply_update, invert_update
+from repro.updates.protocol import (
+    EMPTY_FINGERPRINT,
+    LazyOperationStream,
+    OperationStream,
+    StreamCursor,
+    as_operation_stream,
+    chunked,
+    decode_operation,
+    encode_operation,
+    fingerprint_prefix,
+    stream_description,
+    stream_length_hint,
+    stream_metadata,
+)
 from repro.updates.streams import (
     UpdateStream,
     burst_stream,
@@ -21,6 +36,18 @@ __all__ = [
     "invert_update",
     "CoalescedBatch",
     "coalesce_batch",
+    "OperationStream",
+    "LazyOperationStream",
+    "StreamCursor",
+    "EMPTY_FINGERPRINT",
+    "as_operation_stream",
+    "chunked",
+    "encode_operation",
+    "decode_operation",
+    "fingerprint_prefix",
+    "stream_description",
+    "stream_length_hint",
+    "stream_metadata",
     "UpdateStream",
     "random_edge_stream",
     "random_vertex_stream",

@@ -46,7 +46,7 @@ any state or applies it completely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.exceptions import UpdateError
 from repro.graphs.dynamic_graph import DynamicGraph, Vertex
@@ -111,14 +111,16 @@ class CoalescedBatch:
 
 
 def coalesce_batch(
-    graph: DynamicGraph, operations: Sequence[UpdateOperation]
+    graph: DynamicGraph, operations: Iterable[UpdateOperation]
 ) -> CoalescedBatch:
     """Reduce ``operations`` to their net effect against ``graph``.
 
     ``graph`` must be the graph the batch is about to be applied to; it is
-    only read, never mutated.  Raises :class:`~repro.exceptions.UpdateError`
-    on batch-internal contradictions (see the module docstring for the exact
-    validation contract).
+    only read, never mutated.  ``operations`` may be any iterable — it is
+    consumed in one pass and never materialised, so the caller's batch
+    window is the only resident copy.  Raises
+    :class:`~repro.exceptions.UpdateError` on batch-internal contradictions
+    (see the module docstring for the exact validation contract).
     """
     # label -> [existed_before_batch, exists_now]
     v_state: Dict[Vertex, List[bool]] = {}
@@ -157,7 +159,9 @@ def coalesce_batch(
                 else:
                     bucket.append(e_entry)
 
+    num_input = 0
     for op in operations:
+        num_input += 1
         kind = op.kind
         if kind is INSERT_EDGE or kind is DELETE_EDGE:
             u, v = op.edge
@@ -413,5 +417,5 @@ def coalesce_batch(
         vertex_deletions=vertex_deletions,
         vertex_insertions=vertex_insertions,
         edge_insertions=edge_insertions,
-        num_input=len(operations),
+        num_input=num_input,
     )

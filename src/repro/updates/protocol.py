@@ -1,0 +1,337 @@
+"""The lazy operation-stream protocol: constant-memory streams end to end.
+
+The paper's setting is an *unbounded* stream of updates, so no layer of the
+pipeline may assume the whole stream fits in RAM.  This module defines the
+small contract every producer and consumer speaks:
+
+* an **operation stream** is any iterable of
+  :class:`~repro.updates.operations.UpdateOperation`.  Rich streams
+  additionally carry a ``description`` string, a ``metadata`` dict and a
+  ``length_hint()`` method returning the number of operations *when it is
+  known without consuming the stream* (``None`` otherwise).  The materialised
+  :class:`~repro.updates.streams.UpdateStream` satisfies the protocol as-is;
+  :class:`LazyOperationStream` wraps a replayable iterator factory.
+
+* a :class:`StreamCursor` wraps one pass over a stream and maintains an
+  **incremental identity fingerprint**: a running SHA-256 over the canonical
+  encoding of every operation consumed so far.  Checkpoints record
+  ``(offset, fingerprint)`` instead of absolute offsets into an in-RAM list;
+  resuming skips ahead through a fresh iterator and verifies the fingerprint
+  of the skipped prefix, so a resumed run provably replays the same stream
+  without either side ever materialising it.
+
+* :func:`chunked` is the one sanctioned way to batch a stream: it yields
+  lists of at most ``size`` operations via :func:`itertools.islice`, so no
+  consumer ever holds more than one batch window resident.
+
+Helper functions (:func:`stream_length_hint`, :func:`stream_description`,
+:func:`stream_metadata`) read the optional attributes duck-typed, so plain
+lists and generators remain valid streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import islice
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.updates.operations import UpdateKind, UpdateOperation, apply_update
+
+
+# --------------------------------------------------------------------- #
+# Canonical operation encoding (shared by fingerprints and stream caches)
+# --------------------------------------------------------------------- #
+def encode_operation(operation: UpdateOperation) -> List:
+    """Encode an operation as a compact JSON-serialisable list.
+
+    The canonical wire form of the pipeline: the chunked stream cache
+    persists it and :class:`StreamCursor` hashes its ``repr`` for the
+    identity fingerprint.  Stable across sessions (no id()/hash values).
+    """
+    kind = operation.kind
+    if kind is UpdateKind.INSERT_VERTEX:
+        return ["+v", operation.vertex, list(operation.neighbors)]
+    if kind is UpdateKind.DELETE_VERTEX:
+        return ["-v", operation.vertex]
+    if kind is UpdateKind.INSERT_EDGE:
+        return ["+e", operation.edge[0], operation.edge[1]]
+    return ["-e", operation.edge[0], operation.edge[1]]
+
+
+def decode_operation(entry: Sequence) -> UpdateOperation:
+    """Inverse of :func:`encode_operation`."""
+    tag = entry[0]
+    if tag == "+v":
+        return UpdateOperation.insert_vertex(entry[1], entry[2])
+    if tag == "-v":
+        return UpdateOperation.delete_vertex(entry[1])
+    if tag == "+e":
+        return UpdateOperation.insert_edge(entry[1], entry[2])
+    if tag == "-e":
+        return UpdateOperation.delete_edge(entry[1], entry[2])
+    raise ValueError(f"unknown operation tag {tag!r}")
+
+
+#: Fingerprint of the empty prefix (offset 0) — what a cursor reports before
+#: consuming anything, and what a checkpoint taken at offset 0 would record.
+EMPTY_FINGERPRINT = hashlib.sha256().hexdigest()
+
+
+class StreamCursor:
+    """One hashing pass over an operation stream.
+
+    Wraps an iterator (or iterable) and tracks ``offset`` (operations
+    consumed) plus the incremental SHA-256 ``fingerprint`` of the consumed
+    prefix.  The fingerprint is a pure function of the operation sequence —
+    two streams agree on a prefix iff their cursors agree on
+    ``(offset, fingerprint)`` — which is what makes offset-based
+    checkpoint/resume sound without a materialised list on either side.
+    """
+
+    __slots__ = ("_iterator", "_digest", "offset")
+
+    def __init__(self, operations: Iterable[UpdateOperation]) -> None:
+        self._iterator = iter(operations)
+        self._digest = hashlib.sha256()
+        self.offset = 0
+
+    def __iter__(self) -> "StreamCursor":
+        return self
+
+    def __next__(self) -> UpdateOperation:
+        operation = next(self._iterator)
+        self._digest.update(repr(encode_operation(operation)).encode("utf-8"))
+        self.offset += 1
+        return operation
+
+    @property
+    def fingerprint(self) -> str:
+        """Hex SHA-256 of the canonical encoding of the consumed prefix."""
+        return self._digest.hexdigest()
+
+    def detach(self) -> Iterator[UpdateOperation]:
+        """Hand back the underlying iterator and retire the cursor.
+
+        Used when fingerprinting is only needed for a prefix (a resume
+        fast-forward): the remaining operations flow through the raw
+        iterator with zero hashing overhead.  The cursor yields nothing
+        afterwards.
+        """
+        iterator = self._iterator
+        self._iterator = iter(())
+        return iterator
+
+    def take(self, count: int) -> List[UpdateOperation]:
+        """Consume and return up to ``count`` operations (fewer at the end)."""
+        return list(islice(self, count))
+
+    def skip(self, count: int) -> int:
+        """Consume up to ``count`` operations, discarding them; return how many.
+
+        The discarded operations still flow through the fingerprint — this is
+        the resume fast-forward: afterwards ``(offset, fingerprint)`` matches
+        a checkpoint taken at the same position of the same stream.
+        """
+        skipped = 0
+        for _ in islice(self, count):
+            skipped += 1
+        return skipped
+
+
+def chunked(
+    operations: Iterable[UpdateOperation], size: int
+) -> Iterator[List[UpdateOperation]]:
+    """Yield lists of at most ``size`` operations until the stream ends.
+
+    The canonical batching loop: at any moment exactly one window is
+    resident, whatever the stream length.
+    """
+    if size < 1:
+        raise ValueError("chunk size must be at least 1")
+    iterator = iter(operations)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+class OperationStream:
+    """Base class for rich lazy streams (iterable + provenance metadata).
+
+    Subclasses implement :meth:`__iter__`.  ``description`` and ``metadata``
+    mirror :class:`~repro.updates.streams.UpdateStream`; ``length_hint``
+    returns the operation count only when it is already known — it must
+    never consume the stream.  Deliberately **no** ``__len__``: sized
+    consumers must go through :func:`stream_length_hint` and handle ``None``.
+    """
+
+    description: str = ""
+
+    def __init__(
+        self, *, description: str = "", metadata: Optional[Dict] = None
+    ) -> None:
+        self.description = description
+        self._metadata: Dict = dict(metadata or {})
+
+    def __iter__(self) -> Iterator[UpdateOperation]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def metadata(self) -> Dict:
+        return self._metadata
+
+    def length_hint(self) -> Optional[int]:
+        return None
+
+    def replayable(self) -> bool:
+        """Whether :meth:`__iter__` supports more than one full pass.
+
+        Default ``True``; streams backed by a one-shot source override.
+        Multi-pass consumers (e.g. a competition running several algorithms
+        over the same stream) must check this instead of discovering an
+        exhausted iterator as a silent empty run.
+        """
+        return True
+
+    def cursor(self) -> StreamCursor:
+        """Start a fingerprinting pass over the stream."""
+        return StreamCursor(self)
+
+    # Conveniences shared by every rich stream (one pass over self each).
+    def apply_all(self, graph) -> None:
+        """Apply every operation in order to ``graph`` (mutates it in place)."""
+        for operation in self:
+            apply_update(graph, operation)
+
+    def counts_by_kind(self) -> Dict:
+        """Return ``{UpdateKind: count}`` (one pass over the stream)."""
+        counts: Dict = {}
+        for operation in self:
+            counts[operation.kind] = counts.get(operation.kind, 0) + 1
+        return counts
+
+
+class LazyOperationStream(OperationStream):
+    """Wrap a replayable iterator factory as an :class:`OperationStream`.
+
+    ``factory`` is called once per :meth:`__iter__`; pass a generator
+    *function* (not a generator object) to get a replayable stream.  A
+    one-shot iterable also works but supports only a single pass.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable[UpdateOperation]],
+        *,
+        description: str = "",
+        metadata: Optional[Dict] = None,
+        length: Optional[int] = None,
+        replay: bool = True,
+    ) -> None:
+        super().__init__(description=description, metadata=metadata)
+        self._factory = factory
+        self._length = length
+        self._replay = replay
+
+    def __iter__(self) -> Iterator[UpdateOperation]:
+        return iter(self._factory())
+
+    def length_hint(self) -> Optional[int]:
+        return self._length
+
+    def replayable(self) -> bool:
+        return self._replay
+
+
+def as_operation_stream(
+    operations: Iterable[UpdateOperation], *, description: str = ""
+) -> OperationStream:
+    """Adapt any iterable of operations to the rich protocol.
+
+    Streams that already carry ``description``/``length_hint`` (an
+    :class:`OperationStream` or an
+    :class:`~repro.updates.streams.UpdateStream`) pass through unchanged —
+    the thin adapter that lets list-based streams keep working everywhere
+    the pipeline now expects the protocol.
+    """
+    if isinstance(operations, OperationStream) or hasattr(operations, "length_hint"):
+        return operations  # type: ignore[return-value]
+    if isinstance(operations, (list, tuple)):
+        sized: Sequence[UpdateOperation] = operations
+        return LazyOperationStream(
+            lambda: sized, description=description, length=len(sized)
+        )
+    # A bare iterator/generator is one-shot: wrapping must not launder that
+    # away (multi-pass consumers check replayable() to refuse such streams
+    # instead of silently measuring empty re-runs).
+    one_shot = iter(operations) is operations
+    return LazyOperationStream(
+        lambda: operations, description=description, replay=not one_shot
+    )
+
+
+# --------------------------------------------------------------------- #
+# Duck-typed readers (work on UpdateStream, OperationStream, lists, …)
+# --------------------------------------------------------------------- #
+def stream_length_hint(stream: Iterable[UpdateOperation]) -> Optional[int]:
+    """Best-effort operation count without consuming ``stream``.
+
+    Prefers a ``length_hint()`` method (the lazy protocol), falls back to
+    ``len()`` for sized containers, and returns ``None`` for generators and
+    unsized streams — callers must treat ``None`` as "unknown", never as 0.
+    """
+    hint = getattr(stream, "length_hint", None)
+    if callable(hint):
+        return hint()
+    try:
+        return len(stream)  # type: ignore[arg-type]
+    except TypeError:
+        return None
+
+
+def stream_description(stream: Iterable[UpdateOperation]) -> str:
+    """The stream's provenance description ('' when it carries none)."""
+    return getattr(stream, "description", "") or ""
+
+
+def stream_metadata(stream: Iterable[UpdateOperation]) -> Dict:
+    """The stream's metadata dict ({} when it carries none) — always O(1).
+
+    Rich streams may compute summary metadata lazily behind their
+    ``metadata`` property (a full pass over a replayable source); this
+    helper must stay cheap, so for :class:`OperationStream` subclasses it
+    reads the base class's raw dict directly — whatever is *currently*
+    known — and never triggers that pass.
+    """
+    metadata = getattr(stream, "_metadata", None)
+    if isinstance(metadata, dict):
+        return metadata
+    metadata = getattr(stream, "metadata", None)
+    return metadata if isinstance(metadata, dict) else {}
+
+
+def fingerprint_prefix(
+    stream: Iterable[UpdateOperation], offset: Optional[int] = None
+) -> Tuple[int, str]:
+    """Consume (up to) ``offset`` operations and return ``(consumed, fingerprint)``.
+
+    With ``offset=None`` the whole stream is consumed — the stream's full
+    identity.  Purely a convenience over :class:`StreamCursor`.
+    """
+    cursor = StreamCursor(stream)
+    if offset is None:
+        for _ in cursor:
+            pass
+    else:
+        cursor.skip(offset)
+    return cursor.offset, cursor.fingerprint

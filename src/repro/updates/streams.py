@@ -49,6 +49,10 @@ class UpdateStream:
     def __len__(self) -> int:
         return len(self.operations)
 
+    def length_hint(self) -> int:
+        """Operation count (the lazy stream protocol; free for a list)."""
+        return len(self.operations)
+
     def __iter__(self) -> Iterator[UpdateOperation]:
         return iter(self.operations)
 

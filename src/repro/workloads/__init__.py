@@ -32,8 +32,13 @@ from repro.workloads.snapshot import (
     save_snapshot,
 )
 from repro.workloads.temporal import (
+    CachedOperationStream,
     TemporalEdge,
+    TemporalEventSource,
+    TemporalUpdateStream,
     cached_temporal_stream,
+    iter_synthetic_temporal_events,
+    iter_temporal_edge_list,
     read_temporal_edge_list,
     synthetic_temporal_events,
     temporal_update_stream,
@@ -42,11 +47,16 @@ from repro.workloads.temporal import (
 
 __all__ = [
     "TemporalEdge",
+    "TemporalEventSource",
+    "TemporalUpdateStream",
+    "CachedOperationStream",
+    "iter_temporal_edge_list",
     "read_temporal_edge_list",
     "write_temporal_edge_list",
     "temporal_update_stream",
     "cached_temporal_stream",
     "synthetic_temporal_events",
+    "iter_synthetic_temporal_events",
     "GRAPH_FORMAT",
     "ALGORITHM_FORMAT",
     "graph_to_payload",

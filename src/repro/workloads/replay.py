@@ -55,22 +55,51 @@ class CheckpointConfig:
     keep:
         Retain at most this many checkpoints per algorithm (oldest pruned
         first); ``None`` keeps every checkpoint.
+    every_seconds:
+        Wall-clock retention: additionally checkpoint once at least this
+        many seconds have passed since the previous checkpoint (checked at
+        operation-chunk granularity — see
+        :data:`~repro.experiments.runner.WALL_CLOCK_STRIDE`).  May be
+        combined with ``every`` (whichever trips first: the runner then
+        probes at the *smaller* of the two strides, so a short
+        ``every_seconds`` fires long before a huge ``every`` chunk would
+        complete, and the operation interval is honoured at probe
+        granularity — the first probe boundary at or after each ``every``
+        operations) or used alone for runs whose per-operation cost is
+        unpredictable.  At least one of ``every`` / ``every_seconds`` must
+        be set.
     """
 
     directory: PathLike
-    every: int
+    every: Optional[int] = None
     keep: Optional[int] = None
+    every_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.every < 1:
+        if self.every is None and self.every_seconds is None:
+            raise CheckpointError(
+                "a CheckpointConfig needs an interval: set 'every' "
+                "(operations) and/or 'every_seconds' (wall clock)"
+            )
+        if self.every is not None and self.every < 1:
             raise CheckpointError("checkpoint interval 'every' must be at least 1")
+        if self.every_seconds is not None and self.every_seconds <= 0:
+            raise CheckpointError("'every_seconds' must be positive when given")
         if self.keep is not None and self.keep < 1:
             raise CheckpointError("'keep' must be at least 1 when given")
 
 
 @dataclass(frozen=True)
 class Checkpoint:
-    """A loaded checkpoint document."""
+    """A loaded checkpoint document.
+
+    ``processed`` is the resume *offset* into the stream;
+    ``stream_identity`` is the incremental fingerprint
+    (:class:`~repro.updates.protocol.StreamCursor`) of exactly that prefix,
+    so a resume can verify it is skipping through the same stream without
+    either side materialising it.  ``stream_length`` is only a hint — lazy
+    streams legitimately record ``None``.
+    """
 
     algorithm_name: str
     dataset: str
@@ -82,6 +111,7 @@ class Checkpoint:
     batch_size: int
     payload: Dict
     path: Optional[Path] = None
+    stream_identity: Optional[str] = None
 
     def restore(self, factory: Optional[Callable] = None):
         """Rebuild the algorithm instance (see :func:`snapshot.algorithm_from_payload`)."""
@@ -105,13 +135,17 @@ def save_checkpoint(
     dataset: str = "",
     stream_length: Optional[int] = None,
     stream_description: str = "",
+    stream_identity: Optional[str] = None,
     batch_size: int = 1,
 ) -> Path:
     """Write a checkpoint for ``algorithm`` after ``processed`` operations.
 
-    Returns the path written.  With a :class:`CheckpointConfig` whose
-    ``keep`` is set, older checkpoints of the same algorithm beyond the
-    retention limit are pruned.
+    ``stream_identity`` should be the
+    :class:`~repro.updates.protocol.StreamCursor` fingerprint of the
+    consumed prefix; resumes verify it after skipping ahead.  Returns the
+    path written.  With a :class:`CheckpointConfig` whose ``keep`` is set,
+    older checkpoints of the same algorithm beyond the retention limit are
+    pruned.
     """
     if isinstance(config_or_directory, CheckpointConfig):
         directory = Path(config_or_directory.directory)
@@ -128,7 +162,11 @@ def save_checkpoint(
         "processed": processed,
         "initial_size": initial_size,
         "elapsed_seconds": elapsed_seconds,
-        "stream": {"length": stream_length, "description": stream_description},
+        "stream": {
+            "length": stream_length,
+            "description": stream_description,
+            "identity": stream_identity,
+        },
         "batch_size": batch_size,
         "algorithm": algorithm_to_payload(algorithm),
     }
@@ -165,6 +203,7 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
             elapsed_seconds=document.get("elapsed_seconds", 0.0),
             stream_length=stream_info.get("length"),
             stream_description=stream_info.get("description", ""),
+            stream_identity=stream_info.get("identity"),
             batch_size=document.get("batch_size", 1),
             payload=document["algorithm"],
             path=path,

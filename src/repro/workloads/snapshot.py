@@ -36,6 +36,7 @@ import json
 import os
 import tempfile
 from collections import Counter
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
@@ -45,25 +46,29 @@ from repro.graphs.dynamic_graph import DynamicGraph, Vertex
 PathLike = Union[str, Path]
 
 
-def atomic_write_text(path: PathLike, text: str) -> None:
-    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+@contextmanager
+def atomic_writer(path: PathLike, *, mode: str = "w", encoding: Optional[str] = "utf-8"):
+    """Stream into ``path`` via a same-directory temp file + fsync + rename.
 
-    A crash mid-write leaves either the old file or the new one, never a
-    truncated hybrid — the durability contract every snapshot/checkpoint
-    writer in this package relies on.
+    Yields the open temp-file handle; on clean exit the data is fsynced and
+    the rename commits atomically, on any exception the temp file is
+    removed and ``path`` is untouched.  A crash mid-write therefore leaves
+    either the old file or the new one, never a truncated hybrid — the
+    durability contract every snapshot/checkpoint/cache/download writer in
+    this library relies on.  The fsync runs *before* the rename: without it
+    a power loss can surface the rename with zero-length data, exactly the
+    truncated-newest-checkpoint failure this helper exists to rule out.
+
+    Pass ``mode="wb", encoding=None`` for binary payloads.
     """
     path = Path(path)
     handle, temp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
-        with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            stream.write(text)
+        with os.fdopen(handle, mode, encoding=encoding) as stream:
+            yield stream
             stream.flush()
-            # Flush to stable storage before the rename commits: without it
-            # a power loss can surface the rename with zero-length data,
-            # which is exactly the truncated-newest-checkpoint failure this
-            # helper exists to rule out.
             os.fsync(stream.fileno())
         os.replace(temp_name, path)
     except BaseException:
@@ -72,6 +77,12 @@ def atomic_write_text(path: PathLike, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (see :func:`atomic_writer`)."""
+    with atomic_writer(path) as stream:
+        stream.write(text)
 
 GRAPH_FORMAT = DynamicGraph.PAYLOAD_FORMAT
 ALGORITHM_FORMAT = "repro-algorithm/1"

@@ -53,7 +53,7 @@ class TestRunAlgorithmCheckpointing:
         checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
         assert [processed for processed, _ in checkpoints[:3]] == [100, 200, 300]
         # The final (partial-chunk) checkpoint covers the whole stream.
-        assert checkpoints[-1][0] == len(stream) == measurement.num_updates
+        assert checkpoints[-1][0] == stream.count() == measurement.num_updates
 
     def test_resume_from_every_checkpoint_is_identical(
         self, temporal_workload, tmp_path
@@ -88,7 +88,7 @@ class TestRunAlgorithmCheckpointing:
             checkpoint=resumed_config,
         )
         resumed_last = find_checkpoints(resumed_dir, "DyOneSwap")[-1]
-        assert resumed_last[0] == len(stream)
+        assert resumed_last[0] == stream.count()
         resumed_graph = graph_to_payload(
             load_checkpoint(resumed_last[1]).restore().graph
         )
@@ -153,7 +153,7 @@ class TestRunAlgorithmCheckpointing:
         run_algorithm("DyOneSwap", graph, stream, checkpoint=config)
         checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
         assert len(checkpoints) == 2
-        assert checkpoints[-1][0] == len(stream)
+        assert checkpoints[-1][0] == stream.count()
 
     def test_resume_validates_algorithm_name(self, temporal_workload, tmp_path):
         graph, stream = temporal_workload
@@ -263,3 +263,104 @@ class TestRunCompetitionCheckpointing:
             assert _measurement_fingerprint(straight[name]) == _measurement_fingerprint(
                 resumed[name]
             )
+
+
+class TestWallClockCheckpointing:
+    def test_config_requires_some_interval(self, tmp_path):
+        with pytest.raises(CheckpointError, match="interval"):
+            CheckpointConfig(directory=tmp_path)
+        with pytest.raises(CheckpointError):
+            CheckpointConfig(directory=tmp_path, every_seconds=0.0)
+
+    def test_every_seconds_writes_periodic_checkpoints(
+        self, temporal_workload, tmp_path
+    ):
+        graph, stream = temporal_workload
+        # A threshold of zero seconds is "due" at every stride boundary, so
+        # this deterministically exercises the wall-clock path.
+        config = CheckpointConfig(directory=tmp_path, every_seconds=0.0000001)
+        measurement = run_algorithm(
+            "DyOneSwap", graph, stream, dataset="t", checkpoint=config
+        )
+        assert measurement.finished
+        checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
+        assert len(checkpoints) >= 2  # several strides tripped the timer
+        assert checkpoints[-1][0] == measurement.num_updates
+
+    def test_large_every_seconds_still_leaves_final_checkpoint(
+        self, temporal_workload, tmp_path
+    ):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(directory=tmp_path, every_seconds=3600.0)
+        measurement = run_algorithm(
+            "DyOneSwap", graph, stream, dataset="t", checkpoint=config
+        )
+        checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
+        # The hour never elapses, but the end-of-stream checkpoint must
+        # still make the run resumable/continuable.
+        assert [processed for processed, _ in checkpoints] == [
+            measurement.num_updates
+        ]
+
+    def test_wall_clock_resume_is_identical(self, temporal_workload, tmp_path):
+        graph, stream = temporal_workload
+        straight = run_algorithm("DyOneSwap", graph, stream, dataset="t")
+        config = CheckpointConfig(
+            directory=tmp_path, every_seconds=0.0000001, keep=4
+        )
+        checkpointed = run_algorithm(
+            "DyOneSwap", graph, stream, dataset="t", checkpoint=config
+        )
+        assert _measurement_fingerprint(straight) == _measurement_fingerprint(
+            checkpointed
+        )
+        mid = find_checkpoints(tmp_path, "DyOneSwap")[0][1]
+        resumed = run_algorithm(
+            "DyOneSwap", graph, stream, dataset="t", resume_from=mid
+        )
+        assert _measurement_fingerprint(resumed) == _measurement_fingerprint(straight)
+
+    def test_keep_pruning_applies_to_wall_clock_checkpoints(
+        self, temporal_workload, tmp_path
+    ):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(
+            directory=tmp_path, every_seconds=0.0000001, keep=2
+        )
+        run_algorithm("DyOneSwap", graph, stream, checkpoint=config)
+        assert len(find_checkpoints(tmp_path, "DyOneSwap")) <= 2
+
+    def test_combined_intervals_checkpoint_on_operation_schedule(
+        self, temporal_workload, tmp_path
+    ):
+        graph, stream = temporal_workload
+        config = CheckpointConfig(
+            directory=tmp_path, every=100, every_seconds=3600.0
+        )
+        run_algorithm("DyOneSwap", graph, stream, checkpoint=config)
+        checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
+        # In combined mode the runner probes at min(every, clock stride), so
+        # each operation-interval checkpoint lands on the first probe
+        # boundary at or after the 100-op mark (here: stride 64 → 128, 256).
+        offsets = [processed for processed, _ in checkpoints]
+        assert offsets[0] <= 100 + 64
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert all(gap <= 100 + 64 for gap in gaps)
+
+    def test_combined_short_clock_beats_huge_operation_interval(
+        self, temporal_workload, tmp_path
+    ):
+        # The regression this pins: with every=10**6 alone setting the
+        # stride, the clock would only be consulted after the whole stream —
+        # 'whichever trips first' requires the wall-clock interval to fire
+        # at its own (stride) granularity despite the huge 'every'.
+        graph, stream = temporal_workload
+        config = CheckpointConfig(
+            directory=tmp_path, every=1_000_000, every_seconds=0.0000001
+        )
+        measurement = run_algorithm(
+            "DyOneSwap", graph, stream, dataset="t", checkpoint=config
+        )
+        checkpoints = find_checkpoints(tmp_path, "DyOneSwap")
+        assert len(checkpoints) >= 2  # periodic, not just end-of-stream
+        assert checkpoints[0][0] < measurement.num_updates

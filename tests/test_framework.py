@@ -105,3 +105,40 @@ class TestDeepSwaps:
     def test_search_limit_counter_exists(self, small_random_graph):
         algo = KSwapFramework(small_random_graph, k=2)
         assert algo.search_limit_hits == 0
+
+
+class TestPromotionGapRegression:
+    """Regression pin for the k = 3 promotion gap found by PR 4's probing.
+
+    The old promotion rule only climbed strict-superset owner chains
+    (witness with ``count == level + 1`` and ``I(w) ⊃ owners``), so a
+    3-swap whose swap-in members' owner sets only *jointly* cover the
+    removed set (e.g. ``{a}`` and ``{b, c}`` covering ``{a, b, c}``) was
+    never registered.  The union-based promotion closes exactly that class;
+    these tests pin the original repro and probe surrounding seeds.
+    """
+
+    def test_roadmap_repro_settles_3_maximal(self):
+        from repro.generators.random_graphs import gnm_random_graph
+
+        graph = gnm_random_graph(24, 44, seed=10)
+        stream = mixed_update_stream(graph, 120, seed=110, edge_fraction=0.6)
+        algo = KSwapFramework(graph.copy(), k=3)
+        algo.apply_stream(stream)
+        assert algo.search_limit_hits == 0
+        assert is_k_maximal_independent_set(algo.graph, algo.solution(), 3)
+
+    @pytest.mark.parametrize("seed", [0, 3, 7, 11, 19])
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_randomized_probing_finds_no_gap(self, seed, k):
+        from repro.generators.random_graphs import gnm_random_graph
+
+        graph = gnm_random_graph(22, 40, seed=seed)
+        stream = mixed_update_stream(graph, 100, seed=seed + 500, edge_fraction=0.6)
+        algo = KSwapFramework(graph.copy(), k=k)
+        algo.apply_stream(stream)
+        # Only assert full k-maximality when the bounded search never gave
+        # up (a limit hit legitimately leaves deeper swaps unexplored).
+        if algo.search_limit_hits == 0:
+            assert is_k_maximal_independent_set(algo.graph, algo.solution(), k)
+        assert is_k_maximal_independent_set(algo.graph, algo.solution(), 2)

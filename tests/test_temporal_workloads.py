@@ -98,6 +98,10 @@ class TestTemporalParser:
             read_temporal_edge_list(path, self_loops="maybe")
         with pytest.raises(ValueError):
             read_temporal_edge_list(path, unsorted="shuffle")
+        # The sort path must validate self_loops too (it bypasses the
+        # streaming source's validation).
+        with pytest.raises(ValueError):
+            read_temporal_edge_list(path, self_loops="maybe", unsorted="sort")
 
 
 class TestWindowingPolicies:
@@ -108,6 +112,43 @@ class TestWindowingPolicies:
         graph = DynamicGraph()
         stream.apply_all(graph)
         assert graph.num_edges == 2
+
+    def test_lazy_stream_protocol_surface(self):
+        events = [TemporalEdge(i, i + 1, float(i)) for i in range(12)]
+        stream = temporal_update_stream(events, max_live=4, gc_isolated=False)
+        # length_hint is honest: unknown before any completed pass.
+        assert stream.length_hint() is None
+        total = stream.count()  # counting pass, then cached
+        assert stream.length_hint() == total
+        # A prefix is itself a lazy stream with a derived hint/description.
+        prefix = stream.prefix(5)
+        assert prefix.length_hint() == 5
+        assert prefix.description.endswith("[:5]")
+        assert len(list(prefix)) == 5
+        assert stream.prefix(10_000).length_hint() == total
+        # The compat escape hatch materialises; a cursor pass fingerprints.
+        assert len(stream.operations) == total
+        cursor = stream.cursor()
+        assert cursor.skip(total + 1) == total
+
+    def test_one_shot_event_iterator_gives_one_shot_stream(self):
+        events = (TemporalEdge(2 * i, 2 * i + 1, float(i)) for i in range(6))
+        stream = temporal_update_stream(events)
+        assert len(list(stream)) == 18  # 2 vertex inserts + 1 edge insert each
+        assert list(stream) == []  # generator exhausted: one pass only
+
+    def test_one_shot_bookkeeping_never_drains_the_source(self):
+        events = (TemporalEdge(2 * i, 2 * i + 1, float(i)) for i in range(6))
+        stream = temporal_update_stream(events)
+        # Reading metadata before the pass must NOT burn a hidden summary
+        # pass (that would silently empty the generator for the real run).
+        assert "final_vertices" not in stream.metadata
+        with pytest.raises(TypeError, match="one-shot"):
+            stream.count()
+        assert len(list(stream)) == 18  # the single real pass still intact
+        # After the completed pass the summary (and count) are available.
+        assert stream.metadata["final_edges"] == 6
+        assert stream.count() == 18
 
     def test_time_window_synthesizes_deletions(self):
         events = [
@@ -168,8 +209,9 @@ class TestWindowingPolicies:
 
     def test_decreasing_event_timestamps_rejected(self):
         events = [TemporalEdge(0, 1, 5.0), TemporalEdge(1, 2, 4.0)]
+        # The stream is lazy: the violation surfaces while iterating.
         with pytest.raises(UpdateError):
-            temporal_update_stream(events)
+            list(temporal_update_stream(events))
 
 
 class TestStreamCache:
@@ -187,6 +229,13 @@ class TestStreamCache:
         assert second.metadata["cache"] == "hit"
         assert [str(a) for a in first] == [str(b) for b in second]
         assert first.description == second.description
+        # The lazy reader is sized (header), replayable, and its
+        # conveniences replay the cache file rather than materialising it.
+        assert len(second) == second.length_hint() == len(list(first))
+        replayed = DynamicGraph()
+        second.apply_all(replayed)
+        assert replayed.num_edges == second.metadata["final_edges"]
+        assert sum(second.counts_by_kind().values()) == len(second)
 
     def test_policy_change_invalidates(self, tmp_path):
         path = self._events_file(tmp_path)
@@ -234,8 +283,12 @@ class TestStreamCache:
         rebuilt = cached_temporal_stream(path, window=8.0)
         assert rebuilt.metadata["cache"] == "miss"
         assert [str(a) for a in first] == [str(b) for b in rebuilt]
-        # The rebuilt entry must be valid JSON again.
-        json.loads(entries[0].read_text(encoding="utf-8"))
+        # The rebuilt entry must be valid chunked JSONL again (header line
+        # plus chunk lines, each a JSON document).
+        lines = entries[0].read_text(encoding="utf-8").splitlines()
+        assert json.loads(lines[0])["format"].startswith("repro-temporal-stream/")
+        for line in lines[1:]:
+            json.loads(line)
 
     def test_explicit_cache_dir(self, tmp_path):
         path = self._events_file(tmp_path)
@@ -243,6 +296,58 @@ class TestStreamCache:
         stream = cached_temporal_stream(path, cache_dir=cache_dir, window=8.0)
         assert stream.metadata["cache"] == "miss"
         assert list(cache_dir.iterdir())
+
+    def test_corrupt_cache_body_raises_clearly_during_replay(self, tmp_path):
+        # Only the header is validated on open; damage behind it must
+        # surface as a GraphError naming the file, not a raw JSON error.
+        path = self._events_file(tmp_path)
+        cached_temporal_stream(path, window=8.0)
+        entry = next((tmp_path / ".stream-cache").iterdir())
+        lines = entry.read_text(encoding="utf-8").splitlines(keepends=True)
+        entry.write_text(lines[0] + '[["+e", 1, 2], {broken\n', encoding="utf-8")
+        stream = cached_temporal_stream(path, window=8.0)
+        assert stream.metadata["cache"] == "hit"  # header is intact
+        with pytest.raises(GraphError, match="corrupt mid-body"):
+            list(stream)
+
+    def test_wrong_shape_cache_entry_raises_clearly_during_replay(self, tmp_path):
+        # Valid JSON, malformed operation entry: decode raises IndexError /
+        # UpdateError, which must still surface as the GraphError with the
+        # delete-to-rebuild guidance, not a raw decoding traceback.
+        path = self._events_file(tmp_path)
+        cached_temporal_stream(path, window=8.0)
+        entry = next((tmp_path / ".stream-cache").iterdir())
+        lines = entry.read_text(encoding="utf-8").splitlines(keepends=True)
+        entry.write_text(lines[0] + '[["+e", 1]]\n', encoding="utf-8")
+        stream = cached_temporal_stream(path, window=8.0)
+        with pytest.raises(GraphError, match="delete the file"):
+            list(stream)
+
+    def test_rebuild_sweeps_legacy_monolithic_entries(self, tmp_path):
+        # PR4-era caches were single .json documents; nothing reads that
+        # format anymore, so a rebuild for the same source stem must remove
+        # them instead of leaving dataset-sized orphans forever.
+        path = self._events_file(tmp_path)
+        cache_dir = tmp_path / ".stream-cache"
+        cache_dir.mkdir()
+        legacy = cache_dir / f"{path.stem}-0123456789abcdef.json"
+        legacy.write_text('{"format": "repro-temporal-stream/1"}', encoding="utf-8")
+        cached_temporal_stream(path, window=8.0)
+        assert not legacy.exists()
+        assert len(list(cache_dir.iterdir())) == 1
+
+    def test_truncated_cache_body_raises_clearly_during_replay(self, tmp_path):
+        path = self._events_file(tmp_path)
+        full = cached_temporal_stream(path, window=8.0)
+        total = len(full)
+        entry = next((tmp_path / ".stream-cache").iterdir())
+        lines = entry.read_text(encoding="utf-8").splitlines(keepends=True)
+        entry.write_text("".join(lines[:1]), encoding="utf-8")  # header only
+        stream = cached_temporal_stream(path, window=8.0)
+        assert stream.metadata["cache"] == "hit"
+        assert len(stream) == total  # header still promises the full count
+        with pytest.raises(GraphError, match="truncated"):
+            list(stream)
 
 
 class TestWorkloadCatalog:

@@ -50,6 +50,7 @@ from repro.core.lazy import LazyMISState
 from repro.core.state import MISState
 from repro.exceptions import SolutionInvariantError, UpdateError, VertexNotFoundError
 from repro.graphs.dynamic_graph import _FREE, DynamicGraph, Vertex
+from repro.resilience.faults import BULK_APPLY, trip
 from repro.updates.coalesce import coalesce_batch
 from repro.updates.operations import UpdateKind, UpdateOperation
 from repro.updates.protocol import chunked
@@ -287,6 +288,11 @@ class DynamicMISBase(abc.ABC):
         ops = operations if isinstance(operations, list) else list(operations)
         if not ops:
             return
+        # The ``bulk_apply`` fault point fires before any mutation (and
+        # before the short-batch dispatch below), so an injected crash
+        # leaves the engine at the previous batch boundary — queues
+        # drained, solution k-maximal, snapshot-clean.
+        trip(BULK_APPLY)
         stats = self.stats
         if len(ops) < self.BULK_APPLY_THRESHOLD:
             dispatch = self._dispatch

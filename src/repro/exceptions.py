@@ -101,9 +101,70 @@ class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""
 
 
-class SolverTimeoutError(ReproError):
-    """Raised when an exact solver exceeds its configured budget."""
+class SolverTimeoutError(AlgorithmError):
+    """Raised when an exact solver exceeds its configured budget.
+
+    An algorithm-level failure (the solver *is* an algorithm giving up), so
+    it sits under :class:`AlgorithmError` like every other error an algorithm
+    reports about its own run.  ``best_known`` carries the largest solution
+    found before the budget ran out, so callers can fall back to it.
+    """
 
     def __init__(self, message: str, best_known: int | None = None) -> None:
         super().__init__(message)
         self.best_known = best_known
+
+
+class ResilienceError(ReproError):
+    """Base class for the resilience subsystem (:mod:`repro.resilience`).
+
+    Covers artifact-integrity failures, exhausted crash-recovery budgets and
+    deliberately injected faults — everything the fault-injection /
+    supervised-replay machinery raises on top of the ordinary error tree.
+    """
+
+
+class IntegrityError(ResilienceError):
+    """Raised when a durable artifact fails its embedded integrity check.
+
+    Checkpoints, snapshots and stream-cache entries carry SHA-256 payload
+    digests; a mismatch on load means the bytes on disk are not the bytes
+    that were written (torn write, bit rot, tampering) and the artifact must
+    never be replayed.  ``source`` names the offending file when known.
+    """
+
+    def __init__(self, message: str, source: object = None) -> None:
+        super().__init__(message)
+        self.source = source
+
+
+class RecoveryExhaustedError(ResilienceError):
+    """Raised when supervised replay runs out of recovery attempts.
+
+    ``attempts`` is how many runs were started; ``history`` holds one entry
+    per crash (whatever record type the supervisor collects) so callers can
+    report *why* recovery failed, not just that it did.
+    """
+
+    def __init__(
+        self, message: str, attempts: int = 0, history: tuple = ()
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.history = tuple(history)
+
+
+class InjectedFault(ResilienceError):
+    """Raised by a :class:`~repro.resilience.faults.FaultInjector` at a planned fault point.
+
+    Carries the fault ``point`` name and the 1-based ``hit`` count at which
+    it fired, so crash-simulation tests can assert exactly which planned
+    fault brought a pipeline down.
+    """
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(
+            f"injected fault at point {point!r} (hit #{hit})"
+        )
+        self.point = point
+        self.hit = hit

@@ -12,7 +12,12 @@ layer at the real thing:
   pinning is two-level: a caller-supplied (or registry) digest is enforced
   when present, and the digest observed on first download is recorded in a
   ``<file>.sha256`` sidecar so later reads detect on-disk corruption even
-  for unpinned datasets,
+  for unpinned datasets.  Downloads are **retrying and resumable**
+  (:func:`fetch_file`): the payload accumulates in a ``<file>.part``
+  sibling, transient failures back off exponentially and resume with an
+  HTTP ``Range`` request from the bytes already fetched, zero-byte and
+  truncated transfers are hard failures, and a checksum mismatch deletes
+  the partial file instead of leaving a poisoned cache entry,
 * :func:`snap_temporal_stream` turns a downloaded file into a lazy, cached
   update stream (:func:`~repro.workloads.temporal.cached_temporal_stream`).
 
@@ -29,13 +34,15 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
+import urllib.error
 import urllib.request
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
-from repro.exceptions import DatasetError
-from repro.workloads.snapshot import atomic_writer
+from repro.exceptions import DatasetError, InjectedFault
+from repro.resilience.faults import FETCH, trip
 
 PathLike = Union[str, Path]
 
@@ -146,6 +153,60 @@ def verify_checksum(path: PathLike, expected: Optional[str] = None) -> str:
     return digest
 
 
+def _partial_path(dest: Path) -> Path:
+    return dest.with_name(dest.name + ".part")
+
+
+def _transfer_once(
+    url: str, part: Path, *, timeout: float, chunk_size: int
+) -> Optional[int]:
+    """One transfer attempt: append to ``part`` from where it left off.
+
+    Issues an HTTP ``Range`` request when ``part`` already holds bytes and
+    restarts from scratch when the server ignores it (a 200 instead of a
+    206 — also the ``file://`` case, which knows no ranges).  Returns the
+    expected *total* size when the server declared one (``Content-Length``
+    plus the resume offset), else ``None``.  Transient errors — including
+    injected ``fetch`` faults, which model the connection dying mid-body —
+    propagate to the caller's retry loop with the bytes received so far
+    durably appended, so the next attempt resumes instead of restarting.
+    """
+    offset = part.stat().st_size if part.exists() else 0
+    request = urllib.request.Request(url)
+    if offset:
+        request.add_header("Range", f"bytes={offset}-")
+    try:
+        response = urllib.request.urlopen(request, timeout=timeout)
+    except urllib.error.HTTPError as exc:
+        if exc.code == 416 and offset:
+            # Range not satisfiable: every byte is already in the part
+            # file (the previous attempt died after the final chunk).
+            return None
+        raise
+    with response:
+        status = getattr(response, "status", None)
+        if offset and status != 206:
+            # The server ignored the range request; the body is the whole
+            # file again, so the partial bytes must be discarded.
+            part.unlink(missing_ok=True)
+            offset = 0
+        declared = response.headers.get("Content-Length")
+        expected = offset + int(declared) if declared is not None else None
+        with part.open("ab") as out:
+            while True:
+                # The ``fetch`` fault point fires once per chunk, before
+                # the read — an injected fault is indistinguishable from
+                # the socket dying between chunks.
+                trip(FETCH)
+                block = response.read(chunk_size)
+                if not block:
+                    break
+                out.write(block)
+            out.flush()
+            os.fsync(out.fileno())
+    return expected
+
+
 def fetch_file(
     url: str,
     dest: PathLike,
@@ -153,37 +214,77 @@ def fetch_file(
     sha256: Optional[str] = None,
     timeout: float = 60.0,
     chunk_size: int = 1 << 20,
+    max_attempts: int = 4,
+    base_delay: float = 0.25,
+    backoff_cap: float = 8.0,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> Path:
-    """Download ``url`` to ``dest`` atomically, verifying ``sha256`` when given.
+    """Download ``url`` to ``dest``, resumably, verifying ``sha256`` when given.
 
-    The payload streams through a same-directory temp file (no partial file
-    ever sits at ``dest``); the checksum is verified *before* the atomic
-    rename commits, so a corrupted transfer leaves nothing behind.
+    The payload accumulates in a ``<dest>.part`` sibling; transient failures
+    (connection resets, timeouts, truncated bodies) are retried up to
+    ``max_attempts`` times with capped exponential backoff
+    (``base_delay * 2^attempt``, at most ``backoff_cap`` seconds, via the
+    injectable ``sleep``), and every retry resumes with an HTTP ``Range``
+    request from the bytes already on disk — a multi-GB dataset never
+    restarts from zero because the connection dropped at 99%.  Completion is
+    strict: a zero-byte download is a hard failure, a body shorter than the
+    declared ``Content-Length`` after the final attempt is a hard failure,
+    and a checksum mismatch **deletes the partial file** (nothing poisoned
+    is left to be resumed into a future download) and raises.  Only a fully
+    verified payload is atomically renamed to ``dest``, so no partial file
+    ever sits at the destination path.
     """
     dest = Path(dest)
     dest.parent.mkdir(parents=True, exist_ok=True)
-    digest = hashlib.sha256()
-    try:
-        with atomic_writer(dest, mode="wb", encoding=None) as out:
-            with urllib.request.urlopen(url, timeout=timeout) as response:
-                while True:
-                    block = response.read(chunk_size)
-                    if not block:
-                        break
-                    digest.update(block)
-                    out.write(block)
-            # Raising here aborts the atomic commit: nothing lands at dest.
-            if sha256 is not None and digest.hexdigest() != sha256:
-                raise DatasetError(
-                    f"download of {url} does not match the pinned SHA-256 "
-                    f"(expected {sha256}, got {digest.hexdigest()})"
-                )
-    except OSError as exc:
-        # URLError is an OSError subclass, but so are the bare socket
-        # timeouts/resets that response.read() raises mid-body — the
-        # documented contract is DatasetError for every download failure.
-        raise DatasetError(f"cannot download {url}: {exc}") from exc
-    _sidecar(dest).write_text(digest.hexdigest() + "\n", encoding="utf-8")
+    part = _partial_path(dest)
+    expected: Optional[int] = None
+    failure: Optional[BaseException] = None
+    for attempt in range(max_attempts):
+        if attempt:
+            sleep(min(backoff_cap, base_delay * (2 ** (attempt - 1))))
+        failure = None
+        try:
+            expected = _transfer_once(
+                url, part, timeout=timeout, chunk_size=chunk_size
+            )
+        except (OSError, InjectedFault) as exc:
+            # URLError is an OSError subclass, but so are the bare socket
+            # timeouts/resets that response.read() raises mid-body; an
+            # injected fetch fault models exactly those.  All transient:
+            # the part file keeps its bytes and the next attempt resumes.
+            failure = exc
+            continue
+        size = part.stat().st_size if part.exists() else 0
+        if expected is not None and size < expected:
+            # The connection closed cleanly but early (truncated body);
+            # retry — the range request continues from `size`.
+            failure = DatasetError(
+                f"download of {url} is truncated: expected {expected} bytes, "
+                f"got {size}"
+            )
+            continue
+        break
+    if failure is not None:
+        raise DatasetError(f"cannot download {url}: {failure}") from failure
+    size = part.stat().st_size if part.exists() else 0
+    if size == 0:
+        part.unlink(missing_ok=True)
+        raise DatasetError(
+            f"download of {url} is empty (zero bytes) — refusing to install "
+            "an empty dataset file"
+        )
+    digest = sha256_of(part)
+    if sha256 is not None and digest != sha256:
+        # A poisoned partial file must not survive: resuming a future
+        # download on top of corrupt bytes could never converge.
+        part.unlink(missing_ok=True)
+        raise DatasetError(
+            f"download of {url} does not match the pinned SHA-256 "
+            f"(expected {sha256}, got {digest})"
+        )
+    os.replace(part, dest)
+    _sidecar(dest).write_text(digest + "\n", encoding="utf-8")
     return dest
 
 

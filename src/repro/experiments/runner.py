@@ -49,7 +49,7 @@ from repro.updates.protocol import (
 from repro.updates.streams import UpdateStream
 from repro.workloads.replay import (
     CheckpointConfig,
-    latest_checkpoint,
+    latest_valid_checkpoint,
     load_checkpoint,
     save_checkpoint,
 )
@@ -264,6 +264,8 @@ def _run_single(
     checkpoint: Optional[CheckpointConfig],
     resume_from: Optional[Union[str, Path]],
     options: Dict,
+    guard: Optional[Callable] = None,
+    guard_every: Optional[int] = None,
 ) -> Tuple[RunMeasurement, object]:
     """Shared engine of :func:`run_algorithm` / :func:`run_competition`.
 
@@ -290,6 +292,15 @@ def _run_single(
     """
     stream_length: Optional[int] = stream_length_hint(stream)
     description = stream_description(stream)
+    if guard is not None and checkpoint is None:
+        # The guard runs at checkpoint-chunk boundaries (outside the
+        # stopwatch); without checkpointing there are no such boundaries.
+        raise ExperimentError(
+            "an invariant guard requires checkpoint=CheckpointConfig(...): "
+            "guards run at checkpoint-chunk boundaries"
+        )
+    if guard_every is not None and guard_every < 1:
+        raise ExperimentError("guard_every must be at least 1 when given")
     if checkpoint is not None:
         if not _supports_snapshots(name, options):
             # Fail before any stream work is done — discovering the missing
@@ -446,6 +457,7 @@ def _run_single(
             else CHECKPOINT_CHUNK
         )
         pending = 0  # operations applied since the last checkpoint write
+        since_guard = 0  # operations applied since the last guard pass
         last_write = time.monotonic()
         while True:
             if checkpoint.every is not None:
@@ -468,9 +480,17 @@ def _run_single(
                 )
             processed += done
             pending += done
+            since_guard += done
             if not chunk_finished:
                 finished = False
                 break
+            if guard is not None and (
+                guard_every is None or since_guard >= guard_every
+            ):
+                # Outside the stopwatch: first-principles verification is
+                # supervision overhead, never measured update time.
+                guard(algorithm)
+                since_guard = 0
             due = (
                 checkpoint.every is not None and pending >= checkpoint.every
             ) or (
@@ -497,6 +517,11 @@ def _run_single(
                 last_write = time.monotonic()
             if len(chunk) < stride:
                 break
+        if guard is not None and finished and since_guard:
+            # End-of-stream guard pass: the final partial interval is
+            # verified too, so a violation in the last chunk cannot slip
+            # into the returned measurement unchecked.
+            guard(algorithm)
         if finished and pending:
             # Wall-clock-only configs still leave a resumable checkpoint at
             # end of stream (operation-interval configs wrote it in-loop).
@@ -539,6 +564,8 @@ def run_algorithm(
     batch_size: int = 1,
     checkpoint: Optional[CheckpointConfig] = None,
     resume_from: Optional[Union[str, Path]] = None,
+    guard: Optional[Callable] = None,
+    guard_every: Optional[int] = None,
     **options,
 ) -> RunMeasurement:
     """Run one algorithm over one update stream and measure it.
@@ -576,6 +603,15 @@ def run_algorithm(
         consuming the stream iterator (verifying the prefix fingerprint)
         and its measurement reports cumulative totals, so the result is
         identical to an uninterrupted run (asserted by the test suite).
+    guard:
+        Optional callable invoked with the live algorithm at
+        checkpoint-chunk boundaries, *outside* the measured update time —
+        the hook the resilience supervisor's
+        :class:`~repro.resilience.supervisor.InvariantGuard` plugs into.
+        Requires ``checkpoint``.
+    guard_every:
+        Run the guard only once at least this many operations have been
+        applied since its last pass (default: every chunk boundary).
     """
     measurement, _algorithm = _run_single(
         name,
@@ -589,6 +625,8 @@ def run_algorithm(
         checkpoint=checkpoint,
         resume_from=resume_from,
         options=options,
+        guard=guard,
+        guard_every=guard_every,
     )
     return measurement
 
@@ -659,7 +697,10 @@ def run_competition(
             if not _supports_snapshots(name, options):
                 algorithm_checkpoint = None
             elif resume:
-                resume_from = latest_checkpoint(checkpoint.directory, name)
+                # Validated discovery: a torn or rotted newest checkpoint is
+                # quarantined and the resume falls back to the next older
+                # one (or a fresh start) instead of dying on restore.
+                resume_from = latest_valid_checkpoint(checkpoint.directory, name)
         measurement, algorithm = _run_single(
             name,
             graph,

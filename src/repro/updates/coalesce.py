@@ -50,6 +50,7 @@ from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.exceptions import UpdateError
 from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+from repro.resilience.faults import COALESCE, trip
 from repro.updates.operations import UpdateKind, UpdateOperation
 
 
@@ -122,6 +123,10 @@ def coalesce_batch(
     :class:`~repro.exceptions.UpdateError` on batch-internal contradictions
     (see the module docstring for the exact validation contract).
     """
+    # The ``coalesce`` fault point fires before any work: the batch is not
+    # yet validated and the graph is never mutated here, so an injected
+    # crash leaves the engine exactly at the previous batch boundary.
+    trip(COALESCE)
     # label -> [existed_before_batch, exists_now]
     v_state: Dict[Vertex, List[bool]] = {}
     # edge key -> [u, v, existed_before_batch, exists_now].  Invariant: a key

@@ -14,7 +14,11 @@ small contract every producer and consumer speaks:
 
 * a :class:`StreamCursor` wraps one pass over a stream and maintains an
   **incremental identity fingerprint**: a running SHA-256 over the canonical
-  encoding of every operation consumed so far.  Checkpoints record
+  encoding of every operation consumed so far.  The cursor is also the
+  ``stream.read`` fault point of the resilience subsystem
+  (:mod:`repro.resilience.faults`) — checkpointed runs consume their stream
+  through a cursor, so a planned fault here simulates the source dying
+  mid-replay at an exact operation count.  Checkpoints record
   ``(offset, fingerprint)`` instead of absolute offsets into an in-RAM list;
   resuming skips ahead through a fresh iterator and verifies the fingerprint
   of the skipped prefix, so a resumed run provably replays the same stream
@@ -44,6 +48,7 @@ from typing import (
     Tuple,
 )
 
+from repro.resilience.faults import STREAM_READ, trip
 from repro.updates.operations import UpdateKind, UpdateOperation, apply_update
 
 
@@ -108,6 +113,7 @@ class StreamCursor:
         return self
 
     def __next__(self) -> UpdateOperation:
+        trip(STREAM_READ)
         operation = next(self._iterator)
         self._digest.update(repr(encode_operation(operation)).encode("utf-8"))
         self.offset += 1

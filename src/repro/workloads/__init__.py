@@ -18,7 +18,9 @@ from repro.workloads.replay import (
     checkpoint_path,
     find_checkpoints,
     latest_checkpoint,
+    latest_valid_checkpoint,
     load_checkpoint,
+    quarantine_checkpoint,
     save_checkpoint,
 )
 from repro.workloads.snapshot import (
@@ -72,4 +74,6 @@ __all__ = [
     "load_checkpoint",
     "find_checkpoints",
     "latest_checkpoint",
+    "latest_valid_checkpoint",
+    "quarantine_checkpoint",
 ]

@@ -18,21 +18,33 @@ each is discoverable by filename alone.
 from __future__ import annotations
 
 import json
+import os
 import re
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.exceptions import CheckpointError
+from repro.exceptions import CheckpointError, IntegrityError
+from repro.resilience.faults import CHECKPOINT_WRITE, trip
+from repro.resilience.integrity import embed_digest, verify_document
 from repro.workloads.snapshot import (
     algorithm_from_payload,
     algorithm_to_payload,
-    atomic_write_text,
+    atomic_writer,
 )
 
 PathLike = Union[str, Path]
 
-CHECKPOINT_FORMAT = "repro-checkpoint/1"
+#: ``/2`` added the embedded SHA-256 document digest (verified on every
+#: load), so a checkpoint that survived its atomic write but rotted on disk
+#: afterwards is detected instead of silently replayed.
+CHECKPOINT_FORMAT = "repro-checkpoint/2"
+
+#: Subdirectory (inside the checkpoint directory) where corrupt checkpoints
+#: are moved by :func:`quarantine_checkpoint`; its name never matches the
+#: checkpoint filename pattern, so quarantined files are never rediscovered.
+QUARANTINE_DIRNAME = "quarantine"
 
 #: Algorithm names may contain ``+`` (option variants); everything outside
 #: this set is flattened to ``_`` in filenames.
@@ -170,29 +182,65 @@ def save_checkpoint(
         "batch_size": batch_size,
         "algorithm": algorithm_to_payload(algorithm),
     }
+    text = json.dumps(embed_digest(document))
     # Atomic replace: a crash mid-write (the exact scenario checkpoints
     # exist for) must never leave a truncated newest checkpoint shadowing
-    # the intact older ones.
-    atomic_write_text(path, json.dumps(document))
+    # the intact older ones.  The ``checkpoint.write`` fault point fires
+    # *inside* the atomic-writer context with half the payload already
+    # written — the torn-write scenario — and aborting there discards the
+    # temp file, so even a planned crash mid-write leaves the directory
+    # exactly as it was.
+    half = len(text) // 2
+    with atomic_writer(path) as stream:
+        stream.write(text[:half])
+        trip(CHECKPOINT_WRITE)
+        stream.write(text[half:])
+    # Prune strictly *after* the new checkpoint is durably committed: a
+    # crash between write and prune leaves extra files (harmless), never
+    # fewer resumable states than promised.  Pruning is best-effort — a
+    # file another process already removed, or one we lack permission to
+    # unlink, must not fail the run that just checkpointed successfully.
     if keep is not None:
         existing = find_checkpoints(directory, algorithm_name)
         for _, stale in existing[: max(0, len(existing) - keep)]:
-            stale.unlink(missing_ok=True)
+            try:
+                stale.unlink(missing_ok=True)
+            except OSError as exc:
+                warnings.warn(
+                    f"could not prune stale checkpoint {stale}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     return path
 
 
 def load_checkpoint(path: PathLike) -> Checkpoint:
-    """Load and validate a checkpoint document."""
+    """Load and validate a checkpoint document.
+
+    Validation is three-layered: unreadable/unparseable files and format
+    mismatches raise :class:`~repro.exceptions.CheckpointError`; a parseable
+    document whose embedded SHA-256 digest is absent or wrong raises
+    :class:`~repro.exceptions.IntegrityError` (the bytes on disk are not the
+    bytes that were written — the checkpoint must never be replayed);
+    structurally incomplete documents raise :class:`CheckpointError` again.
+    :func:`latest_valid_checkpoint` catches both and falls back.
+    """
     path = Path(path)
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError) as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise CheckpointError(
+            f"{path}: checkpoint document must be a JSON object, "
+            f"got {type(document).__name__}"
+        )
     if document.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(
             f"{path}: unsupported checkpoint format {document.get('format')!r} "
             f"(expected {CHECKPOINT_FORMAT!r})"
         )
+    verify_document(document, source=path)
     try:
         stream_info = document.get("stream") or {}
         return Checkpoint(
@@ -215,22 +263,119 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
 def find_checkpoints(
     directory: PathLike, algorithm_name: str
 ) -> List[Tuple[int, Path]]:
-    """All checkpoints of ``algorithm_name`` in ``directory``, oldest first."""
+    """All checkpoints of ``algorithm_name`` in ``directory``, oldest first.
+
+    Discovery is tolerant of foreign content: files of other algorithms,
+    the ``quarantine/`` subdirectory and unrelated files are skipped
+    silently, while entries that *look* like checkpoints of this algorithm
+    but violate the naming scheme (a malformed offset, or a directory
+    wearing a checkpoint name) are skipped with a :class:`RuntimeWarning`
+    instead of raising — one stray file in a shared checkpoint directory
+    must never take down every run that scans it.
+    """
     directory = Path(directory)
     if not directory.is_dir():
         return []
     safe = _SAFE.sub("_", algorithm_name)
     pattern = re.compile(re.escape(safe) + r"-(\d+)\.ckpt\.json$")
+    prefix = f"{safe}-"
     found: List[Tuple[int, Path]] = []
     for path in directory.iterdir():
         match = pattern.fullmatch(path.name)
-        if match:
-            found.append((int(match.group(1)), path))
+        if match is None:
+            if path.name.startswith(prefix) and path.name.endswith(".ckpt.json"):
+                warnings.warn(
+                    f"skipping stray file {path}: name does not match the "
+                    "checkpoint naming scheme "
+                    f"{prefix}<offset>.ckpt.json",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            continue
+        if not path.is_file():
+            warnings.warn(
+                f"skipping {path}: matches the checkpoint naming scheme "
+                "but is not a regular file",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        found.append((int(match.group(1)), path))
     found.sort()
     return found
 
 
 def latest_checkpoint(directory: PathLike, algorithm_name: str) -> Optional[Path]:
-    """Path of the newest checkpoint of ``algorithm_name``, or ``None``."""
+    """Path of the newest checkpoint of ``algorithm_name``, or ``None``.
+
+    Purely name-based — the file is not opened, so a torn or rotted newest
+    checkpoint is still returned.  Recovery paths should prefer
+    :func:`latest_valid_checkpoint`, which validates candidates and falls
+    back past corrupt ones.
+    """
     found = find_checkpoints(directory, algorithm_name)
     return found[-1][1] if found else None
+
+
+def quarantine_checkpoint(path: PathLike, *, reason: str = "") -> Optional[Path]:
+    """Move a corrupt checkpoint into the ``quarantine/`` subdirectory.
+
+    Quarantining instead of deleting keeps the evidence for post-mortems
+    while guaranteeing discovery never offers the file again.  Name
+    collisions get a numeric suffix; failures degrade to a warning and
+    ``None`` (a file we cannot move is a file we also must not crash on —
+    discovery callers skip it either way).
+    """
+    path = Path(path)
+    target_dir = path.parent / QUARANTINE_DIRNAME
+    try:
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = target_dir / f"{path.name}.{suffix}"
+        os.replace(path, target)
+    except OSError as exc:
+        warnings.warn(
+            f"could not quarantine corrupt checkpoint {path}: {exc}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    warnings.warn(
+        f"quarantined corrupt checkpoint {path} -> {target}"
+        + (f" ({reason})" if reason else ""),
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return target
+
+
+def latest_valid_checkpoint(
+    directory: PathLike, algorithm_name: str, *, quarantine: bool = True
+) -> Optional[Path]:
+    """Path of the newest checkpoint that loads and passes its integrity check.
+
+    Walks the discovered checkpoints newest-first, fully validating each
+    (parse, format, embedded SHA-256 digest, structural completeness); a
+    candidate that fails is quarantined (unless ``quarantine=False``, which
+    leaves it in place but still skips it) and the walk falls back to the
+    next older one.  Returns ``None`` when no valid checkpoint survives —
+    the caller starts fresh, which is always safe, merely slower.
+    """
+    for _, path in reversed(find_checkpoints(directory, algorithm_name)):
+        try:
+            load_checkpoint(path)
+        except (CheckpointError, IntegrityError) as exc:
+            if quarantine:
+                quarantine_checkpoint(path, reason=str(exc))
+            else:
+                warnings.warn(
+                    f"skipping corrupt checkpoint {path}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            continue
+        return path
+    return None

@@ -42,6 +42,8 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.exceptions import GraphError, SnapshotError
 from repro.graphs.dynamic_graph import DynamicGraph, Vertex
+from repro.resilience.faults import SNAPSHOT_WRITE, trip
+from repro.resilience.integrity import embed_digest, verify_document
 
 PathLike = Union[str, Path]
 
@@ -306,23 +308,41 @@ def _default_factory(class_name: str) -> Callable:
 def save_snapshot(algorithm, path: PathLike) -> None:
     """Serialise :func:`algorithm_to_payload` to ``path`` as JSON (atomically).
 
-    Write-side failures raise :class:`SnapshotError`, mirroring
-    :func:`load_snapshot` — callers following the module's exception
-    contract see both directions; the parent directory is created.
+    The document carries an embedded SHA-256 digest
+    (:mod:`repro.resilience.integrity`) which :func:`load_snapshot` verifies,
+    so on-disk corruption after the atomic commit is detected instead of
+    restored.  The ``snapshot.write`` fault point fires mid-write inside the
+    atomic-writer context — an injected crash there aborts the commit and
+    leaves ``path`` untouched.  Write-side failures raise
+    :class:`SnapshotError`, mirroring :func:`load_snapshot` — callers
+    following the module's exception contract see both directions; the
+    parent directory is created.
     """
     path = Path(path)
-    text = json.dumps(algorithm_to_payload(algorithm))
+    text = json.dumps(embed_digest(algorithm_to_payload(algorithm)))
+    half = len(text) // 2
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(path, text)
+        with atomic_writer(path) as stream:
+            stream.write(text[:half])
+            trip(SNAPSHOT_WRITE)
+            stream.write(text[half:])
     except OSError as exc:
         raise SnapshotError(f"cannot write snapshot {path}: {exc}") from exc
 
 
 def load_snapshot(path: PathLike, factory: Optional[Callable] = None):
-    """Restore an algorithm from a file written by :func:`save_snapshot`."""
+    """Restore an algorithm from a file written by :func:`save_snapshot`.
+
+    Verifies the embedded SHA-256 digest first; a snapshot whose bytes no
+    longer hash to the digest recorded at write time raises
+    :class:`~repro.exceptions.IntegrityError` and is never restored.
+    """
+    path = Path(path)
     try:
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError) as exc:
         raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if isinstance(payload, dict):
+        verify_document(payload, source=path)
     return algorithm_from_payload(payload, factory)

@@ -60,8 +60,9 @@ from typing import (
     Union,
 )
 
-from repro.exceptions import GraphError, UpdateError
+from repro.exceptions import GraphError, IntegrityError, UpdateError
 from repro.graphs.dynamic_graph import DynamicGraph
+from repro.resilience.faults import CACHE_READ, trip
 from repro.updates.operations import UpdateKind, UpdateOperation, apply_update
 from repro.updates.protocol import (
     OperationStream,
@@ -75,8 +76,11 @@ PathLike = Union[str, Path]
 #: Bumped whenever the parser output or the stream cache layout changes, so
 #: stale cache files are transparently regenerated instead of misread.
 #: ``/2`` switched the cache from one monolithic JSON document to a chunked
-#: JSONL layout readable as a lazy iterator.
-CACHE_FORMAT = "repro-temporal-stream/2"
+#: JSONL layout readable as a lazy iterator; ``/3`` added the incremental
+#: ``body_sha256`` digest to the header, so bit rot that still parses as
+#: valid JSON is detected at the end of a replay instead of silently
+#: feeding altered operations to the engine.
+CACHE_FORMAT = "repro-temporal-stream/3"
 
 #: Operations per line in the chunked stream cache: large enough to amortise
 #: the JSON framing, small enough that a reader holds only a sliver of the
@@ -655,11 +659,14 @@ class CachedOperationStream(OperationStream):
 
     Only the header is validated when the cache is opened (validating the
     body would cost a full read per hit); corruption *behind* the header —
-    truncation, bit rot — therefore surfaces lazily, as a
-    :class:`~repro.exceptions.GraphError` naming the file, at the point of
-    replay where the damage sits.  ``__len__`` is safe here (unlike the
-    unsized lazy streams): the count comes straight from the header, which
-    the hit-validation requires to be present.
+    truncation, bit rot — therefore surfaces lazily, at the point of replay
+    where the damage sits: structurally broken chunks raise a
+    :class:`~repro.exceptions.GraphError` naming the file, and damage that
+    still parses (flipped bits inside valid JSON) is caught at end of
+    iteration by the header's incremental ``body_sha256`` digest, which
+    raises :class:`~repro.exceptions.IntegrityError`.  ``__len__`` is safe
+    here (unlike the unsized lazy streams): the count comes straight from
+    the header, which the hit-validation requires to be present.
     """
 
     def __init__(self, path: Path, header: Dict) -> None:
@@ -668,14 +675,23 @@ class CachedOperationStream(OperationStream):
         super().__init__(description=header.get("description", ""), metadata=metadata)
         self.path = path
         self._length = int(header["num_operations"])
+        self._body_sha256 = header.get("body_sha256")
 
     def __iter__(self) -> Iterator[UpdateOperation]:
         count = 0
+        body_digest = hashlib.sha256() if self._body_sha256 is not None else None
         with self.path.open("r", encoding="utf-8") as handle:
             handle.readline()  # header
             for line in handle:
+                # The ``cache.read`` fault point fires per chunk line,
+                # *outside* the decode try-block below — an injected fault
+                # must surface as the crash it simulates, never be
+                # misreported as cache corruption.
+                trip(CACHE_READ)
                 if not line.strip():
                     continue
+                if body_digest is not None:
+                    body_digest.update(line.encode("utf-8"))
                 # Decode the whole chunk *before* yielding: the try block
                 # must never contain a yield, or an exception thrown into
                 # the generator by the consumer (an engine error mid-apply)
@@ -698,6 +714,14 @@ class CachedOperationStream(OperationStream):
                 f"stream cache entry {self.path} is truncated: header "
                 f"promises {self._length} operations, file holds {count}; "
                 "delete the file to rebuild it from the source dataset"
+            )
+        if body_digest is not None and body_digest.hexdigest() != self._body_sha256:
+            raise IntegrityError(
+                f"stream cache entry {self.path} failed its body integrity "
+                f"check: header digest {self._body_sha256} != observed "
+                f"{body_digest.hexdigest()}; delete the file to rebuild it "
+                "from the source dataset",
+                source=self.path,
             )
 
     def length_hint(self) -> Optional[int]:
@@ -735,17 +759,27 @@ def _write_cache_streaming(
         dir=directory, prefix=f".{cache_path.name}.", suffix=".body.tmp"
     )
     num_operations = 0
+    # The body digest is accumulated line-by-line as the chunks are
+    # written — the read side replays the same incremental hash, so neither
+    # direction ever needs the body resident to verify it.
+    body_digest = hashlib.sha256()
     try:
         with os.fdopen(body_handle, "w", encoding="utf-8") as body:
             chunk: List = []
+
+            def emit(entries: List) -> None:
+                data = json.dumps(entries, separators=(",", ":")) + "\n"
+                body_digest.update(data.encode("utf-8"))
+                body.write(data)
+
             for operation in stream:
                 chunk.append(encode_operation(operation))
                 num_operations += 1
                 if len(chunk) >= CACHE_CHUNK:
-                    body.write(json.dumps(chunk, separators=(",", ":")) + "\n")
+                    emit(chunk)
                     chunk = []
             if chunk:
-                body.write(json.dumps(chunk, separators=(",", ":")) + "\n")
+                emit(chunk)
         # The pass above completed, so the stream's summary metadata is set.
         header = {
             "format": CACHE_FORMAT,
@@ -755,6 +789,7 @@ def _write_cache_streaming(
                 k: v for k, v in stream._metadata.items() if k != "cache_path"
             },
             "num_operations": num_operations,
+            "body_sha256": body_digest.hexdigest(),
         }
         with atomic_writer(cache_path) as final:
             final.write(json.dumps(header) + "\n")
@@ -820,6 +855,7 @@ def cached_temporal_stream(
             and header.get("format") == CACHE_FORMAT
             and header.get("key") == key
             and isinstance(header.get("num_operations"), int)
+            and isinstance(header.get("body_sha256"), str)
         ):
             reader = CachedOperationStream(cache_path, header)
             reader.metadata["cache"] = "hit"

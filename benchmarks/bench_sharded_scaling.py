@@ -1,0 +1,141 @@
+"""Scaling benchmark for the sharded parallel engine (standalone).
+
+Measures end-to-end throughput of :class:`~repro.core.sharded.ShardedEngine`
+over a large bursty-churn workload at several worker counts, against the
+single-process engine as the 1.0× reference::
+
+    python benchmarks/bench_sharded_scaling.py
+    python benchmarks/bench_sharded_scaling.py \
+        --vertices 20000 --updates 200000 --workers 1,2,4,8 --batch 4096
+
+Unlike the quick profile in ``bench_core_operations.py`` (small workload,
+regression-gated), this harness exists to answer one question honestly:
+*does sharding pay at scale on this machine?*  The answer depends on
+``os.cpu_count()`` — with fewer cores than workers the sweep measures pure
+dispatch overhead, not speedup — so the machine's core count is printed and
+recorded next to every number, and no gate is attached.  Large batches
+(default 4096) amortise the two IPC round-trips per batch across thousands
+of intra-partition pairs, which is where the parallel classification can
+win; small batches are dominated by the round-trip latency and belong to
+the single-process engine.
+
+Every run verifies the contract while it measures: the solution size of
+each sharded run must equal the single-process run's exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.core import DyOneSwap
+from repro.core.sharded import ShardedEngine
+from repro.generators import power_law_random_graph
+from repro.updates import bursty_churn_stream
+
+
+def _measure(graph, ops, *, workers: int, batch_size: int) -> dict:
+    if workers == 1:
+        algo = DyOneSwap(graph.copy())
+        start = time.perf_counter()
+        algo.apply_stream(iter(ops), batch_size=batch_size)
+        elapsed = time.perf_counter() - start
+        return {
+            "workers": 1,
+            "seconds": round(elapsed, 3),
+            "updates_per_sec": round(len(ops) / elapsed),
+            "solution_size": algo.solution_size,
+            "shm_kb": 0.0,
+            "worker_failures": 0,
+        }
+    with ShardedEngine(DyOneSwap(graph.copy()), workers=workers) as engine:
+        start = time.perf_counter()
+        engine.apply_stream(iter(ops), batch_size=batch_size)
+        elapsed = time.perf_counter() - start
+        return {
+            "workers": workers,
+            "seconds": round(elapsed, 3),
+            "updates_per_sec": round(len(ops) / elapsed),
+            "solution_size": engine.solution_size,
+            "shm_kb": round(engine.shared_memory_bytes() / 1024, 1),
+            "intra_pairs": engine.shard_stats.intra_pairs,
+            "boundary_pairs": engine.shard_stats.boundary_pairs,
+            "worker_failures": engine.shard_stats.worker_failures,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=5000)
+    parser.add_argument("--updates", type=int, default=50000)
+    parser.add_argument("--batch", type=int, default=4096)
+    parser.add_argument("--workers", default="1,2,4")
+    parser.add_argument("--seed", type=int, default=97)
+    parser.add_argument(
+        "--output", default=None, help="optional JSON results file"
+    )
+    args = parser.parse_args(argv)
+    workers_list = [int(w) for w in args.workers.split(",") if w.strip()]
+
+    cores = os.cpu_count() or 1
+    print(
+        f"sharded scaling: {args.vertices} vertices, {args.updates} updates, "
+        f"batch {args.batch}, {cores} cpu core(s) available"
+    )
+    if cores < max(workers_list):
+        print(
+            f"note: fewer cores ({cores}) than max workers "
+            f"({max(workers_list)}) — expect overhead, not speedup"
+        )
+    graph = power_law_random_graph(args.vertices, 2.2, seed=args.seed)
+    ops = list(
+        bursty_churn_stream(
+            graph, args.updates, burst_size=48, churn=0.8, seed=args.seed + 1
+        )
+    )
+
+    rows = []
+    reference_size = None
+    for workers in workers_list:
+        row = _measure(graph, ops, workers=workers, batch_size=args.batch)
+        if reference_size is None:
+            reference_size = row["solution_size"]
+        elif row["solution_size"] != reference_size:
+            raise SystemExit(
+                f"solution size diverged at workers={workers}: "
+                f"{row['solution_size']} != {reference_size}"
+            )
+        row["speedup"] = round(row["seconds"] and rows[0]["seconds"] / row["seconds"], 2) if rows else 1.0
+        rows.append(row)
+        print(
+            f"  workers={row['workers']}: {row['seconds']:.3f}s "
+            f"({row['updates_per_sec']} updates/s, {row['speedup']:.2f}x, "
+            f"solution {row['solution_size']}, shm {row['shm_kb']} KiB)"
+        )
+
+    if args.output:
+        payload = {
+            "benchmark": "bench_sharded_scaling",
+            "python": platform.python_version(),
+            "cpu_count": cores,
+            "workload": {
+                "graph": f"power_law_random_graph({args.vertices}, 2.2, seed={args.seed})",
+                "stream": (
+                    f"bursty_churn_stream(n={args.updates}, burst_size=48, "
+                    f"churn=0.8, seed={args.seed + 1})"
+                ),
+                "batch_size": args.batch,
+            },
+            "results": rows,
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

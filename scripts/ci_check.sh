@@ -15,6 +15,9 @@
 #                    CI points this at a stable path and uploads it as an
 #                    artifact so warn-mode runs still leave a perf record
 #   BENCH_LABEL      trajectory label recorded in the fresh results
+#   BENCH_SWEEP_OUTPUT  optional JSON file receiving only the sharded
+#                    worker-sweep results; CI uploads it as the worker-sweep
+#                    artifact (unset: the sweep still runs, no extra file)
 #   COVERAGE         set to 1 to run the tier-1 tests under pytest-cov with a
 #                    hard floor (requires pytest-cov; CI enables this)
 #   COVERAGE_MIN     coverage floor in percent (default 85)
@@ -51,7 +54,8 @@ python benchmarks/bench_core_operations.py \
     --label "${BENCH_LABEL:-ci-check}" \
     --compare BENCH_core.json \
     --tolerance "${BENCH_TOLERANCE:-0.15}" \
-    --compare-mode "${BENCH_MODE:-fail}"
+    --compare-mode "${BENCH_MODE:-fail}" \
+    ${BENCH_SWEEP_OUTPUT:+--sweep-output "$BENCH_SWEEP_OUTPUT"}
 
 echo
 echo "ci_check OK (benchmark results: $scratch)"

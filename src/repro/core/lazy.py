@@ -462,6 +462,62 @@ class LazyMISState:
         return dropped, outside
 
     # ------------------------------------------------------------------ #
+    # Split bulk mutation (the sharded engine's intra-partition path)
+    # ------------------------------------------------------------------ #
+    # See MISState: structural apply + classification replay must be
+    # byte-identical to one bulk call.  The lazy state has no stored I(v)
+    # or hierarchy, so a replayed classification is just the count delta
+    # with the same count_updates accounting as the bulk primitives.
+
+    def add_edges_structural_bulk(self, pairs: List[Tuple[int, int]]) -> None:
+        """Insert a run of edges with no count bookkeeping (validated)."""
+        adj = self._adj
+        graph = self.graph
+        for su, sv in pairs:
+            if su == sv:
+                raise SelfLoopError(graph.vertex_of(su))
+            adj_u = adj[su]
+            if sv in adj_u:
+                raise EdgeExistsError(graph.vertex_of(su), graph.vertex_of(sv))
+            adj_u.add(sv)
+            adj[sv].add(su)
+            graph._num_edges += 1
+
+    def remove_edges_structural_bulk(self, pairs: List[Tuple[int, int]]) -> None:
+        """Delete a run of edges with no count bookkeeping (validated)."""
+        adj = self._adj
+        graph = self.graph
+        for su, sv in pairs:
+            adj_u = adj[su]
+            if sv not in adj_u:
+                raise EdgeNotFoundError(graph.vertex_of(su), graph.vertex_of(sv))
+            adj_u.discard(sv)
+            adj[sv].discard(su)
+            graph._num_edges -= 1
+
+    def note_solution_neighbors_added(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> None:
+        """Replay one-sided insertions: each pair is ``(slot, solution slot)``."""
+        counts = self._count
+        n = 0
+        for slot, _solution_slot in pairs:
+            counts[slot] += 1
+            n += 1
+        self.stats.count_updates += n
+
+    def note_solution_neighbors_removed(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> None:
+        """Replay one-sided deletions: each pair is ``(slot, solution slot)``."""
+        counts = self._count
+        n = 0
+        for slot, _solution_slot in pairs:
+            counts[slot] -= 1
+            n += 1
+        self.stats.count_updates += n
+
+    # ------------------------------------------------------------------ #
     # Invariant checking
     # ------------------------------------------------------------------ #
     def check_invariants(self) -> None:

@@ -1,0 +1,301 @@
+"""Slot-space partitioning for the sharded parallel batch engine.
+
+The sharded engine (:mod:`repro.core.sharded`) splits each coalesced batch
+into *intra-partition* work — edge pairs whose endpoints live in the same
+slot partition, applied in parallel by shard workers — and *boundary* work
+— cross-partition pairs plus the vertex phases, applied serially by the
+coordinator.  This module owns everything about that split that does not
+involve processes or shared memory, so the exact same code runs in three
+places:
+
+* the coordinator, when splitting a resolved batch phase,
+* the shard worker processes, when classifying their intra pairs against
+  the shared membership bytes,
+* the coordinator again, when a worker has died mid-batch and its share of
+  the classification has to be recomputed locally (the single-process
+  fallback of the crash-recovery path).
+
+Partitioning is **modular**: slot ``s`` belongs to shard ``s % num_shards``.
+Slots are dense, recycled integers (:class:`~repro.graphs.dynamic_graph.
+DynamicGraph` hands freed slots back LIFO), so the modular map is stable
+under churn — a recycled slot stays in its shard, which is what keeps the
+worker replicas (the induced intra-shard subgraphs) consistent without any
+re-partitioning traffic.
+
+Classification here is a pure function of the membership bytes: during an
+edge phase of a coalesced batch the solution membership is frozen (moves
+happen only between phases and in the end-of-batch repair pass), so a pair
+can be classified as one-sided / outside / conflict from membership alone,
+by any process holding a view of the bytes.  See
+:meth:`repro.core.state.MISState.add_edges_slots_bulk` for the
+classification the single-process engine computes inline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+Pair = Tuple[int, int]
+IndexedPair = Tuple[int, int, int]  # (phase index, su, sv)
+
+
+class SlotPartition:
+    """The modular slot → shard map and its batch-splitting helpers."""
+
+    __slots__ = ("num_shards",)
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, slot: int) -> int:
+        return slot % self.num_shards
+
+    def split_pairs(
+        self, pairs: Sequence[Pair]
+    ) -> Tuple[List[List[Pair]], List[Pair]]:
+        """Split edge pairs into per-shard intra lists plus the boundary list.
+
+        Order is preserved within each output list (the boundary list keeps
+        the phase order the coordinator applies it in).
+        """
+        n = self.num_shards
+        per_shard: List[List[Pair]] = [[] for _ in range(n)]
+        boundary: List[Pair] = []
+        for pair in pairs:
+            su, sv = pair
+            shard = su % n
+            if shard == sv % n:
+                per_shard[shard].append(pair)
+            else:
+                boundary.append(pair)
+        return per_shard, boundary
+
+    def split_pairs_indexed(
+        self, pairs: Sequence[Pair]
+    ) -> Tuple[List[List[IndexedPair]], List[IndexedPair]]:
+        """Like :meth:`split_pairs`, but every pair carries its phase index.
+
+        The insertion phase needs the index: conflicting pairs are evicted
+        in phase order, so conflicts found by different shards (and by the
+        coordinator's boundary pass) must be merged back into one sequence
+        sorted by where each pair sat in the coalesced phase.
+        """
+        n = self.num_shards
+        per_shard: List[List[IndexedPair]] = [[] for _ in range(n)]
+        boundary: List[IndexedPair] = []
+        for index, (su, sv) in enumerate(pairs):
+            shard = su % n
+            if shard == sv % n:
+                per_shard[shard].append((index, su, sv))
+            else:
+                boundary.append((index, su, sv))
+        return per_shard, boundary
+
+    def intra_neighbors(self, slot: int, neighbors: Iterable[int]) -> List[int]:
+        """The neighbours of ``slot`` living in its own shard (sorted)."""
+        n = self.num_shards
+        shard = slot % n
+        return sorted(t for t in neighbors if t % n == shard)
+
+    def replica_payloads(
+        self, slots: Iterable[int], adjacency: Sequence[Iterable[int]]
+    ) -> List[List[Tuple[int, List[int]]]]:
+        """Build each shard's replica seed: the induced intra-shard subgraph.
+
+        Returns one ``[(slot, sorted intra neighbours), ...]`` list per
+        shard, covering every live slot that has at least one same-shard
+        neighbour.  Sorting makes the payload (and therefore a respawned
+        worker's replica) deterministic regardless of adjacency-set
+        iteration order.
+        """
+        n = self.num_shards
+        payloads: List[List[Tuple[int, List[int]]]] = [[] for _ in range(n)]
+        for slot in sorted(slots):
+            shard = slot % n
+            intra = sorted(t for t in adjacency[slot] if t % n == shard)
+            if intra:
+                payloads[shard].append((slot, intra))
+        return payloads
+
+
+# --------------------------------------------------------------------- #
+# Membership classification (pure; shared by workers and the fallback)
+# --------------------------------------------------------------------- #
+def _membership_probe(
+    membership: Sequence[int],
+    published_len: Optional[int],
+    overrides: Optional[Mapping[int, int]],
+):
+    """Build the membership lookup the classifiers use.
+
+    ``membership`` is any byte-indexable view (the authoritative
+    ``bytearray`` in the coordinator, a shared-memory ``memoryview`` in a
+    worker).  Slots at or beyond ``published_len`` read as 0 — they were
+    allocated after the view was published, and a slot allocated mid-batch
+    is never in the solution before the end-of-batch repair pass.
+    ``overrides`` patches slots whose byte changed after publication (the
+    solution vertices deleted by the batch's vertex phase).
+    """
+    limit = len(membership) if published_len is None else published_len
+    if overrides:
+        get_override = overrides.get
+
+        def probe(slot: int) -> int:
+            value = get_override(slot)
+            if value is not None:
+                return value
+            return membership[slot] if slot < limit else 0
+
+        return probe
+
+    def probe(slot: int) -> int:
+        return membership[slot] if slot < limit else 0
+
+    return probe
+
+
+def classify_deletion_pairs(
+    pairs: Iterable[Pair],
+    membership: Sequence[int],
+    published_len: Optional[int] = None,
+    overrides: Optional[Mapping[int, int]] = None,
+) -> Tuple[List[Pair], List[Pair]]:
+    """Classify edge deletions against a membership view.
+
+    Returns ``(dropped, outside)``: the one-sided deletions as
+    ``(outside slot, solution slot)`` pairs — exactly the arguments the
+    coordinator replays through
+    :meth:`~repro.core.state.MISState.note_solution_neighbors_removed` —
+    and the pairs with both endpoints outside the solution.  Pairs with
+    both endpoints inside are possible only transiently and need no count
+    bookkeeping (mirroring ``remove_edges_slots_bulk``).
+    """
+    probe = _membership_probe(membership, published_len, overrides)
+    dropped: List[Pair] = []
+    outside: List[Pair] = []
+    for su, sv in pairs:
+        u_in = probe(su)
+        if u_in != probe(sv):
+            dropped.append((sv, su) if u_in else (su, sv))
+        elif not u_in:
+            outside.append((su, sv))
+    return dropped, outside
+
+
+def classify_insertion_pairs(
+    pairs: Iterable[IndexedPair],
+    membership: Sequence[int],
+    published_len: Optional[int] = None,
+    overrides: Optional[Mapping[int, int]] = None,
+) -> Tuple[List[Pair], List[IndexedPair]]:
+    """Classify indexed edge insertions against a membership view.
+
+    Returns ``(bumped, conflicts)``: the one-sided insertions as
+    ``(outside slot, solution slot)`` pairs for
+    :meth:`~repro.core.state.MISState.note_solution_neighbors_added`, and
+    the both-in-solution pairs with their phase indices (the coordinator
+    merges and sorts these before running the eviction pass).
+    """
+    probe = _membership_probe(membership, published_len, overrides)
+    bumped: List[Pair] = []
+    conflicts: List[IndexedPair] = []
+    for index, su, sv in pairs:
+        u_in = probe(su)
+        v_in = probe(sv)
+        if u_in:
+            if v_in:
+                conflicts.append((index, su, sv))
+            else:
+                bumped.append((sv, su))
+        elif v_in:
+            bumped.append((su, sv))
+    return bumped, conflicts
+
+
+# --------------------------------------------------------------------- #
+# Replica maintenance (pure dict-of-sets mutations; run inside workers)
+# --------------------------------------------------------------------- #
+class ReplicaDivergence(Exception):
+    """A shard replica disagrees with the coordinator about an edge.
+
+    Raised inside a worker (and reported over the pipe as an error reply);
+    the coordinator treats the shard as failed, recomputes its share
+    locally and rebuilds the worker pool — a diverged replica must never
+    classify another batch.
+    """
+
+
+Replica = Dict[int, set]
+
+
+def replica_remove_edges(adjacency: Replica, pairs: Iterable[Pair]) -> None:
+    """Remove intra-shard edges from a replica, validating existence."""
+    for su, sv in pairs:
+        nbrs = adjacency.get(su)
+        if nbrs is None or sv not in nbrs:
+            raise ReplicaDivergence(
+                f"edge ({su}, {sv}) missing from the shard replica"
+            )
+        nbrs.discard(sv)
+        if not nbrs:
+            del adjacency[su]
+        nbrs = adjacency.get(sv)
+        if nbrs is not None:
+            nbrs.discard(su)
+            if not nbrs:
+                del adjacency[sv]
+
+
+def replica_add_edges(adjacency: Replica, pairs: Iterable[IndexedPair]) -> None:
+    """Insert intra-shard edges into a replica, validating non-existence."""
+    for _index, su, sv in pairs:
+        nbrs = adjacency.get(su)
+        if nbrs is not None and sv in nbrs:
+            raise ReplicaDivergence(
+                f"edge ({su}, {sv}) already present in the shard replica"
+            )
+        if nbrs is None:
+            adjacency[su] = {sv}
+        else:
+            nbrs.add(sv)
+        nbrs = adjacency.get(sv)
+        if nbrs is None:
+            adjacency[sv] = {su}
+        else:
+            nbrs.add(su)
+
+
+def replica_remove_vertices(adjacency: Replica, slots: Iterable[int]) -> None:
+    """Drop deleted slots and their incident intra-shard edges."""
+    for slot in slots:
+        nbrs = adjacency.pop(slot, None)
+        if not nbrs:
+            continue
+        for t in nbrs:
+            other = adjacency.get(t)
+            if other is not None:
+                other.discard(slot)
+                if not other:
+                    del adjacency[t]
+
+
+def replica_adopt_vertices(
+    adjacency: Replica, adopts: Iterable[Tuple[int, List[int]]]
+) -> None:
+    """Register freshly inserted slots with their intra-shard edges."""
+    for slot, intra in adopts:
+        if not intra:
+            continue
+        nbrs = adjacency.get(slot)
+        if nbrs is None:
+            adjacency[slot] = set(intra)
+        else:
+            nbrs.update(intra)
+        for t in intra:
+            other = adjacency.get(t)
+            if other is None:
+                adjacency[t] = {slot}
+            else:
+                other.add(slot)

@@ -1,0 +1,881 @@
+"""Sharded parallel batch engine: shared-memory slot partitions.
+
+:class:`ShardedEngine` wraps any single-process :class:`~repro.core.base.
+DynamicMISBase` algorithm and distributes the edge phases of each coalesced
+batch across ``workers`` shard processes.  The design splits each batch the
+way the paper's contract allows — k-maximality is required only at batch
+boundaries, so intra-batch work can be reordered freely as long as the
+state at the boundary is identical:
+
+* **Coordinator (this process).**  Owns the authoritative engine: graph,
+  slot arrays, candidate queues.  Applies everything inherently serial —
+  cross-partition ("boundary") edges, the vertex phases, conflict eviction,
+  and the shared repair + candidate drain of
+  :meth:`~repro.core.base.DynamicMISBase._finalize_batch`.
+* **Shard workers (``workers`` processes).**  Shard ``i`` owns the slots
+  with ``slot % workers == i`` and keeps a *replica* of the induced
+  intra-shard subgraph.  Per batch it receives its intra-partition edge
+  pairs, classifies them against a ``multiprocessing.shared_memory`` view
+  of the membership byte array (published by the coordinator at the start
+  of the batch), maintains its replica, and returns the classification —
+  the exact ``(slot, solution slot)`` effects the state's bulk primitives
+  would have computed.  The coordinator replays those effects through
+  :meth:`~repro.core.state.MISState.note_solution_neighbors_added` /
+  ``_removed`` while applying the structural mutation itself.
+
+**Bit-for-bit equivalence** with the single-process engine rests on three
+facts.  (1) Solution membership is frozen during an edge phase — moves
+happen only between phases and in the end-of-batch repair — so
+classification is a pure function of the membership bytes and can be
+computed anywhere.  (2) The per-pair count bookkeeping operations of one
+phase touch distinct (slot, solution-slot) pairs and therefore commute;
+replaying them grouped by shard instead of in phase order leaves every
+count, level bucket and statistic identical.  (3) Everything
+order-sensitive — conflict eviction (re-sorted into phase order before the
+pass), zero-count move-ins, candidate registration, the drain — runs
+serially in the coordinator through the *same* code as the single-process
+engine.
+
+**Mid-batch vertex churn.**  The published membership view can go stale in
+one way that matters: the batch's vertex-deletion phase removes a solution
+vertex, and its slot may be recycled by the insertion phase (the graph's
+free list is LIFO).  The insertion-phase message therefore carries
+*membership overrides* — the deleted was-in-solution slots forced to 0 —
+and slots at or beyond the published length read as 0 (a slot allocated
+mid-batch is never in the solution before the end-of-batch repair).
+
+**Worker failure.**  Any send/receive failure or timeout degrades the
+batch, never the run: the coordinator recomputes the missing shard's
+classification locally (the same pure function, against the authoritative
+membership bytes, which during each phase equal exactly what the worker
+saw), finishes the batch single-process, and rebuilds the worker pool with
+fresh replicas before the next batch.  Nothing is quarantined and no
+update is lost.  The ``shard.apply`` fault point turns this path into a
+deterministic drill: a planned :class:`~repro.exceptions.InjectedFault` is
+converted into a ``SIGKILL`` of one live worker mid-batch.
+
+**Segment lifecycle.**  Shared segments are named ``repro-shard-<pid>-…``
+and owned by the coordinator, which unlinks them in :meth:`close` and in a
+``weakref.finalize`` hook (atexit-backed) so crashed runs and killed
+workers leave no ``/dev/shm`` garbage; workers attach read-only and
+unregister the segment from their ``resource_tracker`` so the tracker
+never double-unlinks or warns.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import weakref
+from array import array
+from dataclasses import dataclass
+from multiprocessing import get_context, get_all_start_methods
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.partition import (
+    SlotPartition,
+    classify_deletion_pairs,
+    classify_insertion_pairs,
+    replica_add_edges,
+    replica_adopt_vertices,
+    replica_remove_edges,
+    replica_remove_vertices,
+)
+from repro.exceptions import InjectedFault, VertexNotFoundError
+from repro.resilience.faults import BULK_APPLY, SHARD_APPLY, trip
+from repro.updates.coalesce import coalesce_batch
+from repro.updates.operations import UpdateOperation
+from repro.updates.protocol import chunked
+
+_SEGMENT_PREFIX = "repro-shard"
+_segment_counter = itertools.count()
+
+
+def _segment_name(kind: str) -> str:
+    # Short (macOS caps shm names at ~30 chars) but collision-free within a
+    # machine: pid + a process-wide counter.
+    return f"{_SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_counter)}{kind}"
+
+
+class SharedSlotArrays:
+    """Coordinator-owned shared-memory mirrors of the flat slot arrays.
+
+    The membership byte array is the hot mirror: published once per
+    parallel batch (one ``memcpy``) and read by every shard worker's
+    classification pass.  The counts array is a cold mirror for observers
+    (tests, debugging): workers never read counts — classification needs
+    membership only — so it is refreshed on demand, not per batch.
+
+    Segments grow by doubling under a fresh name; workers switch segments
+    lazily because every batch message carries the current name.  The old
+    segment is closed and unlinked immediately (POSIX keeps the mapping
+    alive for still-attached readers until they close).
+    """
+
+    def __init__(self) -> None:
+        self._membership: Optional[shared_memory.SharedMemory] = None
+        self._counts: Optional[shared_memory.SharedMemory] = None
+        self.membership_len = 0
+        self.counts_len = 0
+
+    @staticmethod
+    def _grow(
+        segment: Optional[shared_memory.SharedMemory], size: int, kind: str
+    ) -> shared_memory.SharedMemory:
+        if segment is not None and segment.size >= size:
+            return segment
+        capacity = 1024
+        while capacity < size:
+            capacity *= 2
+        replacement = shared_memory.SharedMemory(
+            name=_segment_name(kind), create=True, size=capacity
+        )
+        if segment is not None:
+            old = bytes(segment.buf[: min(segment.size, size)])
+            replacement.buf[: len(old)] = old
+            _release_segment(segment)
+        return replacement
+
+    def publish_membership(self, data: bytearray) -> Tuple[str, int]:
+        """Copy the membership bytes in; return ``(segment name, length)``."""
+        n = len(data)
+        self._membership = self._grow(self._membership, max(n, 1), "m")
+        if n:
+            self._membership.buf[:n] = data
+        self.membership_len = n
+        return self._membership.name, n
+
+    def publish_counts(self, data: Sequence[int]) -> Tuple[str, int]:
+        """Copy the counts (as int64) in; return ``(segment name, length)``."""
+        raw = array("q", data)
+        nbytes = len(raw) * raw.itemsize
+        self._counts = self._grow(self._counts, max(nbytes, 1), "c")
+        if nbytes:
+            self._counts.buf[:nbytes] = raw.tobytes()
+        self.counts_len = len(raw)
+        return self._counts.name, len(raw)
+
+    def membership_view(self) -> bytes:
+        """The published membership bytes (coordinator-side readback)."""
+        if self._membership is None:
+            return b""
+        return bytes(self._membership.buf[: self.membership_len])
+
+    def counts_view(self) -> List[int]:
+        """The published counts (coordinator-side readback)."""
+        if self._counts is None:
+            return []
+        raw = array("q")
+        raw.frombytes(
+            bytes(self._counts.buf[: self.counts_len * raw.itemsize])
+        )
+        return raw.tolist()
+
+    def segment_names(self) -> List[str]:
+        return [
+            segment.name
+            for segment in (self._membership, self._counts)
+            if segment is not None
+        ]
+
+    def nbytes(self) -> int:
+        return sum(
+            segment.size
+            for segment in (self._membership, self._counts)
+            if segment is not None
+        )
+
+    def release(self) -> None:
+        """Close and unlink both segments (idempotent)."""
+        for attr in ("_membership", "_counts"):
+            segment = getattr(self, attr)
+            if segment is not None:
+                _release_segment(segment)
+                setattr(self, attr, None)
+        self.membership_len = 0
+        self.counts_len = 0
+
+
+def _release_segment(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.close()
+    except OSError:  # pragma: no cover - buffer already torn down
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------- #
+def _attach_segment(current, current_name: str, name: str):
+    """(Re-)attach to the named segment (read side; no ownership)."""
+    if current is not None:
+        if current_name == name:
+            return current, current_name
+        current.close()
+    return shared_memory.SharedMemory(name=name), name
+
+
+def _disable_shm_tracking() -> None:
+    """Stop this (worker) process from tracker-registering shared memory.
+
+    Attaching a segment registers it with the resource tracker — which the
+    fork context *shares* with the coordinator — so every worker attach
+    would queue a duplicate unlink of a segment the coordinator alone owns
+    (tracker KeyError noise at exit, plus a race against the real unlink).
+    Python 3.13 has ``SharedMemory(..., track=False)``; on 3.11/3.12 the
+    equivalent is filtering the registration in the worker's own module
+    copy (child-local state: copy-on-write under fork, fresh under spawn).
+    """
+    original = resource_tracker.register
+
+    def register(name: str, rtype: str) -> None:  # pragma: no cover - child
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+
+
+def _shard_worker_main(conn, shard_id: int, num_shards: int) -> None:
+    """The shard worker loop: replica maintenance + membership classification.
+
+    Runs in a child process.  Protocol (all messages are tuples, every
+    request carries a sequence number echoed in the reply):
+
+    * ``("reset", seq, payload)`` — replace the replica with the induced
+      intra-shard subgraph ``payload`` (``[(slot, [neighbours…]), …]``).
+    * ``("del", seq, segment, published_len, pairs)`` — classify and apply
+      the intra-shard edge deletions; reply ``(dropped, outside)``.
+    * ``("ins", seq, segment, published_len, overrides, removed, adopts,
+      pairs)`` — apply the vertex phases to the replica (``removed`` slots
+      leave, ``adopts`` seed inserted slots with their intra edges), then
+      classify and apply the indexed intra-shard edge insertions; reply
+      ``(bumped, conflicts)``.
+    * ``("stop", seq)`` — exit.
+
+    Internal errors (including :class:`ReplicaDivergence`) are reported as
+    ``("error", seq, message)`` replies; the coordinator treats the shard
+    as failed and rebuilds the pool.  The loop itself never raises.
+    """
+    try:  # the coordinator owns Ctrl-C; workers die via "stop" or SIGKILL
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    _disable_shm_tracking()
+    segment = None
+    segment_name = ""
+    adjacency: Dict[int, set] = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            tag = message[0]
+            if tag == "stop":
+                break
+            seq = message[1]
+            try:
+                if tag == "reset":
+                    adjacency = {
+                        slot: set(neighbors) for slot, neighbors in message[2]
+                    }
+                    conn.send(("ok", seq, None))
+                elif tag == "del":
+                    _tag, _seq, name, published_len, pairs = message
+                    segment, segment_name = _attach_segment(
+                        segment, segment_name, name
+                    )
+                    result = classify_deletion_pairs(
+                        pairs, segment.buf, published_len
+                    )
+                    replica_remove_edges(adjacency, pairs)
+                    conn.send(("ok", seq, result))
+                elif tag == "ins":
+                    (
+                        _tag,
+                        _seq,
+                        name,
+                        published_len,
+                        overrides,
+                        removed,
+                        adopts,
+                        pairs,
+                    ) = message
+                    segment, segment_name = _attach_segment(
+                        segment, segment_name, name
+                    )
+                    replica_remove_vertices(adjacency, removed)
+                    replica_adopt_vertices(adjacency, adopts)
+                    result = classify_insertion_pairs(
+                        pairs, segment.buf, published_len, overrides
+                    )
+                    replica_add_edges(adjacency, pairs)
+                    conn.send(("ok", seq, result))
+                else:
+                    conn.send(("error", seq, f"unknown message tag {tag!r}"))
+            except Exception as exc:  # report and await the pool rebuild
+                try:
+                    conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        if segment is not None:
+            segment.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Coordinator
+# --------------------------------------------------------------------- #
+@dataclass
+class ShardStats:
+    """Coordinator-side counters for the sharded dispatch path.
+
+    Deliberately separate from
+    :class:`~repro.core.base.AlgorithmStatistics`: the algorithm statistics
+    of a sharded run must stay bit-identical to a single-process run (they
+    are checkpointed and compared by the oracle), so everything specific to
+    sharding is counted here.
+    """
+
+    #: Batches dispatched through the parallel path.
+    batches_sharded: int = 0
+    #: Batches handed to the inner engine unchanged (small, uncoalesced,
+    #: ``workers=1``, closed engine, or pool spawn failure).
+    batches_delegated: int = 0
+    #: Edge pairs classified by shard workers / applied by the coordinator.
+    intra_pairs: int = 0
+    boundary_pairs: int = 0
+    #: Shards whose reply was lost (crash, divergence, timeout) and whose
+    #: classification was recomputed locally.
+    worker_failures: int = 0
+    #: Batches that needed any local recomputation.
+    fallback_batches: int = 0
+    #: ``shard.apply`` drills converted into a worker SIGKILL.
+    drills: int = 0
+    #: Worker pools (re)built.
+    pool_builds: int = 0
+
+
+class ShardedEngine:
+    """Parallel front-end over a single-process dynamic MIS algorithm.
+
+    Delegates everything observable to the wrapped ``inner`` algorithm —
+    ``state``, ``stats``, ``graph``, ``solution()``, snapshots — and owns
+    only the parallel dispatch machinery, so a sharded run is externally
+    indistinguishable from a single-process run (that is the tested
+    contract).  With ``workers=1`` no processes or segments are ever
+    created and every call is pure delegation.
+
+    Use as a context manager or call :meth:`close` to release the worker
+    pool and shared segments early; a ``weakref.finalize`` hook releases
+    them at garbage collection / interpreter exit otherwise.
+    """
+
+    #: Seconds to wait for one shard reply before declaring the worker lost.
+    RECV_TIMEOUT = 60.0
+
+    def __init__(self, inner, *, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._inner = inner
+        self.workers = workers
+        self.partition = SlotPartition(workers)
+        self.shard_stats = ShardStats()
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        self._arrays_box: List[Optional[SharedSlotArrays]] = [None]
+        self._replicas_ready = False
+        self._pool_degraded = False
+        self._drill_pending = False
+        self._seq = 0
+        self._closed = False
+        if workers > 1:
+            methods = get_all_start_methods()
+            self._ctx = get_context("fork" if "fork" in methods else None)
+            self._finalizer = weakref.finalize(
+                self,
+                _release_resources,
+                self._procs,
+                self._conns,
+                self._arrays_box,
+            )
+        else:
+            self._ctx = None
+            self._finalizer = None
+
+    # ------------------------------------------------------------------ #
+    # Delegation surface
+    # ------------------------------------------------------------------ #
+    @property
+    def inner(self):
+        """The wrapped single-process algorithm (authoritative state)."""
+        return self._inner
+
+    @property
+    def snapshot_delegate(self):
+        """Snapshots capture the inner engine, byte-identical to 1-process."""
+        return self._inner
+
+    def __getattr__(self, name: str):
+        inner = self.__dict__.get("_inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine(workers={self.workers}, "
+            f"inner={type(self._inner).__name__}, "
+            f"live={len([p for p in self._procs if p.is_alive()])})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Update API (same shape as DynamicMISBase)
+    # ------------------------------------------------------------------ #
+    def apply_update(self, operation: UpdateOperation) -> None:
+        self._inner.apply_update(operation)
+        self._replicas_ready = False
+
+    def apply_stream(
+        self, operations: Iterable[UpdateOperation], *, batch_size: int = 1
+    ) -> None:
+        if batch_size <= 1 or self.workers == 1 or self._closed:
+            self._inner.apply_stream(operations, batch_size=batch_size)
+            self._replicas_ready = False
+            return
+        for chunk in chunked(operations, batch_size):
+            self.apply_batch(chunk)
+
+    def apply_batch(
+        self, operations: Iterable[UpdateOperation], *, coalesce: bool = True
+    ) -> None:
+        ops = operations if isinstance(operations, list) else list(operations)
+        if not ops:
+            return
+        if (
+            self.workers == 1
+            or self._closed
+            or not coalesce
+            or len(ops) < self._inner.BULK_APPLY_THRESHOLD
+        ):
+            self.shard_stats.batches_delegated += 1
+            self._inner.apply_batch(ops, coalesce=coalesce)
+            self._replicas_ready = False
+            return
+        self._apply_batch_sharded(ops)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the worker pool and unlink the shared segments (idempotent).
+
+        The engine stays usable afterwards: every subsequent call is pure
+        delegation to the inner single-process algorithm.
+        """
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def shared_segment_names(self) -> List[str]:
+        """Names of the currently live shared-memory segments."""
+        arrays = self._arrays_box[0]
+        return arrays.segment_names() if arrays is not None else []
+
+    def shared_memory_bytes(self) -> int:
+        """Total capacity of the live shared segments, in bytes."""
+        arrays = self._arrays_box[0]
+        return arrays.nbytes() if arrays is not None else 0
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live shard workers (for tests and diagnostics)."""
+        return [p.pid for p in self._procs if p.is_alive()]
+
+    def refresh_shared_counts(self) -> None:
+        """Publish the current counts array to its (cold) shared mirror."""
+        if self.workers == 1 or self._closed:
+            return
+        arrays = self._arrays_box[0]
+        if arrays is None:
+            arrays = self._arrays_box[0] = SharedSlotArrays()
+        arrays.publish_counts(self._inner._counts)
+
+    # ------------------------------------------------------------------ #
+    # Pool management
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> bool:
+        """Spawn/refresh the worker pool and replicas; ``False`` on failure."""
+        if any(not p.is_alive() for p in self._procs):
+            self._teardown_pool()
+        if not self._procs:
+            try:
+                for shard_id in range(self.workers):
+                    parent, child = self._ctx.Pipe(duplex=True)
+                    proc = self._ctx.Process(
+                        target=_shard_worker_main,
+                        args=(child, shard_id, self.workers),
+                        name=f"repro-shard-{shard_id}",
+                        daemon=True,
+                    )
+                    proc.start()
+                    child.close()
+                    self._procs.append(proc)
+                    self._conns.append(parent)
+            except OSError:  # pragma: no cover - fork/pipe exhaustion
+                self._teardown_pool()
+                return False
+            self.shard_stats.pool_builds += 1
+            self._replicas_ready = False
+        if self._arrays_box[0] is None:
+            self._arrays_box[0] = SharedSlotArrays()
+        if not self._replicas_ready:
+            graph = self._inner.graph
+            payloads = self.partition.replica_payloads(
+                graph.slots(), self._inner._adj
+            )
+            self._seq += 1
+            seq = self._seq
+            sent = [
+                self._try_send(shard_id, ("reset", seq, payloads[shard_id]))
+                for shard_id in range(self.workers)
+            ]
+            for shard_id, ok in enumerate(sent):
+                if not ok or self._recv_reply(shard_id, seq) is _FAILED:
+                    self._teardown_pool()
+                    return False
+            self._replicas_ready = True
+        return True
+
+    def _teardown_pool(self) -> None:
+        _stop_workers(self._procs, self._conns)
+        self._replicas_ready = False
+        self._pool_degraded = False
+
+    def _try_send(self, shard_id: int, message: tuple) -> bool:
+        try:
+            self._conns[shard_id].send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            self._pool_degraded = True
+            return False
+
+    def _recv_reply(self, shard_id: int, seq: int):
+        """One shard's reply for ``seq``, or ``_FAILED`` (never raises)."""
+        conn = self._conns[shard_id]
+        try:
+            while True:
+                if not conn.poll(self.RECV_TIMEOUT):
+                    break
+                reply = conn.recv()
+                if reply[0] == "ok" and reply[1] == seq:
+                    return reply[2]
+                if reply[1] >= seq:  # error reply, or protocol drift
+                    break
+                # Stale reply from a timed-out earlier request: keep draining.
+        except (EOFError, OSError):
+            pass
+        self._pool_degraded = True
+        return _FAILED
+
+    def _maybe_drill(self, preferred: Iterable[int]) -> None:
+        """SIGKILL one live worker if a drill is pending (``shard.apply``).
+
+        ``preferred`` lists the shards about to be contacted, so the kill
+        reliably lands on a worker this very batch depends on — the
+        coordinator must then *detect* the loss mid-batch and recompute
+        that shard's classification locally.  If no preferred worker is
+        alive the drill stays pending for the next dispatch point.
+        """
+        if not self._drill_pending:
+            return
+        for shard_id in preferred:
+            proc = self._procs[shard_id]
+            if proc.is_alive() and proc.pid:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=5.0)
+                self._drill_pending = False
+                self.shard_stats.drills += 1
+                return
+
+    # ------------------------------------------------------------------ #
+    # The sharded batch path
+    # ------------------------------------------------------------------ #
+    def _apply_batch_sharded(self, ops: List[UpdateOperation]) -> None:
+        inner = self._inner
+        trip(BULK_APPLY)
+        try:
+            trip(SHARD_APPLY)
+        except InjectedFault:
+            # The worker-crash drill: make the planned fault real.  The
+            # injector records the fault as fired; the kill itself is
+            # deferred to the first dispatch point of this batch (see
+            # :meth:`_maybe_drill`) so it lands on a worker the batch
+            # actually depends on — after the pool health check, so the
+            # respawn cannot undo it — exercising mid-batch detection +
+            # local recompute + pool rebuild end to end.
+            self._drill_pending = True
+        net = coalesce_batch(inner.graph, ops)
+        inner.stats.operations_coalesced += net.num_coalesced
+        if self._ensure_pool():
+            self.shard_stats.batches_sharded += 1
+            touched = self._apply_net_batch_sharded(net)
+            # A drill in a batch with no shard work at all falls through to
+            # here: kill any worker so the planned crash still happens (the
+            # next batch's health check detects it).
+            self._maybe_drill(range(self.workers))
+            if self._pool_degraded:
+                self.shard_stats.fallback_batches += 1
+                self._teardown_pool()
+        else:
+            self._drill_pending = False
+            self.shard_stats.batches_delegated += 1
+            touched = inner._apply_net_batch(net)
+        inner._finalize_batch(touched)
+        inner.stats.updates_processed += len(ops)
+        inner.stats.batches_applied += 1
+        if inner.check_invariants:
+            inner._verify()
+
+    def _apply_net_batch_sharded(self, net) -> Set[int]:
+        """The two-round coordinator/worker protocol for one coalesced net.
+
+        Phase order, touched-slot admission and all order-sensitive work
+        mirror :meth:`DynamicMISBase._apply_net_batch` exactly; only the
+        classification of intra-shard pairs moves to the workers.
+        """
+        inner = self._inner
+        state = inner.state
+        graph = inner.graph
+        in_sol = inner._in_sol
+        counts = inner._counts
+        adj = inner._adj
+        k = inner.k
+        part = self.partition
+        stats = self.shard_stats
+        touched: Set[int] = set()
+        arrays = self._arrays_box[0]
+        segment, published_len = arrays.publish_membership(in_sol)
+
+        # ---- edge deletions: fan out intra pairs, apply boundary ----
+        del_pairs = (
+            graph.resolve_edge_slots(net.edge_deletions)
+            if net.edge_deletions
+            else []
+        )
+        shard_del, boundary_del = part.split_pairs(del_pairs)
+        stats.boundary_pairs += len(boundary_del)
+        self._maybe_drill(
+            shard_id for shard_id, pairs in enumerate(shard_del) if pairs
+        )
+        self._seq += 1
+        seq = self._seq
+        del_sent = [
+            bool(pairs)
+            and self._try_send(
+                shard_id, ("del", seq, segment, published_len, pairs)
+            )
+            for shard_id, pairs in enumerate(shard_del)
+        ]
+        dropped: List[int] = []
+        outside: List[Tuple[int, int]] = []
+        if boundary_del:
+            dropped, outside = state.remove_edges_slots_bulk(boundary_del)
+        for shard_id, pairs in enumerate(shard_del):
+            if not pairs:
+                continue
+            stats.intra_pairs += len(pairs)
+            state.remove_edges_structural_bulk(pairs)
+            reply = (
+                self._recv_reply(shard_id, seq) if del_sent[shard_id] else _FAILED
+            )
+            if reply is _FAILED:
+                # Recompute locally: membership is untouched during the
+                # deletion phase, so the authoritative bytes classify
+                # exactly as the published view would have.
+                stats.worker_failures += 1
+                reply = classify_deletion_pairs(pairs, in_sol)
+            shard_dropped, shard_outside = reply
+            state.note_solution_neighbors_removed(shard_dropped)
+            dropped.extend(slot for slot, _solution_slot in shard_dropped)
+            outside.extend(shard_outside)
+        touched.update(s for s in dropped if counts[s] <= k)
+        inner._touch_outside(outside, touched)
+
+        # ---- vertex deletions (serial; collect per-shard replica work) ----
+        removed_by_shard: List[List[int]] = [[] for _ in range(self.workers)]
+        overrides: Dict[int, int] = {}
+        if net.vertex_deletions:
+            slot_map = inner._slot_map
+            for label in net.vertex_deletions:
+                try:
+                    slot = slot_map[label]
+                except KeyError:
+                    raise VertexNotFoundError(label) from None
+                was_in, neighbor_slots = state.remove_vertex_slot(slot)
+                removed_by_shard[part.shard_of(slot)].append(slot)
+                if was_in:
+                    # The published membership byte for this slot is now
+                    # stale; the insertion round must read it as 0 (the
+                    # slot may even be recycled by this very batch).
+                    overrides[slot] = 0
+                    touched.update(
+                        t
+                        for t in neighbor_slots
+                        if not in_sol[t] and counts[t] <= k
+                    )
+
+        # ---- vertex insertions (serial; collect per-shard adopts) ----
+        adopts_by_shard: List[List[Tuple[int, List[int]]]] = [
+            [] for _ in range(self.workers)
+        ]
+        for label, neighbors in net.vertex_insertions:
+            slot, count = state.add_vertex_slot(label, neighbors)
+            if count <= k:
+                touched.add(slot)
+            adopts_by_shard[part.shard_of(slot)].append(
+                (slot, part.intra_neighbors(slot, adj[slot]))
+            )
+
+        # ---- edge insertions: fan out intra pairs, apply boundary ----
+        ins_pairs = (
+            graph.resolve_edge_slots(net.edge_insertions)
+            if net.edge_insertions
+            else []
+        )
+        shard_ins, boundary_ins = part.split_pairs_indexed(ins_pairs)
+        stats.boundary_pairs += len(boundary_ins)
+        self._maybe_drill(
+            shard_id
+            for shard_id in range(self.workers)
+            if shard_ins[shard_id]
+            or removed_by_shard[shard_id]
+            or adopts_by_shard[shard_id]
+        )
+        self._seq += 1
+        seq = self._seq
+        ins_sent = []
+        for shard_id in range(self.workers):
+            pairs = shard_ins[shard_id]
+            removed = removed_by_shard[shard_id]
+            adopts = adopts_by_shard[shard_id]
+            if not (pairs or removed or adopts):
+                ins_sent.append(False)
+                continue
+            shard_overrides = {
+                slot: value
+                for slot, value in overrides.items()
+                if part.shard_of(slot) == shard_id
+            }
+            ins_sent.append(
+                self._try_send(
+                    shard_id,
+                    (
+                        "ins",
+                        seq,
+                        segment,
+                        published_len,
+                        shard_overrides,
+                        removed,
+                        adopts,
+                        pairs,
+                    ),
+                )
+            )
+        conflicts: List[Tuple[int, int, int]] = []
+        if boundary_ins:
+            index_of = {(su, sv): i for i, su, sv in boundary_ins}
+            _bumped, boundary_conflicts = state.add_edges_slots_bulk(
+                [(su, sv) for _i, su, sv in boundary_ins]
+            )
+            conflicts.extend(
+                (index_of[pair], pair[0], pair[1])
+                for pair in boundary_conflicts
+            )
+        for shard_id in range(self.workers):
+            pairs = shard_ins[shard_id]
+            had_work = pairs or removed_by_shard[shard_id] or adopts_by_shard[shard_id]
+            if not had_work:
+                continue
+            if pairs:
+                stats.intra_pairs += len(pairs)
+                state.add_edges_structural_bulk(
+                    [(su, sv) for _i, su, sv in pairs]
+                )
+            reply = (
+                self._recv_reply(shard_id, seq) if ins_sent[shard_id] else _FAILED
+            )
+            if reply is _FAILED:
+                # Recompute locally: by this point the authoritative bytes
+                # are exactly the published view patched with the deletion
+                # overrides (moves happen only in the end-of-batch repair),
+                # so no override plumbing is needed here.
+                stats.worker_failures += 1
+                reply = classify_insertion_pairs(pairs, in_sol)
+            shard_bumped, shard_conflicts = reply
+            state.note_solution_neighbors_added(shard_bumped)
+            conflicts.extend(shard_conflicts)
+        if conflicts:
+            # Eviction is order-sensitive; restore the coalesced phase order
+            # before running the shared (serial) eviction pass.
+            conflicts.sort(key=lambda entry: entry[0])
+            inner._evict_conflicts(
+                [(su, sv) for _i, su, sv in conflicts], touched
+            )
+        return touched
+
+
+#: Sentinel for a lost shard reply (distinct from any real payload).
+_FAILED = object()
+
+
+def _stop_workers(procs: List[Any], conns: List[Any]) -> None:
+    """Stop the worker pool: polite "stop", then terminate, then SIGKILL."""
+    for conn in conns:
+        try:
+            conn.send(("stop", -1))
+        except (BrokenPipeError, OSError):
+            pass
+    for proc in procs:
+        proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - unkillable worker
+            proc.kill()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+    procs.clear()
+    conns.clear()
+
+
+def _release_resources(
+    procs: List[Any],
+    conns: List[Any],
+    arrays_box: List[Optional[SharedSlotArrays]],
+) -> None:
+    """The finalize/atexit hook: no reference to the engine, only its parts."""
+    _stop_workers(procs, conns)
+    arrays = arrays_box[0]
+    if arrays is not None:
+        arrays.release()
+        arrays_box[0] = None

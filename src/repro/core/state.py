@@ -717,6 +717,62 @@ class MISState:
         return dropped, outside
 
     # ------------------------------------------------------------------ #
+    # Split bulk mutation (the sharded engine's intra-partition path)
+    # ------------------------------------------------------------------ #
+    # The sharded engine (repro.core.sharded) separates what the bulk
+    # primitives above do in one pass: shard workers classify their
+    # intra-partition pairs against a shared membership view while the
+    # coordinator performs the structural mutation here, then replays the
+    # workers' classifications through the note_* methods.  Structural
+    # apply + classification replay must leave the state byte-identical to
+    # one add/remove_edges_slots_bulk call over the same pairs — the
+    # per-pair bookkeeping goes through the same _add/_remove_solution_
+    # neighbor transitions, and membership is frozen during an edge phase,
+    # so the interleaving cannot be observed.
+
+    def add_edges_structural_bulk(self, pairs: List[Tuple[int, int]]) -> None:
+        """Insert a run of edges with no count bookkeeping (validated)."""
+        adj = self._adj
+        graph = self.graph
+        for su, sv in pairs:
+            if su == sv:
+                raise SelfLoopError(graph.vertex_of(su))
+            adj_u = adj[su]
+            if sv in adj_u:
+                raise EdgeExistsError(graph.vertex_of(su), graph.vertex_of(sv))
+            adj_u.add(sv)
+            adj[sv].add(su)
+            graph._num_edges += 1
+
+    def remove_edges_structural_bulk(self, pairs: List[Tuple[int, int]]) -> None:
+        """Delete a run of edges with no count bookkeeping (validated)."""
+        adj = self._adj
+        graph = self.graph
+        for su, sv in pairs:
+            adj_u = adj[su]
+            if sv not in adj_u:
+                raise EdgeNotFoundError(graph.vertex_of(su), graph.vertex_of(sv))
+            adj_u.discard(sv)
+            adj[sv].discard(su)
+            graph._num_edges -= 1
+
+    def note_solution_neighbors_added(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> None:
+        """Replay one-sided insertions: each pair is ``(slot, solution slot)``."""
+        add_sn = self._add_solution_neighbor
+        for slot, solution_slot in pairs:
+            add_sn(slot, solution_slot)
+
+    def note_solution_neighbors_removed(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> None:
+        """Replay one-sided deletions: each pair is ``(slot, solution slot)``."""
+        remove_sn = self._remove_solution_neighbor
+        for slot, solution_slot in pairs:
+            remove_sn(slot, solution_slot)
+
+    # ------------------------------------------------------------------ #
     # Invariant checking
     # ------------------------------------------------------------------ #
     def check_invariants(self) -> None:

@@ -133,14 +133,34 @@ def create_algorithm(
     initial_solution: Optional[Iterable[Vertex]] = None,
     **options,
 ):
-    """Instantiate a registered algorithm on ``graph``."""
+    """Instantiate a registered algorithm on ``graph``.
+
+    ``workers=N`` (accepted for every registered algorithm) wraps the
+    instance in a :class:`~repro.core.sharded.ShardedEngine`: batches are
+    fanned out across ``N`` shard processes over shared-memory membership
+    views, with results bit-identical to the unwrapped algorithm.  The
+    wrapper delegates its whole observable surface — state, statistics,
+    snapshots — so measurements, checkpoints and resumes are
+    indistinguishable from single-process runs (``workers`` survives a
+    resume because it lives in the run options, not the snapshot payload).
+    """
+    options = dict(options)
+    workers = options.pop("workers", None)
     try:
         factory = ALGORITHM_FACTORIES[name]
     except KeyError:
         raise ExperimentError(
             f"unknown algorithm {name!r}; available: {sorted(ALGORITHM_FACTORIES)}"
         ) from None
-    return factory(graph, initial_solution, **options)
+    algorithm = factory(graph, initial_solution, **options)
+    if workers is not None:
+        workers = int(workers)
+        if workers < 1:
+            raise ExperimentError("workers must be at least 1")
+        from repro.core.sharded import ShardedEngine
+
+        algorithm = ShardedEngine(algorithm, workers=workers)
+    return algorithm
 
 
 def _timed_stream_run(

@@ -23,6 +23,10 @@ point                     where it fires
                           (once per chunk line decoded)
 ``fetch``                 :func:`~repro.experiments.fetch.fetch_file`
                           (once per network chunk received)
+``shard.apply``           :meth:`~repro.core.sharded.ShardedEngine.apply_batch`
+                          (once per parallel batch, before dispatch; the
+                          engine converts the fault into a SIGKILL of one
+                          live shard worker — the worker-crash drill)
 ========================  ====================================================
 
 — and a seedable :class:`FaultPlan` that says *at which traversal counts*
@@ -66,6 +70,7 @@ CHECKPOINT_WRITE = "checkpoint.write"
 SNAPSHOT_WRITE = "snapshot.write"
 CACHE_READ = "cache.read"
 FETCH = "fetch"
+SHARD_APPLY = "shard.apply"
 
 FAULT_POINTS: FrozenSet[str] = frozenset(
     (
@@ -76,6 +81,7 @@ FAULT_POINTS: FrozenSet[str] = frozenset(
         SNAPSHOT_WRITE,
         CACHE_READ,
         FETCH,
+        SHARD_APPLY,
     )
 )
 

@@ -12,6 +12,12 @@ deterministic scenarios run against the quick temporal workload:
 2. *Batched*: faults planned at a coalesce pass, a bulk-apply pass and a
    checkpoint write, with the invariant guard verifying k-maximality at
    chunk boundaries.
+3. *Sharded*: the batched workload run through the parallel engine
+   (``workers=2``), with a ``shard.apply`` drill — the planned fault is
+   converted into a ``SIGKILL`` of a live shard worker mid-batch — plus a
+   torn checkpoint write.  The recovered sharded measurement must be
+   bit-identical to the uninterrupted *single-process* reference: worker
+   crashes degrade a batch to local recompute, never change its result.
 
 Everything is pinned — fault plans, workload seed, retry policy (zero
 backoff, so the smoke check costs CI no sleeping) — making a failure here
@@ -28,6 +34,7 @@ from repro.resilience.faults import (
     BULK_APPLY,
     CHECKPOINT_WRITE,
     COALESCE,
+    SHARD_APPLY,
     STREAM_READ,
     FaultPlan,
     inject_faults,
@@ -51,7 +58,16 @@ def _fingerprint(measurement):
     )
 
 
-def _scenario(name, graph, stream, plan, workdir, reference, **run_options):
+def _scenario(
+    name,
+    graph,
+    stream,
+    plan,
+    workdir,
+    reference,
+    require_points=(),
+    **run_options,
+):
     """One crash-simulation scenario; returns the failure message or ``None``."""
     from repro.workloads.replay import CheckpointConfig
 
@@ -76,6 +92,13 @@ def _scenario(name, graph, stream, plan, workdir, reference, **run_options):
     )
     if not fired:
         return f"{name}: no planned fault fired — the scenario tested nothing"
+    fired_points = {point for point, _hit in fired}
+    for point in require_points:
+        if point not in fired_points:
+            return (
+                f"{name}: required fault point {point!r} never fired — "
+                f"the scenario tested nothing at it"
+            )
     if not result.recovered:
         return f"{name}: no crash was absorbed — the scenario tested nothing"
     if _fingerprint(result.measurement) != _fingerprint(reference):
@@ -147,6 +170,27 @@ def main(argv=None) -> int:
             batch_size=64,
             every=128,
             verify_every=128,
+        )
+        if failure:
+            failures.append(failure)
+        # Scenario 3 — sharded: the same batched workload through the
+        # parallel engine; the shard.apply drill SIGKILLs a live worker
+        # mid-batch and the torn write crashes the coordinator, yet the
+        # recovered measurement must match the single-process reference.
+        failure = _scenario(
+            "sharded",
+            graph,
+            stream,
+            FaultPlan.union(
+                FaultPlan.at(SHARD_APPLY, 2),
+                FaultPlan.at(CHECKPOINT_WRITE, 1),
+            ),
+            tmp / "s3",
+            reference_batched,
+            require_points=(SHARD_APPLY,),
+            batch_size=64,
+            every=128,
+            workers=2,
         )
         if failure:
             failures.append(failure)

@@ -177,7 +177,13 @@ def algorithm_to_payload(algorithm) -> Dict:
     between :meth:`apply_update` / ``apply_batch`` calls — mid-batch
     snapshots are rejected because the drained-queue invariant is what makes
     the solution + graph a complete trajectory state).
+
+    Wrappers (e.g. :class:`~repro.core.sharded.ShardedEngine`) expose the
+    wrapped algorithm as ``snapshot_delegate``: the payload captures the
+    delegate, so a sharded run's checkpoints are byte-identical to a
+    single-process run's and restore under either execution mode.
     """
+    algorithm = getattr(algorithm, "snapshot_delegate", algorithm)
     required = ("has_pending_candidates", "state", "stats", "graph")
     for attribute in required:
         if not hasattr(algorithm, attribute):

@@ -1,0 +1,511 @@
+"""The sharded parallel engine's tested contract: indistinguishability.
+
+:class:`~repro.core.sharded.ShardedEngine` promises that a sharded run is
+**bit-for-bit identical** to a single-process run of the wrapped algorithm —
+same graph payload, same solution slots, same statistics — for any number of
+workers, across eager/lazy bookkeeping, under slot-recycling churn, and
+*including* every failure path (a worker killed between batches, a worker
+killed mid-batch via the ``shard.apply`` drill).  These tests state that
+contract by fingerprinting both runs through the same snapshot serialiser
+the checkpoint layer uses, so "identical" means identical in exactly the
+representation the differential oracle and resume machinery compare.
+
+The pure partition/classification helpers are additionally unit-tested
+against a naive reference, because they are the code that runs in three
+places (worker, coordinator fallback, coordinator split) and must agree
+with the state layer's inline classification.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.one_swap import DyOneSwap
+from repro.core.partition import (
+    ReplicaDivergence,
+    SlotPartition,
+    classify_deletion_pairs,
+    classify_insertion_pairs,
+    replica_add_edges,
+    replica_adopt_vertices,
+    replica_remove_edges,
+    replica_remove_vertices,
+)
+from repro.core.sharded import ShardedEngine
+from repro.core.two_swap import DyTwoSwap
+from repro.generators.random_graphs import gnm_random_graph
+from repro.generators.worst_case import (
+    subdivided_complete_graph,
+    subdivided_hypercube_graph,
+)
+from repro.updates.operations import UpdateOperation
+from repro.updates.streams import (
+    flash_crowd_stream,
+    mixed_update_stream,
+)
+from repro.workloads.snapshot import algorithm_to_payload
+
+
+def _fingerprint(algorithm) -> dict:
+    """The full serialised state (snapshot payload) of a run."""
+    return algorithm_to_payload(algorithm)
+
+
+def _reference_run(algorithm_class, graph, ops, *, batch_size, lazy=False):
+    algo = algorithm_class(graph.copy(), lazy=lazy)
+    algo.apply_stream(iter(ops), batch_size=batch_size)
+    return algo
+
+
+def _sharded_run(
+    algorithm_class, graph, ops, *, workers, batch_size, lazy=False
+):
+    with ShardedEngine(
+        algorithm_class(graph.copy(), lazy=lazy), workers=workers
+    ) as engine:
+        engine.apply_stream(iter(ops), batch_size=batch_size)
+        payload = _fingerprint(engine)
+        stats = engine.shard_stats
+    return payload, stats
+
+
+# --------------------------------------------------------------------- #
+# Partition helpers (pure)
+# --------------------------------------------------------------------- #
+class TestSlotPartition:
+    def test_modular_map(self):
+        part = SlotPartition(3)
+        assert [part.shard_of(s) for s in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            SlotPartition(0)
+
+    def test_split_pairs_partitions_without_loss(self):
+        part = SlotPartition(2)
+        pairs = [(0, 2), (0, 1), (3, 5), (4, 1), (6, 8)]
+        per_shard, boundary = part.split_pairs(pairs)
+        assert per_shard == [[(0, 2), (6, 8)], [(3, 5)]]
+        assert boundary == [(0, 1), (4, 1)]
+        # Nothing lost, nothing duplicated, order preserved per output list.
+        assert sorted(per_shard[0] + per_shard[1] + boundary) == sorted(pairs)
+
+    def test_split_pairs_indexed_carries_phase_indices(self):
+        part = SlotPartition(2)
+        pairs = [(0, 2), (0, 1), (3, 5)]
+        per_shard, boundary = part.split_pairs_indexed(pairs)
+        assert per_shard == [[(0, 0, 2)], [(2, 3, 5)]]
+        assert boundary == [(1, 0, 1)]
+
+    def test_single_shard_has_no_boundary(self):
+        part = SlotPartition(1)
+        pairs = [(0, 1), (5, 9)]
+        per_shard, boundary = part.split_pairs(pairs)
+        assert per_shard == [pairs]
+        assert boundary == []
+
+    def test_intra_neighbors_filters_and_sorts(self):
+        part = SlotPartition(2)
+        assert part.intra_neighbors(4, [7, 2, 8, 1, 6]) == [2, 6, 8]
+
+    def test_replica_payloads_cover_intra_edges_only(self):
+        part = SlotPartition(2)
+        adjacency = [set() for _ in range(6)]
+        for u, v in [(0, 2), (0, 1), (1, 3), (4, 5)]:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        payloads = part.replica_payloads([0, 1, 2, 3, 4, 5], adjacency)
+        assert payloads[0] == [(0, [2]), (2, [0])]
+        assert payloads[1] == [(1, [3]), (3, [1])]
+
+
+class TestClassification:
+    MEMBERSHIP = bytearray([1, 0, 0, 1, 0, 1])
+
+    def test_deletion_pairs_match_naive_reference(self):
+        pairs = [(0, 1), (1, 2), (0, 3), (3, 4), (2, 5)]
+        dropped, outside = classify_deletion_pairs(pairs, self.MEMBERSHIP)
+        # One-sided pairs come back as (outside slot, solution slot).
+        assert dropped == [(1, 0), (4, 3), (2, 5)]
+        assert outside == [(1, 2)]
+
+    def test_insertion_pairs_match_naive_reference(self):
+        pairs = [(0, 0, 1), (1, 1, 2), (2, 0, 3), (3, 4, 5)]
+        bumped, conflicts = classify_insertion_pairs(pairs, self.MEMBERSHIP)
+        assert bumped == [(1, 0), (4, 5)]
+        assert conflicts == [(2, 0, 3)]
+
+    def test_published_len_masks_recycled_slots(self):
+        # A slot allocated after publication must read as outside the
+        # solution even if the byte behind it says otherwise.
+        dropped, outside = classify_deletion_pairs(
+            [(1, 5)], self.MEMBERSHIP, published_len=5
+        )
+        assert dropped == [] and outside == [(1, 5)]
+
+    def test_overrides_patch_deleted_solution_slots(self):
+        bumped, conflicts = classify_insertion_pairs(
+            [(0, 0, 3)], self.MEMBERSHIP, None, {0: 0}
+        )
+        assert bumped == [(0, 3)] and conflicts == []
+        bumped, conflicts = classify_insertion_pairs(
+            [(0, 0, 3)], self.MEMBERSHIP, None, {0: 0, 3: 0}
+        )
+        assert bumped == [] and conflicts == []
+
+
+class TestReplicaMaintenance:
+    def test_remove_missing_edge_is_divergence(self):
+        with pytest.raises(ReplicaDivergence):
+            replica_remove_edges({0: {2}}, [(0, 4)])
+
+    def test_add_duplicate_edge_is_divergence(self):
+        adjacency = {}
+        replica_add_edges(adjacency, [(0, 0, 2)])
+        with pytest.raises(ReplicaDivergence):
+            replica_add_edges(adjacency, [(1, 0, 2)])
+
+    def test_vertex_churn_round_trip(self):
+        adjacency = {}
+        replica_add_edges(adjacency, [(0, 0, 2), (1, 2, 4)])
+        replica_remove_vertices(adjacency, [2])
+        assert adjacency == {}
+        replica_adopt_vertices(adjacency, [(6, [0, 4])])
+        assert adjacency == {6: {0, 4}, 0: {6}, 4: {6}}
+        replica_remove_edges(adjacency, [(6, 0), (6, 4)])
+        assert adjacency == {}
+
+
+# --------------------------------------------------------------------- #
+# Delegation paths (no parallel dispatch)
+# --------------------------------------------------------------------- #
+class TestDelegation:
+    def test_workers_1_is_pure_delegation(self):
+        graph = gnm_random_graph(80, 160, seed=3)
+        ops = list(mixed_update_stream(graph, 300, seed=5))
+        reference = _reference_run(DyOneSwap, graph, ops, batch_size=64)
+        with ShardedEngine(DyOneSwap(graph.copy()), workers=1) as engine:
+            engine.apply_stream(iter(ops), batch_size=64)
+            assert engine.worker_pids() == []
+            assert engine.shared_segment_names() == []
+            assert engine.shared_memory_bytes() == 0
+            assert engine.shard_stats.batches_sharded == 0
+            assert engine.shard_stats.pool_builds == 0
+            assert _fingerprint(engine) == _fingerprint(reference)
+
+    def test_small_batches_delegate(self):
+        graph = gnm_random_graph(60, 100, seed=3)
+        ops = list(mixed_update_stream(graph, 40, seed=5))
+        with ShardedEngine(DyOneSwap(graph.copy()), workers=2) as engine:
+            # Below BULK_APPLY_THRESHOLD: no pool is ever built.
+            engine.apply_batch(ops[: engine.BULK_APPLY_THRESHOLD - 1])
+            assert engine.shard_stats.batches_delegated == 1
+            assert engine.shard_stats.batches_sharded == 0
+            assert engine.worker_pids() == []
+
+    def test_closed_engine_keeps_working_via_delegation(self):
+        graph = gnm_random_graph(80, 160, seed=3)
+        ops = list(mixed_update_stream(graph, 400, seed=5))
+        reference = DyOneSwap(graph.copy())
+        reference.apply_stream(iter(ops[:200]), batch_size=64)
+        reference.apply_stream(iter(ops[200:]), batch_size=64)
+        engine = ShardedEngine(DyOneSwap(graph.copy()), workers=2)
+        engine.apply_stream(iter(ops[:200]), batch_size=64)
+        assert engine.shard_stats.batches_sharded > 0
+        engine.close()
+        assert engine.worker_pids() == []
+        assert engine.shared_segment_names() == []
+        engine.apply_stream(iter(ops[200:]), batch_size=64)
+        assert _fingerprint(engine) == _fingerprint(reference)
+
+    def test_single_updates_between_batches_invalidate_replicas(self):
+        graph = gnm_random_graph(80, 160, seed=9)
+        ops = list(mixed_update_stream(graph, 500, seed=11))
+        reference = _reference_run(DyOneSwap, graph, ops, batch_size=1)
+        reference2 = DyOneSwap(graph.copy())
+        reference2.apply_stream(iter(ops[:64]), batch_size=64)
+        for op in ops[64:80]:
+            reference2.apply_update(op)
+        reference2.apply_stream(iter(ops[80:]), batch_size=64)
+        with ShardedEngine(DyOneSwap(graph.copy()), workers=2) as engine:
+            engine.apply_stream(iter(ops[:64]), batch_size=64)
+            for op in ops[64:80]:
+                engine.apply_update(op)
+            engine.apply_stream(iter(ops[80:]), batch_size=64)
+            assert _fingerprint(engine) == _fingerprint(reference2)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ShardedEngine(DyOneSwap(gnm_random_graph(10, 15, seed=1)), workers=0)
+
+
+# --------------------------------------------------------------------- #
+# Bit-for-bit equivalence with the single-process engine
+# --------------------------------------------------------------------- #
+class TestBitForBitEquivalence:
+    @pytest.mark.parametrize("algorithm_class", [DyOneSwap, DyTwoSwap])
+    @pytest.mark.parametrize("lazy", [False, True])
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_mixed_stream(self, algorithm_class, lazy, workers):
+        graph = gnm_random_graph(150, 400, seed=21)
+        ops = list(mixed_update_stream(graph, 600, seed=22, edge_fraction=0.7))
+        reference = _reference_run(
+            algorithm_class, graph, ops, batch_size=64, lazy=lazy
+        )
+        payload, stats = _sharded_run(
+            algorithm_class, graph, ops, workers=workers, batch_size=64, lazy=lazy
+        )
+        assert payload == _fingerprint(reference)
+        assert stats.batches_sharded > 0
+        assert stats.worker_failures == 0
+
+    @pytest.mark.parametrize(
+        "family",
+        [
+            lambda: subdivided_complete_graph(6)[0],
+            lambda: subdivided_hypercube_graph(3)[0],
+        ],
+        ids=["subdivided_K6", "subdivided_Q3"],
+    )
+    def test_worst_case_families(self, family):
+        graph = family()
+        ops = list(mixed_update_stream(graph, 400, seed=31, edge_fraction=0.6))
+        reference = _reference_run(DyOneSwap, graph, ops, batch_size=48)
+        payload, stats = _sharded_run(
+            DyOneSwap, graph, ops, workers=2, batch_size=48
+        )
+        assert payload == _fingerprint(reference)
+        assert stats.worker_failures == 0
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_slot_recycling_churn(self, workers):
+        # Flash crowds retract most of what they insert, so slots are freed
+        # and recycled constantly — the stress case for the published
+        # membership view and the worker replicas.
+        graph = gnm_random_graph(120, 240, seed=41)
+        ops = list(
+            flash_crowd_stream(
+                graph, 1200, burst_size=24, max_neighbors=2, churn=0.9, seed=42
+            )
+        )
+        reference = _reference_run(DyOneSwap, graph, ops, batch_size=64)
+        payload, stats = _sharded_run(
+            DyOneSwap, graph, ops, workers=workers, batch_size=64
+        )
+        assert payload == _fingerprint(reference)
+        assert stats.worker_failures == 0
+
+    def test_same_batch_solution_delete_recycle_and_insert(self):
+        # The membership-staleness scenario, pinned deterministically: one
+        # batch deletes a solution vertex (freeing its slot), inserts a new
+        # vertex (recycling that very slot — the free list is LIFO), and
+        # inserts edges — so the insertion round must read the recycled
+        # slot through the overrides, not the stale published byte.
+        def build():
+            from repro.graphs.dynamic_graph import DynamicGraph
+
+            return DynamicGraph(edges=[(i, i + 1) for i in range(39)])
+
+        probe = DyOneSwap(build())
+        victims = [v for v in sorted(probe.solution()) if 30 <= v <= 35]
+        assert victims, "the path solution must reach into [30, 35]"
+        victim = victims[0]
+        batch = [UpdateOperation.delete_vertex(victim)]
+        batch.append(UpdateOperation.insert_vertex("reborn", [0, 18]))
+        batch.extend(
+            UpdateOperation.insert_edge(i, i + 5) for i in range(11)
+        )
+        batch.extend(UpdateOperation.insert_edge(i, i + 9) for i in range(7))
+        batch.extend(UpdateOperation.insert_edge(i, i + 11) for i in range(5))
+        batch.extend(
+            UpdateOperation.delete_edge(17 + i, 18 + i) for i in range(10)
+        )
+        assert len(batch) >= 32  # above BULK_APPLY_THRESHOLD
+
+        reference = DyOneSwap(build())
+        reference.apply_batch(list(batch))
+        for workers in (2, 3):
+            with ShardedEngine(DyOneSwap(build()), workers=workers) as engine:
+                engine.apply_batch(list(batch))
+                assert engine.shard_stats.batches_sharded == 1
+                assert _fingerprint(engine) == _fingerprint(reference)
+
+
+class TestShardedFuzz:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        graph_seed=st.integers(min_value=0, max_value=2**20),
+        stream_seed=st.integers(min_value=0, max_value=2**20),
+        workers=st.sampled_from([2, 3, 4]),
+        batch_size=st.sampled_from([32, 48]),
+        lazy=st.booleans(),
+    )
+    def test_fuzzed_streams_are_bit_identical(
+        self, graph_seed, stream_seed, workers, batch_size, lazy
+    ):
+        graph = gnm_random_graph(100, 220, seed=graph_seed)
+        ops = list(
+            mixed_update_stream(
+                graph, 350, seed=stream_seed, edge_fraction=0.65
+            )
+        )
+        reference = _reference_run(
+            DyOneSwap, graph, ops, batch_size=batch_size, lazy=lazy
+        )
+        payload, stats = _sharded_run(
+            DyOneSwap,
+            graph,
+            ops,
+            workers=workers,
+            batch_size=batch_size,
+            lazy=lazy,
+        )
+        assert payload == _fingerprint(reference)
+        assert stats.worker_failures == 0
+
+
+# --------------------------------------------------------------------- #
+# Failure paths: crashes must degrade, never diverge
+# --------------------------------------------------------------------- #
+class TestWorkerFailure:
+    def test_kill_between_batches_rebuilds_and_stays_identical(self):
+        graph = gnm_random_graph(150, 400, seed=51)
+        ops = list(mixed_update_stream(graph, 800, seed=52, edge_fraction=0.7))
+        reference = DyOneSwap(graph.copy())
+        reference.apply_stream(iter(ops[:400]), batch_size=64)
+        reference.apply_stream(iter(ops[400:]), batch_size=64)
+        with ShardedEngine(DyOneSwap(graph.copy()), workers=2) as engine:
+            engine.apply_stream(iter(ops[:400]), batch_size=64)
+            pids = engine.worker_pids()
+            assert len(pids) == 2
+            os.kill(pids[0], signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while len(engine.worker_pids()) == 2:
+                assert time.monotonic() < deadline, "killed worker never reaped"
+                time.sleep(0.05)
+            engine.apply_stream(iter(ops[400:]), batch_size=64)
+            # The health check caught the corpse before dispatch: a clean
+            # rebuild, no mid-batch fallback.
+            assert engine.shard_stats.pool_builds >= 2
+            assert _fingerprint(engine) == _fingerprint(reference)
+
+    def test_shard_apply_drill_mid_batch(self):
+        from repro.resilience.faults import SHARD_APPLY, FaultPlan, inject_faults
+
+        graph = gnm_random_graph(150, 400, seed=61)
+        ops = list(mixed_update_stream(graph, 800, seed=62, edge_fraction=0.7))
+        reference = _reference_run(DyOneSwap, graph, ops, batch_size=64)
+        with ShardedEngine(DyOneSwap(graph.copy()), workers=2) as engine:
+            with inject_faults(FaultPlan.at(SHARD_APPLY, 2)) as injector:
+                engine.apply_stream(iter(ops), batch_size=64)
+            assert [f.point for f in injector.fired] == [SHARD_APPLY]
+            stats = engine.shard_stats
+            assert stats.drills == 1
+            # The kill landed on a worker this batch depended on, so the
+            # coordinator had to detect the loss and recompute locally.
+            assert stats.worker_failures >= 1
+            assert stats.fallback_batches == 1
+            assert stats.pool_builds >= 2
+            assert _fingerprint(engine) == _fingerprint(reference)
+
+    def test_no_leaked_segments_after_forced_kill_and_close(self):
+        shm_dir = "/dev/shm"
+        has_shm = os.path.isdir(shm_dir)
+        before = (
+            set(glob.glob(os.path.join(shm_dir, "repro-shard-*")))
+            if has_shm
+            else set()
+        )
+        graph = gnm_random_graph(120, 240, seed=71)
+        ops = list(mixed_update_stream(graph, 400, seed=72))
+        engine = ShardedEngine(DyOneSwap(graph.copy()), workers=2)
+        engine.apply_stream(iter(ops[:200]), batch_size=64)
+        names = engine.shared_segment_names()
+        assert names, "a parallel run must have live segments"
+        for pid in engine.worker_pids():
+            os.kill(pid, signal.SIGKILL)
+        engine.apply_stream(iter(ops[200:]), batch_size=64)
+        engine.close()
+        assert engine.shared_segment_names() == []
+        if has_shm:
+            after = set(glob.glob(os.path.join(shm_dir, "repro-shard-*")))
+            assert after - before == set(), "leaked shared-memory segments"
+
+
+# --------------------------------------------------------------------- #
+# Runner integration: workers= and checkpoint parity
+# --------------------------------------------------------------------- #
+class TestRunnerIntegration:
+    def _measurement_fingerprint(self, measurement):
+        return (
+            measurement.num_updates,
+            measurement.initial_size,
+            measurement.final_size,
+            measurement.memory_footprint,
+            measurement.finished,
+            tuple(sorted(measurement.extra.items())),
+        )
+
+    def test_workers_option_matches_single_process_and_checkpoints(
+        self, tmp_path
+    ):
+        from repro.experiments.runner import run_algorithm
+        from repro.workloads.replay import (
+            CheckpointConfig,
+            latest_valid_checkpoint,
+            load_checkpoint,
+        )
+
+        graph = gnm_random_graph(150, 400, seed=81)
+        ops = list(mixed_update_stream(graph, 700, seed=82, edge_fraction=0.7))
+        reference = run_algorithm(
+            "DyOneSwap", graph.copy(), iter(ops), batch_size=64
+        )
+        sharded = run_algorithm(
+            "DyOneSwap",
+            graph.copy(),
+            iter(ops),
+            batch_size=64,
+            workers=2,
+            checkpoint=CheckpointConfig(directory=tmp_path, every=256),
+        )
+        assert self._measurement_fingerprint(
+            sharded
+        ) == self._measurement_fingerprint(reference)
+        # The checkpoint captures the *inner* engine: restorable under
+        # either execution mode, byte-identical to a 1-process run's.
+        ckpt_path = latest_valid_checkpoint(tmp_path, "DyOneSwap")
+        assert ckpt_path is not None
+        checkpoint = load_checkpoint(ckpt_path)
+        assert checkpoint.payload["class"] == "DyOneSwap"
+        resumed = run_algorithm(
+            "DyOneSwap",
+            graph.copy(),
+            iter(ops),
+            batch_size=64,
+            workers=2,
+            resume_from=ckpt_path,
+            checkpoint=CheckpointConfig(directory=tmp_path, every=256),
+        )
+        assert self._measurement_fingerprint(
+            resumed
+        ) == self._measurement_fingerprint(reference)
+
+    def test_workers_must_be_positive(self):
+        from repro.exceptions import ExperimentError
+        from repro.experiments.runner import run_algorithm
+
+        graph = gnm_random_graph(20, 30, seed=1)
+        with pytest.raises(ExperimentError):
+            run_algorithm("DyOneSwap", graph, iter([]), workers=0)

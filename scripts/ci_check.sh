@@ -45,6 +45,10 @@ echo "== resilience smoke: seed-pinned crash-simulation replay =="
 python -m repro.resilience.smoke
 
 echo
+echo "== service smoke: SIGKILL a live gateway, restart, verify bit-identical =="
+python -m repro.service.smoke
+
+echo
 echo "== quick benchmark vs committed BENCH_core.json (per-update regression"
 echo "   beyond the tolerance or any solution-size change fails the check) =="
 scratch="${BENCH_OUTPUT:-$(mktemp -t bench_core_ci.XXXXXX.json)}"

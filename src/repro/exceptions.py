@@ -154,6 +154,41 @@ class RecoveryExhaustedError(ResilienceError):
         self.history = tuple(history)
 
 
+class ServiceError(ReproError):
+    """Base class for the always-on service layer (:mod:`repro.service`).
+
+    Covers tenant configuration mistakes, protocol violations on the wire
+    and requests against tenants that cannot serve them.  Transient
+    conditions the client is expected to retry (overload shedding, drain
+    rejections, query deadlines) are reported as structured error *replies*
+    on the wire rather than exceptions, so a misbehaving client can never
+    take the gateway down.
+    """
+
+
+class WireError(ServiceError):
+    """Raised when a wire message cannot be encoded or decoded.
+
+    The service speaks newline-delimited JSON; oversized lines, invalid
+    JSON, non-object documents and malformed operation encodings all land
+    here.  The gateway converts it into an error reply and keeps serving.
+    """
+
+
+class OverloadedError(ServiceError):
+    """Raised when a tenant's bounded ingest queue cannot absorb a request.
+
+    ``accepted`` carries the tenant's durable ingest position so the client
+    knows exactly where to resume once pressure drops.  The gateway
+    translates this into an explicit ``overloaded`` reply — load shedding
+    is a contract, not a crash.
+    """
+
+    def __init__(self, message: str, accepted: int = 0) -> None:
+        super().__init__(message)
+        self.accepted = accepted
+
+
 class InjectedFault(ResilienceError):
     """Raised by a :class:`~repro.resilience.faults.FaultInjector` at a planned fault point.
 

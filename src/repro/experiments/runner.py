@@ -24,6 +24,7 @@ from typing import (
     Dict,
     Iterable,
     Iterator,
+    List,
     Optional,
     Sequence,
     Set,
@@ -117,9 +118,36 @@ SNAPSHOT_CAPABLE: Tuple[str, ...] = (
 )
 
 
+def supports_snapshots(name: str) -> bool:
+    """Whether the registered algorithm ``name`` can be checkpointed.
+
+    Shared by the runner's checkpoint validation and the service layer's
+    tenant bootstrap (a tenant without snapshot support could never be
+    warm-started or crash-recovered, so it is rejected at configuration
+    time).
+    """
+    return name in SNAPSHOT_CAPABLE
+
+
 def _supports_snapshots(name: str, options: Dict) -> bool:
     del options  # capability is a property of the registered class
-    return name in SNAPSHOT_CAPABLE
+    return supports_snapshots(name)
+
+
+def release_engine(algorithm) -> None:
+    """Deterministically release an engine's external resources.
+
+    A plain algorithm holds nothing beyond Python objects, but a
+    :class:`~repro.core.sharded.ShardedEngine` owns worker processes and
+    ``/dev/shm`` segments.  Those are finalizer-backed, yet a crashed run's
+    exception traceback can keep the engine (and therefore its segments)
+    alive for as long as the caller holds the exception — exactly the
+    supervised-restart window.  Every path that abandons an engine calls
+    this instead of trusting garbage collection.
+    """
+    close = getattr(algorithm, "close", None)
+    if callable(close):
+        close()
 
 
 def available_algorithms() -> Tuple[str, ...]:
@@ -287,6 +315,59 @@ def _run_single(
     guard: Optional[Callable] = None,
     guard_every: Optional[int] = None,
 ) -> Tuple[RunMeasurement, object]:
+    """Crash-safe wrapper around :func:`_run_single_inner`.
+
+    On any exception the engines created by the attempt are released via
+    :func:`release_engine` before the exception propagates.  Without this,
+    a sharded engine abandoned by a crash stays pinned by the traceback
+    frames of the in-flight exception — for a supervised tenant that means
+    worker pools and ``/dev/shm`` segments leaking for the whole
+    backoff-and-restart window, once per restart.
+    """
+    created: List[object] = []
+    try:
+        return _run_single_inner(
+            name,
+            graph,
+            stream,
+            dataset=dataset,
+            initial_solution=initial_solution,
+            time_limit_seconds=time_limit_seconds,
+            check_interval=check_interval,
+            batch_size=batch_size,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+            options=options,
+            guard=guard,
+            guard_every=guard_every,
+            _algo_box=created,
+        )
+    except BaseException:
+        for algorithm in created:
+            try:
+                release_engine(algorithm)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        raise
+
+
+def _run_single_inner(
+    name: str,
+    graph: DynamicGraph,
+    stream: Iterable,
+    *,
+    dataset: str,
+    initial_solution: Optional[Iterable[Vertex]],
+    time_limit_seconds: Optional[float],
+    check_interval: int,
+    batch_size: int,
+    checkpoint: Optional[CheckpointConfig],
+    resume_from: Optional[Union[str, Path]],
+    options: Dict,
+    guard: Optional[Callable] = None,
+    guard_every: Optional[int] = None,
+    _algo_box: Optional[List[object]] = None,
+) -> Tuple[RunMeasurement, object]:
     """Shared engine of :func:`run_algorithm` / :func:`run_competition`.
 
     Returns ``(measurement, algorithm)`` — the caller may need the live
@@ -391,7 +472,12 @@ def _run_single(
         def factory(restored_graph, solution, **snapshot_options):
             merged = dict(options)
             merged.update(snapshot_options)
-            return create_algorithm(name, restored_graph, solution, **merged)
+            built = create_algorithm(name, restored_graph, solution, **merged)
+            if _algo_box is not None:
+                # Registered the moment it exists: a restore that fails
+                # *after* building the engine must still release it.
+                _algo_box.append(built)
+            return built
 
         algorithm = restored.restore(factory)
         skip = restored.processed
@@ -400,6 +486,8 @@ def _run_single(
     else:
         working_graph = graph.copy()
         algorithm = create_algorithm(name, working_graph, initial_solution, **options)
+        if _algo_box is not None:
+            _algo_box.append(algorithm)
         initial_size = algorithm.solution_size
     # The per-session cutoff accounts for update time already spent before
     # the resume, mirroring the paper's per-run budget.

@@ -33,6 +33,7 @@ from repro.generators.random_graphs import (
 )
 from repro.generators.worst_case import (
     complete_graph,
+    flicker_update_stream,
     hypercube_graph,
     subdivide,
     subdivided_complete_graph,
@@ -65,6 +66,7 @@ __all__ = [
     "random_tree",
     "random_bipartite_graph",
     "complete_graph",
+    "flicker_update_stream",
     "hypercube_graph",
     "subdivide",
     "subdivided_complete_graph",

@@ -18,10 +18,13 @@ verifying the bound of Theorem 2 is tight in the sense of Theorem 3.
 
 from __future__ import annotations
 
+import random
 from itertools import combinations
 from typing import Dict, List, Set, Tuple
 
 from repro.graphs.dynamic_graph import DynamicGraph
+from repro.updates.operations import UpdateOperation, apply_update
+from repro.updates.streams import UpdateStream
 
 
 def complete_graph(num_vertices: int) -> DynamicGraph:
@@ -106,6 +109,82 @@ def worst_case_ratio(num_original: int, num_subdivision: int) -> float:
     if num_original == 0:
         return 0.0
     return num_subdivision / num_original
+
+
+def flicker_update_stream(
+    num_vertices: int = 6,
+    *,
+    rounds: int = 20,
+    seed: int = 0,
+) -> Tuple[DynamicGraph, UpdateStream]:
+    """Adversarial *flicker* workload over the ``K'_n`` Theorem 3 witness.
+
+    Each round picks one subdivision vertex ``w`` of ``K'_n`` (sitting on the
+    original edge ``u - v``) and flickers it: delete both incident paths
+    ``u - w`` and ``w - v``, momentarily re-join the original endpoints with a
+    direct edge ``u - v``, then retract it and restore the subdivision.  Every
+    round is a no-op on the graph, but each step lands exactly on the
+    structure Theorem 3 exploits — the swap engine is repeatedly dragged
+    between the ``n``-sized k-maximal solution (original vertices) and the
+    ``m``-sized optimum (subdivision vertices), so candidate queues never go
+    quiet.  A second flavour of round flickers a whole subdivision *vertex*
+    (delete ``w`` with its path, re-insert it with the same neighbours).
+
+    The net effect of the full stream is identity: the final graph equals the
+    initial witness, which makes the stream ideal as a service-ingest
+    workload — any engine digest after the stream can be compared against a
+    warm-started reference without replaying history.
+
+    Returns ``(graph, stream)``: the initial ``K'_n`` witness and a seeded,
+    materialised :class:`~repro.updates.streams.UpdateStream` whose
+    description pins the construction parameters.
+    """
+    if num_vertices < 3:
+        raise ValueError("flicker_update_stream requires num_vertices >= 3")
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    graph, originals, _subdivisions = subdivided_complete_graph(num_vertices)
+    base = complete_graph(num_vertices)
+    _, sub_map, _ = subdivide(base)
+    rng = random.Random(seed)
+    edges = sorted(sub_map)
+    scratch = graph.copy()
+    operations: List[UpdateOperation] = []
+
+    def emit(operation: UpdateOperation) -> None:
+        apply_update(scratch, operation)
+        operations.append(operation)
+
+    for round_index in range(rounds):
+        u, v = edges[rng.randrange(len(edges))]
+        w = sub_map[(u, v)]
+        if round_index % 2 == 0:
+            # Edge flicker: collapse the subdivision into a direct edge and back.
+            emit(UpdateOperation.delete_edge(u, w))
+            emit(UpdateOperation.delete_edge(w, v))
+            emit(UpdateOperation.insert_edge(u, v))
+            emit(UpdateOperation.delete_edge(u, v))
+            emit(UpdateOperation.insert_edge(u, w))
+            emit(UpdateOperation.insert_edge(w, v))
+        else:
+            # Vertex flicker: drop the subdivision vertex and bring it back
+            # with its incident path in one compound insertion.
+            emit(UpdateOperation.delete_vertex(w))
+            emit(UpdateOperation.insert_vertex(w, (u, v)))
+    stream = UpdateStream(
+        operations=operations,
+        description=(
+            f"worst-case-flicker(n={num_vertices},rounds={rounds},seed={seed})"
+        ),
+        seed=seed,
+        metadata={
+            "family": "subdivided_complete",
+            "parameter": num_vertices,
+            "rounds": rounds,
+            "originals": len(originals),
+        },
+    )
+    return graph, stream
 
 
 def theorem3_witnesses(max_clique_size: int = 8, max_hypercube_dim: int = 5) -> List[dict]:

@@ -36,6 +36,10 @@ from repro.resilience.faults import (
     COALESCE,
     FAULT_POINTS,
     FETCH,
+    SERVICE_INGEST,
+    SERVICE_QUERY,
+    SERVICE_SHUTDOWN,
+    SHARD_APPLY,
     SNAPSHOT_WRITE,
     STREAM_READ,
     FaultInjector,
@@ -80,6 +84,10 @@ __all__ = [
     "SNAPSHOT_WRITE",
     "CACHE_READ",
     "FETCH",
+    "SHARD_APPLY",
+    "SERVICE_INGEST",
+    "SERVICE_QUERY",
+    "SERVICE_SHUTDOWN",
     "FaultPlan",
     "FaultInjector",
     "FiredFault",

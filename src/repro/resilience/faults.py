@@ -27,6 +27,18 @@ point                     where it fires
                           (once per parallel batch, before dispatch; the
                           engine converts the fault into a SIGKILL of one
                           live shard worker — the worker-crash drill)
+``service.ingest``        :meth:`~repro.service.tenant.Tenant.offer`
+                          (once per ingest request, before admission; the
+                          gateway degrades it to an ``injected-fault`` error
+                          reply — the connection and the tenant survive)
+``service.query``         the gateway's query dispatch
+                          (once per membership/solution query; degraded to
+                          an error reply like ``service.ingest``)
+``service.shutdown``      :meth:`~repro.service.tenant.Tenant.drain`
+                          (once per tenant drain, before the final
+                          checkpoint; the gateway retries the drain under
+                          its retry policy, so graceful shutdown still
+                          flushes and closes)
 ========================  ====================================================
 
 — and a seedable :class:`FaultPlan` that says *at which traversal counts*
@@ -71,6 +83,9 @@ SNAPSHOT_WRITE = "snapshot.write"
 CACHE_READ = "cache.read"
 FETCH = "fetch"
 SHARD_APPLY = "shard.apply"
+SERVICE_INGEST = "service.ingest"
+SERVICE_QUERY = "service.query"
+SERVICE_SHUTDOWN = "service.shutdown"
 
 FAULT_POINTS: FrozenSet[str] = frozenset(
     (
@@ -82,6 +97,9 @@ FAULT_POINTS: FrozenSet[str] = frozenset(
         CACHE_READ,
         FETCH,
         SHARD_APPLY,
+        SERVICE_INGEST,
+        SERVICE_QUERY,
+        SERVICE_SHUTDOWN,
     )
 )
 

@@ -18,6 +18,14 @@ deterministic scenarios run against the quick temporal workload:
    torn checkpoint write.  The recovered sharded measurement must be
    bit-identical to the uninterrupted *single-process* reference: worker
    crashes degrade a batch to local recompute, never change its result.
+4. *Service*: the same workload ingested through a live in-process
+   gateway (:mod:`repro.service`) over a real Unix socket, with faults at
+   every service point — a rejected ingest admission, a degraded query, a
+   mid-batch engine crash (supervised tenant restart with replay-buffer
+   recovery), a torn checkpoint write and an injected crash during the
+   shutdown drain.  The client retries degraded replies; the drained
+   tenant's engine digest must equal an uninterrupted in-process run with
+   the same batch boundaries, and the final checkpoint must verify.
 
 Everything is pinned — fault plans, workload seed, retry policy (zero
 backoff, so the smoke check costs CI no sleeping) — making a failure here
@@ -34,6 +42,9 @@ from repro.resilience.faults import (
     BULK_APPLY,
     CHECKPOINT_WRITE,
     COALESCE,
+    SERVICE_INGEST,
+    SERVICE_QUERY,
+    SERVICE_SHUTDOWN,
     SHARD_APPLY,
     STREAM_READ,
     FaultPlan,
@@ -107,6 +118,97 @@ def _scenario(
             f"run: {_fingerprint(result.measurement)} != "
             f"{_fingerprint(reference)}"
         )
+    return None
+
+
+def _service_scenario(name, operations, workdir) -> "str | None":
+    """Fault-injected in-process gateway vs an uninterrupted reference.
+
+    Exercises every ``service.*`` fault point plus a mid-batch engine crash
+    and a torn checkpoint write, over a real Unix-socket round-trip.
+    Returns the failure message or ``None``.
+    """
+    from repro.experiments.runner import create_algorithm, release_engine
+    from repro.graphs.dynamic_graph import DynamicGraph
+    from repro.service import ServiceConfig, ServiceThread, TenantSpec
+    from repro.service.tenant import engine_digest
+    from repro.updates.protocol import chunked
+    from repro.workloads.replay import latest_valid_checkpoint, load_checkpoint
+
+    batch = 64
+    # Reference first, outside the injector: uninterrupted, same boundaries.
+    reference_engine = create_algorithm("DyOneSwap", DynamicGraph(), None)
+    try:
+        for group in chunked(iter(operations), batch):
+            reference_engine.apply_batch(group, coalesce=True)
+        expected_digest = engine_digest(reference_engine)
+    finally:
+        release_engine(reference_engine)
+    plan = FaultPlan.union(
+        FaultPlan.at(SERVICE_INGEST, 2),
+        FaultPlan.at(SERVICE_QUERY, 1),
+        FaultPlan.at(BULK_APPLY, 3),
+        FaultPlan.at(CHECKPOINT_WRITE, 2),
+        FaultPlan.at(SERVICE_SHUTDOWN, 1),
+    )
+    config = ServiceConfig(
+        data_dir=str(workdir / "data"),
+        unix_socket=str(workdir / "service.sock"),
+        tenants=(
+            TenantSpec(
+                name="svc",
+                batch_size=batch,
+                window_max=batch * 4,
+                adaptive=False,
+                checkpoint_every=batch * 2,
+            ),
+        ),
+        retry=_RETRY,
+    )
+    with inject_faults(plan) as injector:
+        with ServiceThread(config) as service:
+            with service.client() as client:
+                # ingest_stream retries the injected admission rejection.
+                client.ingest_stream("svc", operations, chunk=batch)
+                query = client.query("svc", 0)
+                query_retries = 0
+                while not query.get("ok") and query_retries < 5:
+                    query_retries += 1  # the degraded (injected) reply
+                    query = client.query("svc", 0)
+                digest_reply = client.digest("svc")
+        report = service.report
+    fired = [(f.point, f.hit) for f in injector.fired]
+    print(f"  {name}: {plan.describe()}")
+    print(f"  {name}: {len(fired)} faults fired {fired}")
+    fired_points = {point for point, _hit in fired}
+    for point in (
+        SERVICE_INGEST,
+        SERVICE_QUERY,
+        SERVICE_SHUTDOWN,
+        BULK_APPLY,
+        CHECKPOINT_WRITE,
+    ):
+        if point not in fired_points:
+            return (
+                f"{name}: required fault point {point!r} never fired — "
+                f"the scenario tested nothing at it"
+            )
+    if not query.get("ok"):
+        return f"{name}: query never recovered from the injected fault: {query}"
+    if not digest_reply.get("ok"):
+        return f"{name}: digest request failed: {digest_reply}"
+    if digest_reply["digest"] != expected_digest:
+        return (
+            f"{name}: drained engine digest diverges from the uninterrupted "
+            f"run ({digest_reply['digest'][:16]}… != {expected_digest[:16]}…)"
+        )
+    if report is None or not report.clean:
+        return f"{name}: shutdown drain was not clean: {report}"
+    final = latest_valid_checkpoint(workdir / "data" / "svc", "DyOneSwap")
+    if final is None:
+        return f"{name}: drain left no valid final checkpoint"
+    if load_checkpoint(final).processed != len(operations):
+        return f"{name}: final checkpoint does not cover the whole stream"
     return None
 
 
@@ -192,6 +294,13 @@ def main(argv=None) -> int:
             every=128,
             workers=2,
         )
+        if failure:
+            failures.append(failure)
+        # Scenario 4 — the always-on service layer: the same operations
+        # ingested through a live gateway over a Unix socket, with faults
+        # at admission, query, batch apply, checkpoint write and the
+        # shutdown drain.
+        failure = _service_scenario("service", list(stream), tmp / "s4")
         if failure:
             failures.append(failure)
     if failures:

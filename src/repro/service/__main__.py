@@ -1,0 +1,97 @@
+"""CLI entry point: ``python -m repro.service --config service.json``.
+
+Runs one gateway process until SIGTERM/SIGINT, then drains gracefully
+(flush queues, final verified checkpoints, close listeners).  The
+``parse_args`` / ``load_config`` / ``serve`` split keeps every piece unit-
+testable without spawning a process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import List, Optional, Sequence
+
+from repro.service.config import ServiceConfig
+from repro.service.gateway import MISGateway
+
+
+def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the always-on dynamic-MIS gateway.",
+    )
+    parser.add_argument("--config", required=True, help="service config JSON")
+    parser.add_argument("--port", type=int, default=None, help="override TCP port")
+    parser.add_argument("--unix", default=None, help="override Unix socket path")
+    parser.add_argument("--data-dir", default=None, help="override data directory")
+    return parser.parse_args(argv)
+
+
+def load_config(args: argparse.Namespace) -> ServiceConfig:
+    config = ServiceConfig.from_file(args.config)
+    overrides = {}
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.unix is not None:
+        overrides["unix_socket"] = args.unix
+    if args.data_dir is not None:
+        overrides["data_dir"] = args.data_dir
+    if overrides:
+        document = config.to_dict()
+        document.update(overrides)
+        config = ServiceConfig.from_dict(document)
+    return config
+
+
+def _banner(message: str) -> None:
+    print(message, flush=True)
+
+
+async def serve(config: ServiceConfig, *, banner=_banner) -> None:
+    """Start a gateway and run until a termination signal, then drain."""
+    gateway = MISGateway(config)
+    await gateway.start()
+    await gateway.wait_ready()
+    listeners: List[str] = []
+    if gateway.port is not None:
+        listeners.append(f"{config.host}:{gateway.port}")
+    if gateway.unix_path is not None:
+        listeners.append(f"unix:{gateway.unix_path}")
+    banner(f"repro-service listening on {', '.join(listeners)}")
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    # Wake on a termination signal *or* on a client-issued shutdown command
+    # (the gateway closes itself in that case; shutdown() is idempotent).
+    waiters = [
+        asyncio.ensure_future(stop.wait()),
+        asyncio.ensure_future(gateway.wait_closed()),
+    ]
+    try:
+        await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+    finally:
+        for waiter in waiters:
+            waiter.cancel()
+    report = await gateway.shutdown()
+    for tenant in report.tenants:
+        banner(
+            f"repro-service drained tenant {tenant.name}: {tenant.status}, "
+            f"durable={tenant.durable}"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    config = load_config(parse_args(argv))
+    asyncio.run(serve(config))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,587 @@
+"""One supervised tenant: engine, bounded queue, durability, recovery.
+
+A :class:`Tenant` owns one maintenance engine inside the gateway's event
+loop.  Everything that touches the engine happens in that loop (batch
+application is synchronous between awaits), so queries always observe a
+batch boundary — a k-maximal, snapshot-clean solution.
+
+Responsibilities, and how they compose:
+
+* **Admission** (:meth:`offer`): a bounded queue with exactly-once sequence
+  accounting.  Clients tag operations with absolute 1-based positions; gaps
+  are rejected with the expected position, full duplicates acknowledged
+  idempotently, overlapping resends trimmed to their novel tail.  A batch
+  that would overflow ``queue_cap`` is shed whole
+  (:class:`~repro.exceptions.OverloadedError`) — all-or-nothing, so the
+  sequence space never fragments.
+* **Backpressure** (:meth:`_window`): under load the serve loop widens the
+  coalescer batch window in whole-``batch_size`` steps toward
+  ``window_max`` *before* the queue ever sheds — degradation order is
+  "coalesce harder, then refuse loudly", never silent loss.
+* **Durability**: checkpoints on the operation-interval and/or wall-clock
+  policy of :class:`~repro.workloads.replay.CheckpointConfig`, written at
+  batch boundaries, carrying a chained stream fingerprint (resumable across
+  process death, unlike a hashing cursor's in-memory state) and service
+  metadata so a warm start can refuse a config-mismatched checkpoint.
+* **Supervision** (:meth:`run`): a crashed engine (injected fault, I/O
+  error, integrity violation) is released (worker pools and shared memory
+  freed deterministically — see
+  :func:`~repro.experiments.runner.release_engine`), restored from the
+  newest *valid* checkpoint and brought back to the exact pre-crash state
+  by replaying the in-memory replay buffer with the **original batch
+  boundaries** — recovery is bit-identical and invisible to clients, while
+  other tenants keep serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.exceptions import OverloadedError, ServiceError
+from repro.experiments.runner import create_algorithm, release_engine
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.resilience.faults import SERVICE_INGEST, SERVICE_SHUTDOWN, trip
+from repro.resilience.supervisor import RECOVERABLE, RetryPolicy
+from repro.service.config import TenantSpec
+from repro.updates.operations import UpdateOperation
+from repro.updates.protocol import encode_operation
+from repro.workloads.replay import (
+    latest_valid_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.workloads.snapshot import algorithm_to_payload, load_snapshot
+
+#: Anchor of the chained stream fingerprint.  Unlike the experiment
+#: runner's :class:`~repro.updates.protocol.StreamCursor` (whose incremental
+#: hash object dies with the process), the chain ``fp_n = sha256(fp_{n-1}
+#: || op_n)`` is resumable from the hex digest stored in any checkpoint.
+FINGERPRINT_SEED = hashlib.sha256(b"repro-service/1").hexdigest()
+
+#: Marker stored in checkpoint metadata so foreign checkpoints (e.g. an
+#: experiment run sharing a directory) are never warm-started from.
+SERVICE_FORMAT = "repro-service/1"
+
+
+def chain_fingerprint(fingerprint: str, operation: UpdateOperation) -> str:
+    """Advance the chained fingerprint by one operation."""
+    entry = json.dumps(encode_operation(operation), separators=(",", ":"))
+    return hashlib.sha256(
+        bytes.fromhex(fingerprint) + entry.encode("utf-8")
+    ).hexdigest()
+
+
+def engine_digest(algorithm) -> str:
+    """Canonical SHA-256 of the engine's full snapshot payload.
+
+    Two engines with bit-identical state (graph, solution, counters) hash
+    equal; anything less does not.  This is the equality the chaos drill
+    asserts between a crash-recovered tenant and an uninterrupted run.
+    """
+    payload = algorithm_to_payload(algorithm)
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+class Tenant:
+    """One engine instance under supervision inside the gateway loop."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        data_dir,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.spec = spec
+        self.data_dir = Path(data_dir)
+        self.retry = retry or RetryPolicy()
+        self.checkpoints = spec.checkpoint_config(self.data_dir)
+        self.engine = None
+        self.status = "starting"
+        #: Absolute op counters: ``accepted`` ops admitted to the queue,
+        #: ``applied`` ops applied to the engine, ``durable`` ops covered by
+        #: the newest checkpoint.  Invariant: durable <= applied <= accepted.
+        self.accepted = 0
+        self.applied = 0
+        self.durable = 0
+        self.fingerprint = FINGERPRINT_SEED
+        self._durable_fp = FINGERPRINT_SEED
+        self._attempt = 0
+        self.final_checkpoint: Optional[Path] = None
+        self.stats: Dict[str, int] = {
+            "sheds": 0,
+            "crashes": 0,
+            "restarts": 0,
+            "checkpoints": 0,
+            "batches": 0,
+            "peak_queue": 0,
+            "peak_window": 0,
+        }
+        self.crashes: List[str] = []
+        self._initial_size = 0
+        self._pending: Deque[UpdateOperation] = deque()
+        #: Batches applied since the last checkpoint, with their original
+        #: boundaries — the recovery replay re-applies exactly these groups,
+        #: which is what makes in-process recovery bit-identical even in
+        #: adaptive (timing-dependent) windowing mode.
+        self._replay: Deque[List[UpdateOperation]] = deque()
+        self._subscribers: List[Callable[[Dict], None]] = []
+        self._work = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.ready = asyncio.Event()
+        self._drain_requested = False
+        self._flush_requested = False
+        self._paused = False
+        self._last_checkpoint_time = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Admission (called by the gateway, in-loop)
+    # ------------------------------------------------------------------ #
+    def offer(self, operations: Sequence[UpdateOperation], seq: int) -> Dict:
+        """Admit ``operations`` starting at absolute position ``seq`` (1-based).
+
+        Returns the counter triple on success.  Raises
+        :class:`~repro.exceptions.ServiceError` on a sequence gap or when
+        not accepting, :class:`~repro.exceptions.OverloadedError` when the
+        bounded queue cannot absorb the novel suffix (all-or-nothing: no
+        partial admission, the client retries the whole request later).
+        """
+        trip(SERVICE_INGEST)
+        if self.status in ("draining", "stopped", "failed"):
+            raise ServiceError(f"tenant {self.spec.name!r} is {self.status}")
+        if seq < 1:
+            raise ServiceError("seq must be >= 1")
+        expected = self.accepted + 1
+        if seq > expected:
+            gap = ServiceError(f"sequence gap: got seq {seq}, expected {expected}")
+            # Machine-readable resume hint; the gateway copies it into the
+            # error reply so the client can re-send from the right position.
+            gap.expected = expected
+            raise gap
+        novel = list(operations[expected - seq :])
+        if not novel:
+            # Full duplicate of already-admitted operations: idempotent ack.
+            return self.offsets()
+        if len(self._pending) + len(novel) > self.spec.queue_cap:
+            self.stats["sheds"] += 1
+            raise OverloadedError(
+                f"tenant {self.spec.name!r} queue is full "
+                f"({len(self._pending)}/{self.spec.queue_cap}); retry later",
+                accepted=self.accepted,
+            )
+        self._pending.extend(novel)
+        self.accepted += len(novel)
+        self.stats["peak_queue"] = max(self.stats["peak_queue"], len(self._pending))
+        self._idle.clear()
+        self._work.set()
+        return self.offsets()
+
+    def offsets(self) -> Dict:
+        """The counter triple plus identity — the client resume protocol."""
+        return {
+            "accepted": self.accepted,
+            "applied": self.applied,
+            "durable": self.durable,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "queue_depth": len(self._pending),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Queries (in-loop; the engine is never observed mid-batch)
+    # ------------------------------------------------------------------ #
+    def in_solution(self, label) -> bool:
+        """Membership of ``label`` in the current k-maximal solution."""
+        if self.engine is None:
+            raise ServiceError(f"tenant {self.spec.name!r} engine is down")
+        graph = self.engine.graph
+        if not graph.has_vertex(label):
+            return False
+        return bool(self.engine._in_sol[graph.slot_of(label)])
+
+    def solution(self) -> List:
+        if self.engine is None:
+            raise ServiceError(f"tenant {self.spec.name!r} engine is down")
+        return sorted(self.engine.solution(), key=repr)
+
+    def solution_size(self) -> int:
+        if self.engine is None:
+            raise ServiceError(f"tenant {self.spec.name!r} engine is down")
+        return self.engine.solution_size
+
+    def digest(self) -> str:
+        if self.engine is None:
+            raise ServiceError(f"tenant {self.spec.name!r} engine is down")
+        return engine_digest(self.engine)
+
+    def subscribe(self, callback: Callable[[Dict], None]) -> None:
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Dict], None]) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    # ------------------------------------------------------------------ #
+    # Control (gateway / tests)
+    # ------------------------------------------------------------------ #
+    async def flush(self) -> None:
+        """Apply everything admitted so far, including a partial tail batch."""
+        self._flush_requested = True
+        self._work.set()
+        await self._idle.wait()
+
+    def request_drain(self) -> None:
+        self._drain_requested = True
+        self._work.set()
+
+    def pause(self) -> None:
+        """Test hook: stop applying batches (admission continues) — the
+        deterministic way to fill the bounded queue in backpressure tests."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+        self._work.set()
+
+    # ------------------------------------------------------------------ #
+    # Supervision loop
+    # ------------------------------------------------------------------ #
+    async def run(self) -> None:
+        """Bootstrap, serve, and absorb recoverable crashes until drained.
+
+        The attempt counter resets whenever a batch lands successfully
+        (:meth:`_apply_batch`), so ``max_attempts`` bounds *consecutive*
+        failures, not lifetime crashes of a long-lived tenant.
+        """
+        bootstrapped = False
+        while True:
+            try:
+                if self.engine is None:
+                    # First boot goes through the warm-start priority chain;
+                    # every later rebuild must go through _recover, which
+                    # preserves the admission counters and replays the
+                    # buffered batches to the exact pre-crash state.
+                    if bootstrapped:
+                        self._recover()
+                        self.stats["restarts"] += 1
+                    else:
+                        self._bootstrap()
+                        bootstrapped = True
+                self.status = "serving"
+                self.ready.set()
+                await self._serve()
+                return
+            except asyncio.CancelledError:
+                self._release()
+                raise
+            except RECOVERABLE as exc:
+                self.ready.clear()
+                self.status = "recovering"
+                self.stats["crashes"] += 1
+                self.crashes.append(f"{type(exc).__name__}: {exc}")
+                self._release()
+                self._attempt += 1
+                if self._attempt >= self.retry.max_attempts:
+                    self.status = "failed"
+                    self._idle.set()  # never strand a flush() waiter
+                    return
+                await asyncio.sleep(self.retry.delay(self._attempt))
+            except BaseException:
+                self.status = "failed"
+                self.ready.clear()
+                self._release()
+                self._idle.set()
+                raise
+
+    def _release(self) -> None:
+        """Free the engine's external resources *now* (shared memory, worker
+        pools), not whenever the garbage collector gets around to it."""
+        if self.engine is not None:
+            engine, self.engine = self.engine, None
+            try:
+                release_engine(engine)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def _bootstrap(self) -> None:
+        """Warm-start priority: newest valid checkpoint > snapshot > fresh."""
+        spec = self.spec
+        checkpoint_path = latest_valid_checkpoint(
+            self.checkpoints.directory, spec.algorithm
+        )
+        if checkpoint_path is not None:
+            restored = load_checkpoint(checkpoint_path)
+            meta = restored.metadata
+            if meta.get("service") != SERVICE_FORMAT or meta.get("tenant") != spec.name:
+                raise ServiceError(
+                    f"checkpoint {checkpoint_path} was not written by service "
+                    f"tenant {spec.name!r}; refusing to warm-start from it"
+                )
+            if restored.batch_size != spec.batch_size:
+                raise ServiceError(
+                    f"checkpoint {checkpoint_path} was written with "
+                    f"batch_size={restored.batch_size}; tenant {spec.name!r} is "
+                    f"configured with batch_size={spec.batch_size} — resuming "
+                    "would shift every batch boundary"
+                )
+            self.engine = restored.restore(self._factory)
+            self.applied = self.accepted = self.durable = restored.processed
+            self.fingerprint = restored.stream_identity or FINGERPRINT_SEED
+            self._durable_fp = self.fingerprint
+            self._initial_size = restored.initial_size
+        elif spec.snapshot is not None:
+            self.engine = load_snapshot(spec.snapshot, self._factory)
+            self._initial_size = self.engine.solution_size
+        else:
+            self.engine = create_algorithm(
+                spec.algorithm, DynamicGraph(), None, **dict(spec.options)
+            )
+            self._initial_size = self.engine.solution_size
+        self._last_checkpoint_time = time.monotonic()
+
+    def _factory(self, graph, solution, **snapshot_options):
+        merged = dict(self.spec.options)
+        merged.update(snapshot_options)
+        return create_algorithm(self.spec.algorithm, graph, solution, **merged)
+
+    def _recover(self) -> None:
+        """Rebuild the exact pre-crash engine state.
+
+        Restore from the newest valid checkpoint (corrupt ones are
+        quarantined by discovery), then re-apply the replay buffer with its
+        original batch boundaries.  The buffer covers precisely the applied
+        suffix past ``durable``, so the rebuilt engine matches the crashed
+        one bit for bit; queued-but-unapplied operations are still in
+        ``_pending`` and flow through the normal serve loop afterwards.
+        """
+        replayed = list(self._replay)
+        before_applied = self.applied
+        before_fingerprint = self.fingerprint
+        checkpoint_path = latest_valid_checkpoint(
+            self.checkpoints.directory, self.spec.algorithm
+        )
+        if checkpoint_path is not None:
+            restored = load_checkpoint(checkpoint_path)
+            if restored.processed != self.durable:
+                raise ServiceError(
+                    f"tenant {self.spec.name!r}: newest checkpoint covers "
+                    f"{restored.processed} ops but the replay buffer starts at "
+                    f"{self.durable} — cannot reconstruct the crashed state"
+                )
+            self.engine = restored.restore(self._factory)
+        elif self.durable == 0:
+            if self.spec.snapshot is not None:
+                self.engine = load_snapshot(self.spec.snapshot, self._factory)
+            else:
+                self.engine = create_algorithm(
+                    self.spec.algorithm,
+                    DynamicGraph(),
+                    None,
+                    **dict(self.spec.options),
+                )
+        else:
+            raise ServiceError(
+                f"tenant {self.spec.name!r}: no valid checkpoint survives but "
+                f"{self.durable} ops were durable — cannot recover"
+            )
+        self.applied = self.durable
+        self.fingerprint = self._durable_fp
+        for batch in replayed:
+            self.engine.apply_batch(batch, coalesce=True)
+            for operation in batch:
+                self.fingerprint = chain_fingerprint(self.fingerprint, operation)
+            self.applied += len(batch)
+        if self.applied != before_applied or self.fingerprint != before_fingerprint:
+            raise ServiceError(
+                f"tenant {self.spec.name!r}: replayed state diverged "
+                f"(applied {self.applied} vs {before_applied})"
+            )
+        self._last_checkpoint_time = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Serve loop
+    # ------------------------------------------------------------------ #
+    def _window(self) -> int:
+        """Current batch window, in operations.
+
+        Deterministic mode: always exactly ``batch_size``.  Adaptive mode:
+        grows with queue depth in whole-batch steps up to ``window_max`` —
+        the "grow the coalescer window before shedding" backpressure rule.
+        """
+        spec = self.spec
+        if not spec.adaptive:
+            return spec.batch_size
+        full_batches = len(self._pending) // spec.batch_size
+        window = max(spec.batch_size, full_batches * spec.batch_size)
+        return min(spec.window_max, window)
+
+    def _wall_timeout(self) -> Optional[float]:
+        if self.checkpoints.every_seconds is None:
+            return None
+        elapsed = time.monotonic() - self._last_checkpoint_time
+        return max(0.0, self.checkpoints.every_seconds - elapsed)
+
+    async def _serve(self) -> None:
+        while True:
+            if not self._has_work():
+                self._work.clear()
+                if not self._pending:
+                    self._idle.set()
+                timeout = self._wall_timeout()
+                try:
+                    if timeout is None:
+                        await self._work.wait()
+                    else:
+                        await asyncio.wait_for(self._work.wait(), timeout + 0.01)
+                except asyncio.TimeoutError:
+                    pass
+            if self._paused and not self._drain_requested:
+                self._work.clear()
+                await self._work.wait()
+                continue
+            if self._drain_requested:
+                self._drain()
+                return
+            progressed = False
+            while len(self._pending) >= self.spec.batch_size and not self._paused:
+                self._apply_batch(self._take(self._window()))
+                progressed = True
+                # Yield between batches: queries interleave at batch
+                # boundaries instead of starving behind a deep queue.
+                await asyncio.sleep(0)
+                if self._drain_requested:
+                    self._drain()
+                    return
+            if self._flush_requested:
+                if self._pending and not self._paused:
+                    self._apply_batch(self._take(len(self._pending)))
+                    progressed = True
+                if not self._pending:
+                    self._flush_requested = False
+            if not self._pending:
+                self._idle.set()
+            if not progressed and self._wall_checkpoint_due():
+                self._write_checkpoint()
+
+    def _has_work(self) -> bool:
+        if self._drain_requested or self._flush_requested:
+            return True
+        if self._paused:
+            return False
+        if len(self._pending) >= self.spec.batch_size:
+            return True
+        return self._wall_checkpoint_due()
+
+    def _take(self, count: int) -> List[UpdateOperation]:
+        count = min(count, len(self._pending))
+        return [self._pending.popleft() for _ in range(count)]
+
+    def _apply_batch(self, batch: List[UpdateOperation]) -> None:
+        if not batch:
+            return
+        self.stats["peak_window"] = max(self.stats["peak_window"], len(batch))
+        before = self.engine.solution() if self._subscribers else None
+        try:
+            self.engine.apply_batch(batch, coalesce=True)
+        except BaseException:
+            # The batch is not yet in the replay buffer: put it back at the
+            # front of the queue so the recovered engine re-applies it with
+            # the same boundary (nothing admitted is ever lost to a crash).
+            self._pending.extendleft(reversed(batch))
+            raise
+        for operation in batch:
+            self.fingerprint = chain_fingerprint(self.fingerprint, operation)
+        self.applied += len(batch)
+        self.stats["batches"] += 1
+        self._replay.append(batch)
+        self._on_progress()
+        if before is not None:
+            after = self.engine.solution()
+            added = sorted(after - before, key=repr)
+            removed = sorted(before - after, key=repr)
+            if added or removed:
+                event = {
+                    "event": "delta",
+                    "tenant": self.spec.name,
+                    "added": added,
+                    "removed": removed,
+                    "applied": self.applied,
+                }
+                for callback in list(self._subscribers):
+                    callback(event)
+        if self._checkpoint_due():
+            self._write_checkpoint()
+
+    def _on_progress(self) -> None:
+        """A batch landed: consecutive-failure accounting starts over."""
+        self._attempt = 0
+
+    def _checkpoint_due(self) -> bool:
+        every = self.checkpoints.every
+        if every is not None and self.applied - self.durable >= every:
+            return True
+        return self._wall_checkpoint_due()
+
+    def _wall_checkpoint_due(self) -> bool:
+        seconds = self.checkpoints.every_seconds
+        if seconds is None or self.applied == self.durable:
+            return False
+        return time.monotonic() - self._last_checkpoint_time >= seconds
+
+    def _write_checkpoint(self) -> Path:
+        """Persist the engine at the current batch boundary (atomic write,
+        embedded digest); the replay buffer is trimmed only after commit."""
+        path = save_checkpoint(
+            self.engine,
+            self.checkpoints,
+            algorithm_name=self.spec.algorithm,
+            processed=self.applied,
+            initial_size=self._initial_size,
+            elapsed_seconds=0.0,
+            dataset=f"service:{self.spec.name}",
+            stream_description=f"service-ingest:{self.spec.name}",
+            stream_identity=self.fingerprint,
+            batch_size=self.spec.batch_size,
+            metadata={
+                "service": SERVICE_FORMAT,
+                "tenant": self.spec.name,
+                "adaptive": self.spec.adaptive,
+                "queue_cap": self.spec.queue_cap,
+                "window_max": self.spec.window_max,
+            },
+        )
+        self.durable = self.applied
+        self._durable_fp = self.fingerprint
+        self._replay.clear()
+        self._last_checkpoint_time = time.monotonic()
+        self.stats["checkpoints"] += 1
+        return path
+
+    def _drain(self) -> None:
+        """Flush every queued operation, then write and verify the final
+        checkpoint.  The ``service.shutdown`` fault point fires *before* the
+        final write — an injected crash here is absorbed by the supervision
+        loop and the drain retried, so shutdown remains graceful even under
+        fault injection."""
+        self.status = "draining"
+        while self._pending:
+            self._apply_batch(self._take(self._window()))
+        trip(SERVICE_SHUTDOWN)
+        path = self._write_checkpoint() if self.applied else None
+        if path is not None:
+            # Read-back verification: the final checkpoint must load and
+            # pass its integrity check before we report a clean drain.
+            load_checkpoint(path)
+        self.final_checkpoint = path
+        self._release()
+        self.status = "stopped"
+        self._idle.set()

@@ -17,6 +17,14 @@ from repro.updates.protocol import (
     stream_length_hint,
     stream_metadata,
 )
+from repro.updates.wire import (
+    MAX_LINE_BYTES,
+    decode_line,
+    encode_line,
+    operations_from_wire,
+    operations_to_wire,
+    wire_operation_stream,
+)
 from repro.updates.streams import (
     UpdateStream,
     burst_stream,
@@ -48,6 +56,12 @@ __all__ = [
     "stream_description",
     "stream_length_hint",
     "stream_metadata",
+    "MAX_LINE_BYTES",
+    "encode_line",
+    "decode_line",
+    "operations_to_wire",
+    "operations_from_wire",
+    "wire_operation_stream",
     "UpdateStream",
     "random_edge_stream",
     "random_vertex_stream",

@@ -1,0 +1,131 @@
+"""Wire adapter: operation streams over newline-delimited JSON sockets.
+
+The service gateway (:mod:`repro.service`) speaks NDJSON — one JSON object
+per line — because it composes with every stream tool in existence and
+because framing by newline keeps the reader allocation-bounded.  This module
+is the *protocol adapter* between that wire form and the in-memory stream
+protocol of :mod:`repro.updates.protocol`:
+
+* operations cross the wire in the pipeline's canonical encoding
+  (:func:`~repro.updates.protocol.encode_operation`), so a socket ingest,
+  a stream-cache line and a fingerprinted checkpoint prefix all agree on
+  one byte-level representation of an update;
+* :func:`operations_from_wire` / :func:`operations_to_wire` convert whole
+  batches with validation errors reported as
+  :class:`~repro.exceptions.WireError` (never a bare ``KeyError`` from a
+  hostile payload);
+* :func:`wire_operation_stream` adapts a decoded wire batch back into a
+  rich :class:`~repro.updates.protocol.OperationStream`, so server-side
+  consumers (coalescer, engines) see exactly the protocol they already
+  speak;
+* :func:`encode_line` / :func:`decode_line` are the framing layer: compact
+  JSON, one object per line, with a hard line-size cap — a client cannot
+  make the server buffer an unbounded line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.exceptions import UpdateError, WireError
+from repro.updates.operations import UpdateOperation
+from repro.updates.protocol import (
+    LazyOperationStream,
+    OperationStream,
+    decode_operation,
+    encode_operation,
+)
+
+#: Hard cap on one NDJSON line (requests *and* replies).  Large ingests are
+#: expected to arrive as many lines of bounded batches, not one giant line —
+#: the bound is what keeps a hostile client from ballooning server memory.
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode_line(document: Dict) -> bytes:
+    """Encode one wire message: compact JSON + newline, size-capped."""
+    try:
+        raw = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"cannot encode wire message: {exc}") from exc
+    if len(raw) > MAX_LINE_BYTES:
+        raise WireError(
+            f"wire message of {len(raw)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line cap; split the batch"
+        )
+    return raw + b"\n"
+
+
+def decode_line(line: Union[bytes, str]) -> Dict:
+    """Decode one wire line into a message dict (strict).
+
+    Raises :class:`~repro.exceptions.WireError` on oversized lines, invalid
+    UTF-8/JSON and non-object documents — the gateway turns this into an
+    error reply instead of dying.
+    """
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise WireError(
+                f"wire line of {len(line)} bytes exceeds the "
+                f"{MAX_LINE_BYTES}-byte cap"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"wire line is not valid UTF-8: {exc}") from exc
+    try:
+        document = json.loads(line)
+    except ValueError as exc:
+        raise WireError(f"wire line is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise WireError(
+            f"wire message must be a JSON object, got {type(document).__name__}"
+        )
+    return document
+
+
+def operations_to_wire(operations: Iterable[UpdateOperation]) -> List[List]:
+    """Encode operations into their canonical wire entries."""
+    return [encode_operation(operation) for operation in operations]
+
+
+def operations_from_wire(entries: Sequence) -> List[UpdateOperation]:
+    """Decode wire entries into operations, validating every one.
+
+    A malformed entry names its batch index in the error, so a client can
+    fix exactly the operation the server rejected.
+    """
+    if not isinstance(entries, (list, tuple)):
+        raise WireError(
+            f"operation batch must be a JSON array, got {type(entries).__name__}"
+        )
+    operations: List[UpdateOperation] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, (list, tuple)) or not entry:
+            raise WireError(
+                f"operation #{index} must be a non-empty array, got {entry!r}"
+            )
+        try:
+            operations.append(decode_operation(entry))
+        except (ValueError, TypeError, IndexError, UpdateError) as exc:
+            raise WireError(f"operation #{index} is malformed: {exc}") from exc
+    return operations
+
+
+def wire_operation_stream(
+    entries: Sequence, *, description: str = "wire"
+) -> OperationStream:
+    """Adapt a decoded wire batch to the rich stream protocol.
+
+    The returned stream is replayable (it is backed by the materialised
+    batch) and sized, so it flows through the coalescer, ``apply_batch``
+    and any multi-pass consumer unchanged.
+    """
+    operations = operations_from_wire(entries)
+    return LazyOperationStream(
+        lambda: operations,
+        description=description,
+        length=len(operations),
+        metadata={"transport": "ndjson"},
+    )

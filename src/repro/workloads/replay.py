@@ -21,7 +21,7 @@ import json
 import os
 import re
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -124,6 +124,9 @@ class Checkpoint:
     payload: Dict
     path: Optional[Path] = None
     stream_identity: Optional[str] = None
+    #: Free-form writer metadata (the service layer records tenant name and
+    #: batching policy here so a warm start can refuse a config mismatch).
+    metadata: Dict = field(default_factory=dict)
 
     def restore(self, factory: Optional[Callable] = None):
         """Rebuild the algorithm instance (see :func:`snapshot.algorithm_from_payload`)."""
@@ -149,15 +152,18 @@ def save_checkpoint(
     stream_description: str = "",
     stream_identity: Optional[str] = None,
     batch_size: int = 1,
+    metadata: Optional[Dict] = None,
 ) -> Path:
     """Write a checkpoint for ``algorithm`` after ``processed`` operations.
 
     ``stream_identity`` should be the
     :class:`~repro.updates.protocol.StreamCursor` fingerprint of the
-    consumed prefix; resumes verify it after skipping ahead.  Returns the
-    path written.  With a :class:`CheckpointConfig` whose ``keep`` is set,
-    older checkpoints of the same algorithm beyond the retention limit are
-    pruned.
+    consumed prefix; resumes verify it after skipping ahead.  ``metadata``
+    is an optional JSON-serialisable dict stored verbatim for the writer's
+    own provenance (the runner leaves it empty; the service layer records
+    tenant identity and batching policy).  Returns the path written.  With
+    a :class:`CheckpointConfig` whose ``keep`` is set, older checkpoints of
+    the same algorithm beyond the retention limit are pruned.
     """
     if isinstance(config_or_directory, CheckpointConfig):
         directory = Path(config_or_directory.directory)
@@ -180,6 +186,7 @@ def save_checkpoint(
             "identity": stream_identity,
         },
         "batch_size": batch_size,
+        "metadata": dict(metadata or {}),
         "algorithm": algorithm_to_payload(algorithm),
     }
     text = json.dumps(embed_digest(document))
@@ -255,6 +262,7 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
             batch_size=document.get("batch_size", 1),
             payload=document["algorithm"],
             path=path,
+            metadata=document.get("metadata") or {},
         )
     except KeyError as exc:
         raise CheckpointError(f"{path}: missing checkpoint field {exc}") from exc

@@ -31,7 +31,7 @@ class TestExamples:
         names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert {"quickstart.py", "social_network_maintenance.py",
                 "streaming_window.py", "temporal_replay.py",
-                "reproduce_paper.py"} <= names
+                "reproduce_paper.py", "service_demo.py"} <= names
 
     def test_quickstart_runs(self, capsys):
         module = _load_module("quickstart")
@@ -58,7 +58,14 @@ class TestExamples:
         module.main()
         output = capsys.readouterr().out
         assert "cache: first ingest miss, second ingest hit" in output
-        assert "resume check passed" in output
+
+    def test_service_demo_example_runs(self, capsys):
+        module = _load_module("service_demo")
+        module.main()
+        output = capsys.readouterr().out
+        assert "act 1: ingested 192 updates" in output
+        assert "act 2: engine crashed" in output
+        assert "bit-identical engine: True" in output
 
     def test_reproduce_paper_module_importable(self):
         module = _load_module("reproduce_paper")

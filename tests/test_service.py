@@ -1,0 +1,773 @@
+"""Tests for the always-on service layer (:mod:`repro.service`).
+
+The gateway runs in a daemon thread with its own event loop
+(:class:`~repro.service.client.ServiceThread`); tests talk to it through
+the blocking :class:`~repro.service.client.ServiceClient` over a real Unix
+socket, so every assertion exercises the full wire → admission → engine →
+durability path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ServiceError, WireError
+from repro.experiments.runner import create_algorithm, release_engine, run_algorithm
+from repro.generators.worst_case import flicker_update_stream
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.resilience.faults import (
+    BULK_APPLY,
+    CHECKPOINT_WRITE,
+    SERVICE_INGEST,
+    SERVICE_SHUTDOWN,
+    FaultPlan,
+    inject_faults,
+)
+from repro.resilience.supervisor import RetryPolicy
+from repro.service import (
+    MISGateway,
+    ServiceConfig,
+    ServiceThread,
+    TenantSpec,
+)
+from repro.service.tenant import FINGERPRINT_SEED, chain_fingerprint, engine_digest
+from repro.updates.operations import UpdateOperation
+from repro.updates.protocol import chunked
+from repro.updates.streams import mixed_update_stream
+from repro.updates.wire import (
+    MAX_LINE_BYTES,
+    decode_line,
+    encode_line,
+    operations_from_wire,
+    operations_to_wire,
+    wire_operation_stream,
+)
+from repro.workloads.replay import (
+    latest_valid_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.workloads.snapshot import save_snapshot
+
+#: Zero-backoff supervision for tests (determinism needs no sleeping).
+FAST_RETRY = RetryPolicy(max_attempts=8, base_delay=0.0, cap=0.0)
+
+
+def build_ops(count=256, seed=3):
+    """A deterministic mixed stream over an initially empty graph."""
+    graph = DynamicGraph()
+    stream = mixed_update_stream(graph, count, seed=seed, edge_fraction=0.5)
+    return list(stream)
+
+
+def service(tmp_path, *tenants, **overrides):
+    defaults = dict(
+        data_dir=str(tmp_path / "data"),
+        unix_socket=str(tmp_path / "service.sock"),
+        retry=FAST_RETRY,
+    )
+    defaults.update(overrides)
+    return ServiceThread(ServiceConfig(tenants=tuple(tenants), **defaults))
+
+
+def reference_digest(operations, batch, initial_graph=None, **options):
+    engine = create_algorithm(
+        "DyOneSwap", (initial_graph or DynamicGraph()).copy(), None, **options
+    )
+    try:
+        for group in chunked(iter(operations), batch):
+            engine.apply_batch(group, coalesce=True)
+        return engine_digest(engine)
+    finally:
+        release_engine(engine)
+
+
+# --------------------------------------------------------------------- #
+# Wire adapter
+# --------------------------------------------------------------------- #
+class TestWire:
+    def test_line_round_trip(self):
+        doc = {"cmd": "query", "vertex": 7, "nested": [1, "x", None]}
+        assert decode_line(encode_line(doc)) == doc
+
+    def test_line_rejects_oversized(self):
+        with pytest.raises(WireError):
+            encode_line({"blob": "x" * MAX_LINE_BYTES})
+        with pytest.raises(WireError):
+            decode_line(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_line_rejects_bad_payloads(self):
+        with pytest.raises(WireError):
+            decode_line(b"\xff\xfe")
+        with pytest.raises(WireError):
+            decode_line(b"not json")
+        with pytest.raises(WireError):
+            decode_line(b"[1, 2, 3]")
+        with pytest.raises(WireError):
+            encode_line({"bad": object()})
+
+    def test_operations_round_trip(self):
+        ops = [
+            UpdateOperation.insert_vertex(1, ()),
+            UpdateOperation.insert_vertex(2, (1,)),
+            UpdateOperation.insert_edge(1, 2),
+            UpdateOperation.delete_edge(1, 2),
+            UpdateOperation.delete_vertex(2),
+        ]
+        assert operations_from_wire(operations_to_wire(ops)) == ops
+
+    def test_malformed_operation_names_index(self):
+        entries = operations_to_wire([UpdateOperation.insert_vertex(1)])
+        entries.append(["?bogus", 9])
+        with pytest.raises(WireError, match="#1"):
+            operations_from_wire(entries)
+        with pytest.raises(WireError):
+            operations_from_wire({"not": "a list"})
+        with pytest.raises(WireError, match="#0"):
+            operations_from_wire([[]])
+
+    def test_wire_operation_stream_is_replayable(self):
+        ops = build_ops(40)
+        stream = wire_operation_stream(operations_to_wire(ops))
+        assert len(list(stream)) == 40
+        assert list(stream) == ops  # second pass: replayable
+        assert stream.length_hint() == 40
+
+
+# --------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------- #
+class TestConfig:
+    def test_validation_errors(self, tmp_path):
+        with pytest.raises(ServiceError, match="tenant name"):
+            TenantSpec(name="bad/name")
+        with pytest.raises(ServiceError, match="unknown algorithm"):
+            TenantSpec(name="t", algorithm="NoSuch")
+        with pytest.raises(ServiceError, match="snapshot"):
+            TenantSpec(name="t", algorithm="DGOneDIS")
+        with pytest.raises(ServiceError, match="window_max"):
+            TenantSpec(name="t", batch_size=10, window_max=15)
+        with pytest.raises(ServiceError, match="queue_cap"):
+            TenantSpec(name="t", batch_size=64, queue_cap=10)
+        with pytest.raises(ServiceError, match="checkpoint_every"):
+            TenantSpec(name="t", batch_size=10, window_max=20, checkpoint_every=15)
+        with pytest.raises(ServiceError, match="at least one tenant"):
+            ServiceConfig(data_dir=str(tmp_path), tenants=(), port=0)
+        spec = TenantSpec(name="t")
+        with pytest.raises(ServiceError, match="duplicate"):
+            ServiceConfig(data_dir=str(tmp_path), tenants=(spec, spec), port=0)
+        with pytest.raises(ServiceError, match="listener"):
+            ServiceConfig(data_dir=str(tmp_path), tenants=(spec,))
+
+    def test_json_round_trip(self, tmp_path):
+        config = ServiceConfig(
+            data_dir=str(tmp_path / "d"),
+            tenants=(
+                TenantSpec(name="a", batch_size=32, window_max=64, adaptive=False),
+                TenantSpec(name="b", checkpoint_every=128, options={"k": 2}),
+            ),
+            port=0,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.1, cap=1.0, seed=5),
+        )
+        path = tmp_path / "service.json"
+        config.save(path)
+        loaded = ServiceConfig.from_file(path)
+        assert loaded == config
+
+    def test_from_file_errors(self, tmp_path):
+        with pytest.raises(ServiceError):
+            ServiceConfig.from_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        with pytest.raises(ServiceError):
+            ServiceConfig.from_file(bad)
+
+    def test_default_checkpoint_policy_is_wall_clock(self, tmp_path):
+        spec = TenantSpec(name="t")
+        config = spec.checkpoint_config(tmp_path)
+        assert config.every is None
+        assert config.every_seconds is not None
+        assert Path(config.directory) == tmp_path / "t"
+
+
+# --------------------------------------------------------------------- #
+# Gateway round trips
+# --------------------------------------------------------------------- #
+class TestGateway:
+    def test_ingest_query_digest_matches_direct_engine(self, tmp_path):
+        ops = build_ops(192)
+        spec = TenantSpec(
+            name="main", batch_size=32, window_max=64, adaptive=False, queue_cap=1024
+        )
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client:
+                assert client.health()["status"] == "serving"
+                assert client.ready()["ready"] is True
+                reply = client.ingest_stream("main", ops, chunk=32)
+                assert reply["accepted"] == reply["applied"] == len(ops)
+                digest = client.digest("main")["digest"]
+                solution = client.solution("main")["solution"]
+                # Membership queries agree with the returned solution.
+                sample = solution[:3] + [999_999]
+                for vertex in sample:
+                    member = client.query("main", vertex)
+                    assert member["ok"]
+                    assert member["in_solution"] == (vertex in solution)
+        assert digest == reference_digest(ops, 32)
+        report = svc.report
+        assert report.clean
+        assert report.tenants[0].durable == len(ops)
+
+    def test_sequence_gap_duplicate_and_overlap(self, tmp_path):
+        ops = build_ops(64)
+        spec = TenantSpec(name="seq", batch_size=8, window_max=16, adaptive=False)
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client:
+                first = client.ingest("seq", ops[:16], 1)
+                assert first["ok"] and first["accepted"] == 16
+                # Gap: skipping ahead is refused with the expected position.
+                gap = client.ingest("seq", ops[32:40], 33)
+                assert not gap["ok"]
+                assert gap["expected"] == 17
+                # Full duplicate: idempotent acknowledgement.
+                dup = client.ingest("seq", ops[:16], 1)
+                assert dup["ok"] and dup["accepted"] == 16
+                # Overlap: only the novel tail is admitted.
+                overlap = client.ingest("seq", ops[8:24], 9)
+                assert overlap["ok"] and overlap["accepted"] == 24
+                assert client.ingest("seq", ops[24:], 25)["accepted"] == len(ops)
+                flushed = client.flush("seq")
+                assert flushed["applied"] == len(ops)
+                # Bad requests degrade to error replies, connection survives.
+                assert not client.ingest("seq", ops[:4], 0).get("ok")
+                assert not client.request({"cmd": "ingest", "tenant": "seq"}).get(
+                    "ok"
+                )
+                assert not client.request({"cmd": "nope"}).get("ok")
+                assert not client.query("nosuch", 1).get("ok")
+                assert client.health()["ok"]
+
+    def test_subscription_pushes_solution_deltas(self, tmp_path):
+        spec = TenantSpec(name="sub", batch_size=4, window_max=8, adaptive=False)
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client, svc.client() as subscriber:
+                assert subscriber.subscribe("sub")["ok"]
+                ops = [
+                    UpdateOperation.insert_vertex(v, ()) for v in range(4)
+                ]
+                client.ingest("sub", ops, 1)
+                client.flush("sub")
+                event = subscriber.next_event()
+                assert event["event"] == "delta"
+                assert event["tenant"] == "sub"
+                assert set(event["added"]) == {0, 1, 2, 3}
+                assert event["removed"] == []
+
+    def test_tcp_listener_and_ephemeral_port(self, tmp_path):
+        spec = TenantSpec(name="tcp", batch_size=8, window_max=8)
+        svc = ServiceThread(
+            ServiceConfig(
+                data_dir=str(tmp_path / "data"),
+                tenants=(spec,),
+                port=0,
+                retry=FAST_RETRY,
+            )
+        )
+        with svc:
+            assert svc.port not in (None, 0)
+            with svc.client() as client:
+                assert client.health()["ok"]
+
+
+# --------------------------------------------------------------------- #
+# Backpressure and load shedding
+# --------------------------------------------------------------------- #
+class TestBackpressure:
+    def test_bounded_queue_sheds_with_explicit_reply(self, tmp_path):
+        ops = build_ops(96)
+        spec = TenantSpec(
+            name="busy", batch_size=8, window_max=32, queue_cap=32, adaptive=True
+        )
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client:
+                client.pause("busy")  # engine stops draining; admission continues
+                assert client.ingest("busy", ops[:32], 1)["ok"]
+                shed = client.ingest("busy", ops[32:40], 33)
+                assert not shed["ok"]
+                assert shed["error"] == "overloaded"
+                assert shed["accepted"] == 32  # resume position, explicitly
+                # Shedding is all-or-nothing: nothing of the batch went in.
+                assert client.offset("busy")["accepted"] == 32
+                assert client.offset("busy")["queue_depth"] <= 32
+                stats = client.stats("busy")["stats"]
+                assert stats["sheds"] == 1
+                assert stats["peak_queue"] <= 32
+                client.resume("busy")
+                # Once drained, the shed batch is accepted on retry.
+                client.ingest_stream("busy", ops, chunk=8)
+                final = client.flush("busy")
+                assert final["applied"] == len(ops)
+                # Backpressure widened the window beyond one batch.
+                assert client.stats("busy")["stats"]["peak_window"] > 8
+
+    def test_deterministic_mode_keeps_fixed_windows(self, tmp_path):
+        ops = build_ops(128)
+        spec = TenantSpec(
+            name="det", batch_size=16, window_max=64, queue_cap=256, adaptive=False
+        )
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client:
+                client.pause("det")
+                client.ingest("det", ops, 1)  # deep queue before any apply
+                client.resume("det")
+                client.flush("det")
+                assert client.stats("det")["stats"]["peak_window"] == 16
+
+
+# --------------------------------------------------------------------- #
+# Supervision: crash recovery, isolation, sharded hygiene
+# --------------------------------------------------------------------- #
+class TestSupervision:
+    def test_engine_crash_recovers_bit_identically(self, tmp_path):
+        ops = build_ops(256)
+        crashy = TenantSpec(
+            name="crashy",
+            batch_size=64,
+            window_max=128,
+            adaptive=False,
+            checkpoint_every=64,
+        )
+        bystander = TenantSpec(
+            name="bystander", batch_size=8, window_max=16, adaptive=False
+        )
+        plan = FaultPlan.at(BULK_APPLY, 2)
+        with inject_faults(plan) as injector:
+            with service(tmp_path, crashy, bystander) as svc:
+                with svc.client() as client:
+                    client.ingest_stream("crashy", ops, chunk=64)
+                    # Flushing forces every crashy batch (and the planned
+                    # hit) to resolve before the bystander applies anything,
+                    # making the fault target deterministic.
+                    client.flush("crashy")
+                    client.ingest_stream("bystander", ops[:64], chunk=8)
+                    crashy_digest = client.digest("crashy")["digest"]
+                    bystander_digest = client.digest("bystander")["digest"]
+                    stats = client.stats("crashy")
+                    assert stats["stats"]["crashes"] >= 1
+                    assert stats["stats"]["restarts"] >= 1
+                    assert client.stats("bystander")["stats"]["crashes"] == 0
+        assert [f.point for f in injector.fired] == [BULK_APPLY]
+        assert crashy_digest == reference_digest(ops, 64)
+        assert bystander_digest == reference_digest(ops[:64], 8)
+
+    def test_torn_checkpoint_write_is_absorbed(self, tmp_path):
+        ops = build_ops(256)
+        spec = TenantSpec(
+            name="torn",
+            batch_size=32,
+            window_max=64,
+            adaptive=False,
+            checkpoint_every=64,
+        )
+        with inject_faults(FaultPlan.at(CHECKPOINT_WRITE, 2)) as injector:
+            with service(tmp_path, spec) as svc:
+                with svc.client() as client:
+                    client.ingest_stream("torn", ops, chunk=32)
+                    digest = client.digest("torn")["digest"]
+        assert [f.point for f in injector.fired] == [CHECKPOINT_WRITE]
+        assert digest == reference_digest(ops, 32)
+
+    def test_exhausted_retries_fail_tenant_but_not_service(self, tmp_path):
+        ops = build_ops(128)
+        doomed = TenantSpec(
+            name="doomed", batch_size=64, window_max=64, adaptive=False
+        )
+        healthy = TenantSpec(
+            name="healthy", batch_size=8, window_max=8, adaptive=False
+        )
+        # Hits 1-3 are exactly doomed's first apply plus its two supervised
+        # retries (nothing else applies a batch until it has failed), so
+        # max_attempts=3 exhausts and the tenant fails while later applies
+        # by the healthy tenant run fault-free.
+        plan = FaultPlan.at(BULK_APPLY, 1, 2, 3)
+        config_retry = RetryPolicy(max_attempts=3, base_delay=0.0, cap=0.0)
+        with inject_faults(plan):
+            with service(tmp_path, doomed, healthy, retry=config_retry) as svc:
+                with svc.client() as client:
+                    client.ingest("doomed", ops[:64], 1)
+                    deadline = time.monotonic() + 30
+                    while time.monotonic() < deadline:
+                        if client.offset("doomed")["status"] == "failed":
+                            break
+                        time.sleep(0.02)
+                    assert client.offset("doomed")["status"] == "failed"
+                    # A failed tenant refuses ingests with a clear error...
+                    refused = client.ingest("doomed", ops[64:72], 65)
+                    assert not refused["ok"] and "failed" in refused["error"]
+                    # ...while the healthy tenant keeps serving.
+                    client.ingest_stream("healthy", ops[:32], chunk=8)
+                    assert client.flush("healthy")["applied"] == 32
+                    assert client.health()["tenants"]["doomed"] == "failed"
+
+    def test_sharded_tenant_restart_releases_shared_memory(self, tmp_path):
+        shm = Path("/dev/shm")
+        before = {p.name for p in shm.glob("repro-shard-*")}
+        ops = build_ops(256)
+        spec = TenantSpec(
+            name="sharded",
+            batch_size=64,
+            window_max=128,
+            adaptive=False,
+            checkpoint_every=64,
+            options={"workers": 2},
+        )
+        # The torn checkpoint write crashes the tenant while it owns a live
+        # sharded engine; the restart must not leak its segments.
+        with inject_faults(FaultPlan.at(CHECKPOINT_WRITE, 2)) as injector:
+            with service(tmp_path, spec) as svc:
+                with svc.client() as client:
+                    client.ingest_stream("sharded", ops, chunk=64)
+                    digest = client.digest("sharded")["digest"]
+                    stats = client.stats("sharded")["stats"]
+                    assert stats["restarts"] >= 1
+                    # Exactly one engine's worth of segments is live.
+                    live = {
+                        p.name for p in shm.glob("repro-shard-*")
+                    } - before
+                    assert len(live) <= 2
+        assert [f.point for f in injector.fired] == [CHECKPOINT_WRITE]
+        # Workers shut down with the drained tenant: nothing left behind.
+        after = {p.name for p in shm.glob("repro-shard-*")}
+        assert after - before == set()
+        assert digest == reference_digest(ops, 64, workers=2)
+
+    def test_runner_crash_releases_engine_despite_held_traceback(self, tmp_path):
+        """A crashed run must not leak /dev/shm segments even while the
+        caller holds the raised exception (whose traceback pins the frames
+        that reference the engine)."""
+        shm = Path("/dev/shm")
+        before = {p.name for p in shm.glob("repro-shard-*")}
+        graph = DynamicGraph()
+        ops = build_ops(128)
+        from repro.exceptions import InjectedFault
+        from repro.workloads.replay import CheckpointConfig
+
+        held = None
+        with inject_faults(FaultPlan.at(CHECKPOINT_WRITE, 1)):
+            try:
+                run_algorithm(
+                    "DyOneSwap",
+                    graph,
+                    ops,
+                    dataset="leak-test",
+                    batch_size=64,
+                    checkpoint=CheckpointConfig(
+                        directory=tmp_path / "ckpt", every=64
+                    ),
+                    workers=2,
+                )
+            except InjectedFault as exc:
+                held = exc  # keep the traceback (and its frames) alive
+        assert held is not None
+        leaked = {p.name for p in shm.glob("repro-shard-*")} - before
+        assert leaked == set()
+
+
+# --------------------------------------------------------------------- #
+# Durability and graceful shutdown
+# --------------------------------------------------------------------- #
+class TestDurability:
+    def test_graceful_shutdown_orders_flush_checkpoint_close(self, tmp_path):
+        ops = build_ops(200)  # deliberately not a multiple of the batch
+        spec = TenantSpec(
+            name="drain",
+            batch_size=64,
+            window_max=128,
+            adaptive=False,
+            checkpoint_every=64,
+        )
+        svc = service(tmp_path, spec)
+        svc.start()
+        with svc.client() as client:
+            client.ingest("drain", ops, 1)
+            # Stop immediately: the queued tail (including the partial
+            # batch) must still be applied before the final checkpoint.
+        report = svc.stop()
+        assert report.clean
+        (tenant_report,) = report.tenants
+        assert tenant_report.durable == len(ops)
+        assert tenant_report.final_checkpoint is not None
+        restored = load_checkpoint(tenant_report.final_checkpoint)
+        assert restored.processed == len(ops)
+        assert restored.metadata["tenant"] == "drain"
+        # Sockets are gone only after the drain: reconnecting now fails.
+        with pytest.raises((ServiceError, OSError)):
+            svc.client(timeout=0.5).health()
+
+    def test_shutdown_absorbs_injected_drain_fault(self, tmp_path):
+        ops = build_ops(128)
+        spec = TenantSpec(
+            name="fragile",
+            batch_size=32,
+            window_max=64,
+            adaptive=False,
+            checkpoint_every=32,
+        )
+        with inject_faults(FaultPlan.at(SERVICE_SHUTDOWN, 1)) as injector:
+            svc = service(tmp_path, spec)
+            svc.start()
+            with svc.client() as client:
+                client.ingest_stream("fragile", ops, chunk=32)
+            report = svc.stop()
+        assert [f.point for f in injector.fired] == [SERVICE_SHUTDOWN]
+        assert report.clean
+        (tenant_report,) = report.tenants
+        assert tenant_report.durable == len(ops)
+        load_checkpoint(tenant_report.final_checkpoint)  # verifies integrity
+
+    def test_wall_clock_checkpoint_policy(self, tmp_path):
+        ops = build_ops(32)
+        spec = TenantSpec(
+            name="wall",
+            batch_size=16,
+            window_max=16,
+            adaptive=False,
+            checkpoint_every_seconds=0.2,
+        )
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client:
+                client.ingest("wall", ops, 1)
+                deadline = time.monotonic() + 20
+                durable = 0
+                while time.monotonic() < deadline:
+                    durable = client.offset("wall")["durable"]
+                    if durable >= 32:
+                        break
+                    time.sleep(0.05)
+                assert durable >= 32  # the wall-clock timer checkpointed
+
+    def test_process_restart_resumes_from_checkpoint(self, tmp_path):
+        """Same data dir, new gateway: counters and state come back."""
+        ops = build_ops(192)
+        spec = TenantSpec(
+            name="phoenix",
+            batch_size=32,
+            window_max=64,
+            adaptive=False,
+            checkpoint_every=64,
+        )
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client:
+                client.ingest_stream("phoenix", ops[:128], chunk=32)
+        # "Process" two: a fresh ServiceThread over the same data_dir.
+        with service(tmp_path, spec) as svc2:
+            with svc2.client() as client:
+                resumed = client.offset("phoenix")
+                assert resumed["applied"] == resumed["durable"] == 128
+                client.ingest_stream("phoenix", ops, chunk=32)
+                digest = client.digest("phoenix")["digest"]
+        assert digest == reference_digest(ops, 32)
+
+    def test_config_mismatch_refuses_warm_start(self, tmp_path):
+        ops = build_ops(64)
+        spec = TenantSpec(
+            name="strict",
+            batch_size=32,
+            window_max=32,
+            adaptive=False,
+            checkpoint_every=32,
+        )
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client:
+                client.ingest_stream("strict", ops, chunk=32)
+        changed = TenantSpec(
+            name="strict",
+            batch_size=16,  # different boundary geometry
+            window_max=32,
+            adaptive=False,
+            checkpoint_every=32,
+        )
+        svc2 = service(tmp_path, changed)
+        with pytest.raises(ServiceError, match="batch_size"):
+            svc2.start()
+        # The thread winds down on its own after the startup failure.
+        svc2._thread.join(timeout=20)
+        assert not svc2._thread.is_alive()
+
+    def test_snapshot_warm_start_and_flicker_ingest(self, tmp_path):
+        graph, stream = flicker_update_stream(6, rounds=24, seed=5)
+        ops = list(stream)
+        seed_engine = create_algorithm("DyOneSwap", graph.copy(), None)
+        snapshot_path = tmp_path / "witness.snap.json"
+        save_snapshot(seed_engine, snapshot_path)
+        spec = TenantSpec(
+            name="flicker",
+            batch_size=16,
+            window_max=32,
+            adaptive=False,
+            checkpoint_every=32,
+            snapshot=str(snapshot_path),
+        )
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client:
+                assert client.offset("flicker")["applied"] == 0
+                client.ingest_stream("flicker", ops, chunk=16)
+                digest = client.digest("flicker")["digest"]
+        assert digest == reference_digest(ops, 16, initial_graph=graph)
+
+    def test_checkpoint_metadata_round_trip(self, tmp_path):
+        engine = create_algorithm("DyOneSwap", DynamicGraph(), None)
+        path = save_checkpoint(
+            engine,
+            tmp_path,
+            algorithm_name="DyOneSwap",
+            processed=0,
+            initial_size=0,
+            metadata={"tenant": "x", "adaptive": False},
+        )
+        restored = load_checkpoint(path)
+        assert restored.metadata == {"tenant": "x", "adaptive": False}
+        # Old-style writers (no metadata) load with an empty dict.
+        bare = save_checkpoint(
+            engine,
+            tmp_path / "bare",
+            algorithm_name="DyOneSwap",
+            processed=0,
+            initial_size=0,
+        )
+        assert load_checkpoint(bare).metadata == {}
+
+
+# --------------------------------------------------------------------- #
+# Degraded replies and deadlines
+# --------------------------------------------------------------------- #
+class TestDegradation:
+    def test_injected_ingest_fault_degrades_to_reply(self, tmp_path):
+        ops = build_ops(32)
+        spec = TenantSpec(name="t", batch_size=8, window_max=8, adaptive=False)
+        with inject_faults(FaultPlan.at(SERVICE_INGEST, 1)) as injector:
+            with service(tmp_path, spec) as svc:
+                with svc.client() as client:
+                    degraded = client.ingest("t", ops[:8], 1)
+                    assert not degraded["ok"]
+                    assert degraded["error"] == "injected-fault"
+                    # Same connection, immediate retry: admitted.
+                    retried = client.ingest("t", ops[:8], 1)
+                    assert retried["ok"] and retried["accepted"] == 8
+        assert [f.point for f in injector.fired] == [SERVICE_INGEST]
+
+    def test_query_deadline_times_out_on_unready_tenant(self, tmp_path):
+        spec = TenantSpec(name="slow", batch_size=8, window_max=8)
+        with service(tmp_path, spec) as svc:
+            svc.call(lambda gw: gw.tenants["slow"].ready.clear())
+            with svc.client() as client:
+                reply = client.query("slow", 1, timeout_ms=100)
+                assert not reply["ok"]
+                assert reply["error"] == "timeout"
+                assert client.ready()["ready"] is False
+            svc.call(lambda gw: gw.tenants["slow"].ready.set())
+            with svc.client() as client:
+                assert client.query("slow", 1)["ok"]
+
+
+# --------------------------------------------------------------------- #
+# CLI entry point
+# --------------------------------------------------------------------- #
+class TestMain:
+    def test_parse_and_load_with_overrides(self, tmp_path):
+        from repro.service.__main__ import load_config, parse_args
+
+        base = ServiceConfig(
+            data_dir=str(tmp_path / "a"),
+            tenants=(TenantSpec(name="t"),),
+            port=1234,
+        )
+        config_path = tmp_path / "svc.json"
+        base.save(config_path)
+        args = parse_args(
+            [
+                "--config",
+                str(config_path),
+                "--port",
+                "0",
+                "--data-dir",
+                str(tmp_path / "b"),
+            ]
+        )
+        loaded = load_config(args)
+        assert loaded.port == 0
+        assert loaded.data_dir == str(tmp_path / "b")
+        assert loaded.tenant("t").name == "t"
+
+    def test_serve_runs_until_client_shutdown(self, tmp_path):
+        from repro.service.__main__ import serve
+
+        config = ServiceConfig(
+            data_dir=str(tmp_path / "data"),
+            tenants=(TenantSpec(name="t", batch_size=8, window_max=8),),
+            unix_socket=str(tmp_path / "cli.sock"),
+            retry=FAST_RETRY,
+        )
+        banners = []
+        done = threading.Event()
+
+        def runner():
+            asyncio.run(serve(config, banner=banners.append))
+            done.set()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline and not Path(config.unix_socket).exists():
+            time.sleep(0.02)
+        from repro.service.client import connect_with_retry
+
+        with connect_with_retry(unix_socket=config.unix_socket) as client:
+            assert client.health()["ok"]
+            client.shutdown()
+        assert done.wait(20)
+        assert any("listening" in line for line in banners)
+        assert any("drained tenant t" in line for line in banners)
+
+
+# --------------------------------------------------------------------- #
+# Chaos drill
+# --------------------------------------------------------------------- #
+class TestSmoke:
+    def test_sigkill_chaos_drill_passes(self):
+        """The CI acceptance drill: SIGKILL a live gateway subprocess
+        mid-ingest, restart it over the same data directory, and require
+        bit-identical recovery on both tenants."""
+        from repro.service import smoke
+
+        assert smoke.main() == 0
+
+
+# --------------------------------------------------------------------- #
+# Fingerprint chain
+# --------------------------------------------------------------------- #
+class TestFingerprint:
+    def test_chain_is_order_sensitive_and_resumable(self):
+        ops = build_ops(8)
+        forward = FINGERPRINT_SEED
+        for op in ops:
+            forward = chain_fingerprint(forward, op)
+        # Resuming the chain from an intermediate hex lands on the same tip.
+        middle = FINGERPRINT_SEED
+        for op in ops[:4]:
+            middle = chain_fingerprint(middle, op)
+        resumed = middle
+        for op in ops[4:]:
+            resumed = chain_fingerprint(resumed, op)
+        assert resumed == forward
+        # Different order, different tip.
+        swapped = FINGERPRINT_SEED
+        for op in reversed(ops):
+            swapped = chain_fingerprint(swapped, op)
+        assert swapped != forward

@@ -7,6 +7,7 @@ import pytest
 from repro.core.verification import is_k_maximal_independent_set
 from repro.generators.worst_case import (
     complete_graph,
+    flicker_update_stream,
     hypercube_graph,
     subdivide,
     subdivided_complete_graph,
@@ -103,3 +104,42 @@ class TestTheorem3Witnesses:
 
     def test_worst_case_ratio_zero_guard(self):
         assert worst_case_ratio(0, 10) == 0.0
+
+
+class TestFlickerStream:
+    def test_stream_is_valid_and_net_noop(self):
+        graph, stream = flicker_update_stream(5, rounds=12, seed=4)
+        scratch = graph.copy()
+        stream.apply_all(scratch)  # every op legal in sequence
+        assert sorted(scratch.vertices()) == sorted(graph.vertices())
+        assert sorted(tuple(sorted(e)) for e in scratch.edges()) == sorted(
+            tuple(sorted(e)) for e in graph.edges()
+        )
+
+    def test_deterministic_for_a_seed(self):
+        _, first = flicker_update_stream(6, rounds=10, seed=9)
+        _, second = flicker_update_stream(6, rounds=10, seed=9)
+        assert list(first) == list(second)
+        _, other = flicker_update_stream(6, rounds=10, seed=10)
+        assert list(other) != list(first)
+
+    def test_description_pins_parameters(self):
+        _, stream = flicker_update_stream(7, rounds=3, seed=2)
+        assert stream.description == "worst-case-flicker(n=7,rounds=3,seed=2)"
+        assert stream.metadata["family"] == "subdivided_complete"
+
+    def test_engine_survives_flicker_and_stays_k_maximal(self):
+        from repro.experiments.runner import create_algorithm
+
+        graph, stream = flicker_update_stream(6, rounds=15, seed=1)
+        engine = create_algorithm("DyOneSwap", graph.copy(), None)
+        engine.apply_batch(list(stream), coalesce=True)
+        assert is_k_maximal_independent_set(
+            engine.graph, engine.solution(), 1
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            flicker_update_stream(2)
+        with pytest.raises(ValueError):
+            flicker_update_stream(5, rounds=-1)

@@ -41,6 +41,12 @@ else
 fi
 
 echo
+echo "== tier-1 tests (REPRO_KERNELS=python: stdlib-only kernel fallback) =="
+# Second leg without coverage: proves the pure-Python kernel backend (the
+# differential oracle) stays green when numpy is absent or pinned off.
+REPRO_KERNELS=python python -m pytest -x -q
+
+echo
 echo "== resilience smoke: seed-pinned crash-simulation replay =="
 python -m repro.resilience.smoke
 

@@ -46,6 +46,7 @@ from typing import (
     Set,
 )
 
+from repro.core import kernels
 from repro.core.lazy import LazyMISState
 from repro.core.state import MISState
 from repro.exceptions import SolutionInvariantError, UpdateError, VertexNotFoundError
@@ -500,7 +501,7 @@ class DynamicMISBase(abc.ABC):
         counts = self._counts
         live = [s for s in touched if labels[s] is not _FREE]
         if live:
-            zero = [s for s in live if not in_sol[s] and counts[s] == 0]
+            zero = kernels.zero_count_slots(live, in_sol, counts)
             if zero:
                 if len(zero) > 1:
                     zero.sort(key=graph.slot_order_key)
@@ -510,14 +511,14 @@ class DynamicMISBase(abc.ABC):
                         move_in(s)
             # Registration order follows the interned insertion order so the
             # candidate-queue insertion (hence drain) order is identical for
-            # the eager and the lazy state.  The count filter is inlined:
-            # most touched slots carry counts beyond k and register nothing.
+            # the eager and the lazy state.  The count filter runs first
+            # (kernels sweep — most touched slots carry counts beyond k and
+            # register nothing); registration itself changes no membership
+            # byte or count, so filtering up front matches the inline check.
             live.sort(key=self._orders.__getitem__)
             register = self._register_slot
-            k = self.k
-            for s in live:
-                if not in_sol[s] and 1 <= counts[s] <= k:
-                    register(s)
+            for s in kernels.candidate_slots(live, in_sol, counts, self.k):
+                register(s)
         self._process_candidates()
 
     def _dispatch(self, operation: UpdateOperation) -> None:

@@ -20,10 +20,12 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
+from repro.core import kernels
 from repro.core.state import CountEvent, StateStatistics
 from repro.exceptions import (
     EdgeExistsError,
     EdgeNotFoundError,
+    GraphError,
     SelfLoopError,
     SolutionInvariantError,
 )
@@ -295,11 +297,26 @@ class LazyMISState:
         graph = self.graph
         slot = graph.add_vertex_slot(vertex)
         self._ensure_slot(slot)
-        slot_of = graph.slot_of
-        for nbr in neighbors:
-            graph.add_edge_slots(slot, slot_of(nbr))
-        in_sol = self._in_sol
-        count = sum(1 for t in self._adj[slot] if in_sol[t])
+        # Fused edge loop (inlines graph.add_edge_slots; see MISState).
+        count = 0
+        if neighbors:
+            slot_of = graph.slot_of
+            adj = self._adj
+            adj_s = adj[slot]
+            in_sol = self._in_sol
+            n = 0
+            for nbr in neighbors:
+                t = slot_of(nbr)
+                if t == slot:
+                    raise SelfLoopError(vertex)
+                if t in adj_s:
+                    raise EdgeExistsError(vertex, nbr)
+                adj_s.add(t)
+                adj[t].add(slot)
+                n += 1
+                if in_sol[t]:
+                    count += 1
+            graph._num_edges += n
         self._count[slot] = count
         return slot, count
 
@@ -388,8 +405,14 @@ class LazyMISState:
         adj_u = adj[su]
         if sv not in adj_u:
             raise EdgeNotFoundError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
-        adj_u.discard(sv)
-        adj[sv].discard(su)
+        adj_u.remove(sv)
+        try:
+            adj[sv].remove(su)
+        except KeyError:
+            raise GraphError(
+                f"asymmetric adjacency: edge ({su}, {sv}) present only as "
+                f"{su}->{sv}"
+            ) from None
         self.graph._num_edges -= 1
 
     def remove_edge_one_sided(self, s_out: int, s_in: int) -> int:
@@ -406,60 +429,97 @@ class LazyMISState:
     def add_edges_slots_bulk(
         self, pairs: List[Tuple[int, int]]
     ) -> Tuple[List[int], List[Tuple[int, int]]]:
-        """Insert a run of edges in one pass; see :meth:`MISState.add_edges_slots_bulk`."""
+        """Insert a run of edges in one pass; see :meth:`MISState.add_edges_slots_bulk`.
+
+        Failure-atomic: the whole pair list is validated before any mutation.
+        """
         adj = self._adj
         in_sol = self._in_sol
         counts = self._count
         graph = self.graph
         bumped: List[int] = []
         conflicts: List[Tuple[int, int]] = []
-        for su, sv in pairs:
-            if su == sv:
-                raise SelfLoopError(graph.vertex_of(su))
-            adj_u = adj[su]
-            if sv in adj_u:
-                raise EdgeExistsError(graph.vertex_of(su), graph.vertex_of(sv))
-            adj_u.add(sv)
-            adj[sv].add(su)
-            graph._num_edges += 1
-            if in_sol[su]:
-                if in_sol[sv]:
-                    conflicts.append((su, sv))
-                else:
-                    counts[sv] += 1
-                    bumped.append(sv)
-            elif in_sol[sv]:
-                counts[su] += 1
-                bumped.append(su)
+        if kernels.vectorizes(len(pairs)):
+            cols = kernels.pair_columns(pairs)
+            kernels.validate_edge_insertions(graph, adj, pairs, cols)
+            one_sided, conflicts = kernels.classify_insertions(
+                pairs, in_sol, cols
+            )
+            for su, sv in pairs:
+                adj[su].add(sv)
+                adj[sv].add(su)
+            for out_slot, _sol_slot in one_sided:
+                counts[out_slot] += 1
+                bumped.append(out_slot)
+        else:
+            kernels.validate_edge_insertions(graph, adj, pairs)
+            for su, sv in pairs:
+                adj[su].add(sv)
+                adj[sv].add(su)
+                if in_sol[su]:
+                    if in_sol[sv]:
+                        conflicts.append((su, sv))
+                    else:
+                        counts[sv] += 1
+                        bumped.append(sv)
+                elif in_sol[sv]:
+                    counts[su] += 1
+                    bumped.append(su)
+        graph._num_edges += len(pairs)
         self.stats.count_updates += len(bumped)
         return bumped, conflicts
 
     def remove_edges_slots_bulk(
         self, pairs: List[Tuple[int, int]]
     ) -> Tuple[List[int], List[Tuple[int, int]]]:
-        """Delete a run of edges in one pass; see :meth:`MISState.remove_edges_slots_bulk`."""
+        """Delete a run of edges in one pass; see :meth:`MISState.remove_edges_slots_bulk`.
+
+        Failure-atomic: the whole pair list is validated before any mutation.
+        """
         adj = self._adj
         in_sol = self._in_sol
         counts = self._count
         graph = self.graph
         dropped: List[int] = []
         outside: List[Tuple[int, int]] = []
-        for su, sv in pairs:
-            adj_u = adj[su]
-            if sv not in adj_u:
-                raise EdgeNotFoundError(graph.vertex_of(su), graph.vertex_of(sv))
-            adj_u.discard(sv)
-            adj[sv].discard(su)
-            graph._num_edges -= 1
-            u_in = in_sol[su]
-            if u_in != in_sol[sv]:
-                s_out, s_in = (sv, su) if u_in else (su, sv)
-                counts[s_out] -= 1
-                dropped.append(s_out)
-            elif not u_in:
-                outside.append((su, sv))
+        remove = self._remove_pair_symmetric
+        if kernels.vectorizes(len(pairs)):
+            cols = kernels.pair_columns(pairs)
+            kernels.validate_edge_deletions(graph, adj, pairs, cols)
+            one_sided, outside = kernels.classify_deletions(
+                pairs, in_sol, cols
+            )
+            for su, sv in pairs:
+                remove(adj, su, sv)
+            for out_slot, _sol_slot in one_sided:
+                counts[out_slot] -= 1
+                dropped.append(out_slot)
+        else:
+            kernels.validate_edge_deletions(graph, adj, pairs)
+            for su, sv in pairs:
+                remove(adj, su, sv)
+                u_in = in_sol[su]
+                if u_in != in_sol[sv]:
+                    s_out, s_in = (sv, su) if u_in else (su, sv)
+                    counts[s_out] -= 1
+                    dropped.append(s_out)
+                elif not u_in:
+                    outside.append((su, sv))
+        graph._num_edges -= len(pairs)
         self.stats.count_updates += len(dropped)
         return dropped, outside
+
+    @staticmethod
+    def _remove_pair_symmetric(adj, su: int, sv: int) -> None:
+        """Drop both directions of a pre-validated edge, asserting symmetry."""
+        adj[su].remove(sv)
+        try:
+            adj[sv].remove(su)
+        except KeyError:
+            raise GraphError(
+                f"asymmetric adjacency: edge ({su}, {sv}) present only as "
+                f"{su}->{sv}"
+            ) from None
 
     # ------------------------------------------------------------------ #
     # Split bulk mutation (the sharded engine's intra-partition path)
@@ -470,30 +530,22 @@ class LazyMISState:
     # with the same count_updates accounting as the bulk primitives.
 
     def add_edges_structural_bulk(self, pairs: List[Tuple[int, int]]) -> None:
-        """Insert a run of edges with no count bookkeeping (validated)."""
+        """Insert a run of edges with no count bookkeeping (validated, atomic)."""
         adj = self._adj
-        graph = self.graph
+        kernels.validate_edge_insertions(self.graph, adj, pairs)
         for su, sv in pairs:
-            if su == sv:
-                raise SelfLoopError(graph.vertex_of(su))
-            adj_u = adj[su]
-            if sv in adj_u:
-                raise EdgeExistsError(graph.vertex_of(su), graph.vertex_of(sv))
-            adj_u.add(sv)
+            adj[su].add(sv)
             adj[sv].add(su)
-            graph._num_edges += 1
+        self.graph._num_edges += len(pairs)
 
     def remove_edges_structural_bulk(self, pairs: List[Tuple[int, int]]) -> None:
-        """Delete a run of edges with no count bookkeeping (validated)."""
+        """Delete a run of edges with no count bookkeeping (validated, atomic)."""
         adj = self._adj
-        graph = self.graph
+        kernels.validate_edge_deletions(self.graph, adj, pairs)
+        remove = self._remove_pair_symmetric
         for su, sv in pairs:
-            adj_u = adj[su]
-            if sv not in adj_u:
-                raise EdgeNotFoundError(graph.vertex_of(su), graph.vertex_of(sv))
-            adj_u.discard(sv)
-            adj[sv].discard(su)
-            graph._num_edges -= 1
+            remove(adj, su, sv)
+        self.graph._num_edges -= len(pairs)
 
     def note_solution_neighbors_added(
         self, pairs: Iterable[Tuple[int, int]]

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core import kernels
+
 Pair = Tuple[int, int]
 IndexedPair = Tuple[int, int, int]  # (phase index, su, sv)
 
@@ -172,6 +174,13 @@ def classify_deletion_pairs(
     both endpoints inside are possible only transiently and need no count
     bookkeeping (mirroring ``remove_edges_slots_bulk``).
     """
+    pairs = pairs if isinstance(pairs, list) else list(pairs)
+    if kernels.vectorizes(len(pairs)) and (
+        not overrides or len(overrides) <= kernels.MAX_VECTOR_OVERRIDES
+    ):
+        return kernels.classify_deletion_pairs_published(
+            pairs, membership, published_len, overrides
+        )
     probe = _membership_probe(membership, published_len, overrides)
     dropped: List[Pair] = []
     outside: List[Pair] = []
@@ -198,6 +207,13 @@ def classify_insertion_pairs(
     the both-in-solution pairs with their phase indices (the coordinator
     merges and sorts these before running the eviction pass).
     """
+    pairs = pairs if isinstance(pairs, list) else list(pairs)
+    if kernels.vectorizes(len(pairs)) and (
+        not overrides or len(overrides) <= kernels.MAX_VECTOR_OVERRIDES
+    ):
+        return kernels.classify_insertion_pairs_published(
+            pairs, membership, published_len, overrides
+        )
     probe = _membership_probe(membership, published_len, overrides)
     bumped: List[Pair] = []
     conflicts: List[IndexedPair] = []

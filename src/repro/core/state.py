@@ -35,9 +35,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.core import kernels
 from repro.exceptions import (
     EdgeExistsError,
     EdgeNotFoundError,
+    GraphError,
     SelfLoopError,
     SolutionInvariantError,
 )
@@ -510,11 +512,28 @@ class MISState:
         graph = self.graph
         slot = graph.add_vertex_slot(vertex)
         self._ensure_slot(slot)
-        slot_of = graph.slot_of
-        for nbr in neighbors:
-            graph.add_edge_slots(slot, slot_of(nbr))
-        in_sol = self._in_sol
-        own = {t for t in self._adj[slot] if in_sol[t]}
+        # Fused edge loop (inlines graph.add_edge_slots): a fresh vertex's
+        # adjacency starts empty, so the solution-neighbour set can be built
+        # while the edges go in instead of re-scanning adjacency afterwards.
+        own: Set[int] = set()
+        if neighbors:
+            slot_of = graph.slot_of
+            adj = self._adj
+            adj_s = adj[slot]
+            in_sol = self._in_sol
+            n = 0
+            for nbr in neighbors:
+                t = slot_of(nbr)
+                if t == slot:
+                    raise SelfLoopError(vertex)
+                if t in adj_s:
+                    raise EdgeExistsError(vertex, nbr)
+                adj_s.add(t)
+                adj[t].add(slot)
+                n += 1
+                if in_sol[t]:
+                    own.add(t)
+            graph._num_edges += n
         self._sn[slot] = own
         self._sn_total += len(own)
         self._count[slot] = len(own)
@@ -631,8 +650,14 @@ class MISState:
         adj_u = adj[su]
         if sv not in adj_u:
             raise EdgeNotFoundError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
-        adj_u.discard(sv)
-        adj[sv].discard(su)
+        adj_u.remove(sv)
+        try:
+            adj[sv].remove(su)
+        except KeyError:
+            raise GraphError(
+                f"asymmetric adjacency: edge ({su}, {sv}) present only as "
+                f"{su}->{sv}"
+            ) from None
         self.graph._num_edges -= 1
 
     def remove_edge_one_sided(self, s_out: int, s_in: int) -> int:
@@ -655,6 +680,11 @@ class MISState:
         untouched — the caller must evict one endpoint of each conflict
         before the solution is observed (exactly as with
         :meth:`add_edge_slots`, just batched).
+
+        **Failure-atomic:** the whole pair list is validated (self-loops,
+        in-batch duplicates, already-present edges) before any mutation, so
+        a raised :class:`SelfLoopError`/:class:`EdgeExistsError` leaves the
+        state byte-identical to the pre-call state.
         """
         adj = self._adj
         in_sol = self._in_sol
@@ -662,24 +692,33 @@ class MISState:
         bumped: List[int] = []
         conflicts: List[Tuple[int, int]] = []
         add_sn = self._add_solution_neighbor
-        for su, sv in pairs:
-            if su == sv:
-                raise SelfLoopError(graph.vertex_of(su))
-            adj_u = adj[su]
-            if sv in adj_u:
-                raise EdgeExistsError(graph.vertex_of(su), graph.vertex_of(sv))
-            adj_u.add(sv)
-            adj[sv].add(su)
-            graph._num_edges += 1
-            if in_sol[su]:
-                if in_sol[sv]:
-                    conflicts.append((su, sv))
-                else:
-                    add_sn(sv, su)
-                    bumped.append(sv)
-            elif in_sol[sv]:
-                add_sn(su, sv)
-                bumped.append(su)
+        if kernels.vectorizes(len(pairs)):
+            cols = kernels.pair_columns(pairs)
+            kernels.validate_edge_insertions(graph, adj, pairs, cols)
+            one_sided, conflicts = kernels.classify_insertions(
+                pairs, in_sol, cols
+            )
+            for su, sv in pairs:
+                adj[su].add(sv)
+                adj[sv].add(su)
+            for out_slot, sol_slot in one_sided:
+                add_sn(out_slot, sol_slot)
+                bumped.append(out_slot)
+        else:
+            kernels.validate_edge_insertions(graph, adj, pairs)
+            for su, sv in pairs:
+                adj[su].add(sv)
+                adj[sv].add(su)
+                if in_sol[su]:
+                    if in_sol[sv]:
+                        conflicts.append((su, sv))
+                    else:
+                        add_sn(sv, su)
+                        bumped.append(sv)
+                elif in_sol[sv]:
+                    add_sn(su, sv)
+                    bumped.append(su)
+        graph._num_edges += len(pairs)
         return bumped, conflicts
 
     def remove_edges_slots_bulk(
@@ -693,6 +732,11 @@ class MISState:
         any count change).  Pairs with both endpoints inside the solution —
         possible transiently while a batch's conflicts are pending — are
         removed structurally with no count change.
+
+        **Failure-atomic:** the whole pair list is validated (missing edges,
+        in-batch duplicates) before any mutation, so a raised
+        :class:`EdgeNotFoundError` leaves the state byte-identical to the
+        pre-call state.
         """
         adj = self._adj
         in_sol = self._in_sol
@@ -700,21 +744,44 @@ class MISState:
         dropped: List[int] = []
         outside: List[Tuple[int, int]] = []
         remove_sn = self._remove_solution_neighbor
-        for su, sv in pairs:
-            adj_u = adj[su]
-            if sv not in adj_u:
-                raise EdgeNotFoundError(graph.vertex_of(su), graph.vertex_of(sv))
-            adj_u.discard(sv)
-            adj[sv].discard(su)
-            graph._num_edges -= 1
-            u_in = in_sol[su]
-            if u_in != in_sol[sv]:
-                s_out, s_in = (sv, su) if u_in else (su, sv)
-                remove_sn(s_out, s_in)
-                dropped.append(s_out)
-            elif not u_in:
-                outside.append((su, sv))
+        if kernels.vectorizes(len(pairs)):
+            cols = kernels.pair_columns(pairs)
+            kernels.validate_edge_deletions(graph, adj, pairs, cols)
+            one_sided, outside = kernels.classify_deletions(
+                pairs, in_sol, cols
+            )
+            remove = self._remove_pair_symmetric
+            for su, sv in pairs:
+                remove(adj, su, sv)
+            for out_slot, sol_slot in one_sided:
+                remove_sn(out_slot, sol_slot)
+                dropped.append(out_slot)
+        else:
+            kernels.validate_edge_deletions(graph, adj, pairs)
+            remove = self._remove_pair_symmetric
+            for su, sv in pairs:
+                remove(adj, su, sv)
+                u_in = in_sol[su]
+                if u_in != in_sol[sv]:
+                    s_out, s_in = (sv, su) if u_in else (su, sv)
+                    remove_sn(s_out, s_in)
+                    dropped.append(s_out)
+                elif not u_in:
+                    outside.append((su, sv))
+        graph._num_edges -= len(pairs)
         return dropped, outside
+
+    @staticmethod
+    def _remove_pair_symmetric(adj, su: int, sv: int) -> None:
+        """Drop both directions of a pre-validated edge, asserting symmetry."""
+        adj[su].remove(sv)
+        try:
+            adj[sv].remove(su)
+        except KeyError:
+            raise GraphError(
+                f"asymmetric adjacency: edge ({su}, {sv}) present only as "
+                f"{su}->{sv}"
+            ) from None
 
     # ------------------------------------------------------------------ #
     # Split bulk mutation (the sharded engine's intra-partition path)
@@ -731,30 +798,22 @@ class MISState:
     # so the interleaving cannot be observed.
 
     def add_edges_structural_bulk(self, pairs: List[Tuple[int, int]]) -> None:
-        """Insert a run of edges with no count bookkeeping (validated)."""
+        """Insert a run of edges with no count bookkeeping (validated, atomic)."""
         adj = self._adj
-        graph = self.graph
+        kernels.validate_edge_insertions(self.graph, adj, pairs)
         for su, sv in pairs:
-            if su == sv:
-                raise SelfLoopError(graph.vertex_of(su))
-            adj_u = adj[su]
-            if sv in adj_u:
-                raise EdgeExistsError(graph.vertex_of(su), graph.vertex_of(sv))
-            adj_u.add(sv)
+            adj[su].add(sv)
             adj[sv].add(su)
-            graph._num_edges += 1
+        self.graph._num_edges += len(pairs)
 
     def remove_edges_structural_bulk(self, pairs: List[Tuple[int, int]]) -> None:
-        """Delete a run of edges with no count bookkeeping (validated)."""
+        """Delete a run of edges with no count bookkeeping (validated, atomic)."""
         adj = self._adj
-        graph = self.graph
+        kernels.validate_edge_deletions(self.graph, adj, pairs)
+        remove = self._remove_pair_symmetric
         for su, sv in pairs:
-            adj_u = adj[su]
-            if sv not in adj_u:
-                raise EdgeNotFoundError(graph.vertex_of(su), graph.vertex_of(sv))
-            adj_u.discard(sv)
-            adj[sv].discard(su)
-            graph._num_edges -= 1
+            remove(adj, su, sv)
+        self.graph._num_edges -= len(pairs)
 
     def note_solution_neighbors_added(
         self, pairs: Iterable[Tuple[int, int]]

@@ -149,6 +149,7 @@ def coalesce_batch(
     slot_map = graph.slot_map_view()
     slot_get = slot_map.get
     adj = graph.adjacency_slots_view()
+    labels = graph.labels_view()
     INSERT_EDGE = UpdateKind.INSERT_EDGE
     DELETE_EDGE = UpdateKind.DELETE_EDGE
     INSERT_VERTEX = UpdateKind.INSERT_VERTEX
@@ -264,10 +265,13 @@ def coalesce_batch(
                 )
             else:
                 entry[1] = True
+            neighbors = op.neighbors
+            if not neighbors:
+                continue
             own_bucket = incident.get(label)
             if own_bucket is None:
                 own_bucket = incident[label] = []
-            for nbr in op.neighbors:
+            for nbr in neighbors:
                 if nbr == label:
                     raise UpdateError(f"batch inserts self loop on {label!r}")
                 nbr_entry = v_get(nbr)
@@ -328,8 +332,7 @@ def coalesce_batch(
             # Eagerly sweep every incident edge so the e_state invariant
             # holds.  Graph-side edges first (only deletions of graph
             # vertices can have untouched incident edges) …
-            if slot is not None:
-                labels = graph.labels_view()
+            if slot is not None and adj[slot]:
                 bucket = incident.get(label)
                 if bucket is None:
                     bucket = incident[label] = []

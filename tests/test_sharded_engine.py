@@ -52,6 +52,11 @@ from repro.updates.streams import (
 )
 from repro.workloads.snapshot import algorithm_to_payload
 
+# Every sharded case runs under both kernel backends (see conftest); the
+# fixture exports REPRO_KERNELS so the worker processes resolve the same
+# backend as the coordinator.
+pytestmark = pytest.mark.usefixtures("kernel_backend")
+
 
 def _fingerprint(algorithm) -> dict:
     """The full serialised state (snapshot payload) of a run."""

@@ -1,0 +1,302 @@
+"""Benchmark — copy-on-write forks, what-if queries and pipelined prefetch.
+
+The companion scenario for this PR's perf layer, and the **acceptance
+gate** for its headline claim: at ``>= 10k`` live slots, ``engine.fork()``
+must be at least ``--min-speedup`` (default 5×) cheaper than both full-copy
+baselines — a (sentinel-pinned) ``copy.deepcopy`` of the engine and a
+snapshot-payload round trip — while a fork that then diverges stays
+bit-identical to the deep copy walking the same updates.
+
+Three scenarios, all written to machine-readable JSON with ``--output``:
+
+* ``fork``     — fork vs. deepcopy vs. snapshot round-trip latency, plus the
+                 bit-identity check on a shared divergence stream.
+* ``what_if``  — latency of a full hypothetical query (fork, coalesced
+                 batch apply, solution diff, discard), the primitive behind
+                 the service layer's ``what_if`` command.
+* ``prefetch`` — cached temporal replay wall-clock and tracemalloc peak
+                 under ``REPRO_PREFETCH=0`` vs ``=1``.  Results must be
+                 bit-identical and the peaks must match (the pipeline holds
+                 at most ``depth`` extra chunks); the speedup is *reported*
+                 but not gated — on a single-core box the overlap window is
+                 at the mercy of the scheduler, so CI gates correctness and
+                 memory, and PERFORMANCE.md records the measured ratio.
+
+Exit code 1 when a gate fails (``--gate-mode warn`` downgrades to a loud
+warning for noisy shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import DyOneSwap
+from repro.experiments import run_algorithm
+from repro.generators.random_graphs import gnm_random_graph
+from repro.graphs import dynamic_graph
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.service.tenant import engine_digest
+from repro.updates.streams import mixed_update_stream
+from repro.workloads.snapshot import algorithm_from_payload, algorithm_to_payload
+from repro.workloads.temporal import (
+    cached_temporal_stream,
+    synthetic_temporal_events,
+    write_temporal_edge_list,
+)
+
+#: Live-slot floor for the fork scenario — the acceptance criterion is
+#: stated "at >= 10k live slots", so the default workload sits above it.
+DEFAULT_VERTICES = 12_000
+DEFAULT_EDGES = 24_000
+
+
+def _deepcopy_engine(engine):
+    """Sentinel-pinned deep copy (the graph's free-slot marker is compared
+    by identity, so a naive deepcopy would corrupt the label table)."""
+    sentinel = dynamic_graph._FREE
+    return copy.deepcopy(engine, {id(sentinel): sentinel})
+
+
+def _best_of(rounds, callable_):
+    times = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = callable_()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def _build_engine(num_vertices, num_edges, seed=11):
+    graph = gnm_random_graph(num_vertices, num_edges, seed=seed)
+    return DyOneSwap(graph)
+
+
+def bench_fork(rounds, num_vertices, num_edges):
+    engine = _build_engine(num_vertices, num_edges)
+    live = engine.graph.num_vertices
+
+    fork_s, fork = _best_of(rounds, engine.fork)
+    deepcopy_s, oracle = _best_of(rounds, lambda: _deepcopy_engine(engine))
+    snapshot_s, _ = _best_of(
+        rounds,
+        lambda: algorithm_from_payload(algorithm_to_payload(engine)),
+    )
+
+    # Bit-identity under divergence: the cheap fork and the expensive deep
+    # copy must walk the exact same trajectory.
+    divergence = list(mixed_update_stream(engine.graph.copy(), 400, seed=7))
+    fork.apply_batch(divergence, coalesce=True)
+    oracle.apply_batch(divergence, coalesce=True)
+    identical = engine_digest(fork) == engine_digest(oracle)
+    parent_clean = engine_digest(engine) != engine_digest(fork)
+
+    return {
+        "live_slots": live,
+        "fork_ms": fork_s * 1e3,
+        "deepcopy_ms": deepcopy_s * 1e3,
+        "snapshot_roundtrip_ms": snapshot_s * 1e3,
+        "speedup_vs_deepcopy": deepcopy_s / fork_s,
+        "speedup_vs_snapshot": snapshot_s / fork_s,
+        "divergence_bit_identical": identical,
+        "parent_diverged_from_fork": parent_clean,
+    }
+
+
+def bench_what_if(rounds, num_vertices, num_edges, batch=32):
+    engine = _build_engine(num_vertices, num_edges, seed=13)
+    hypothetical = list(
+        mixed_update_stream(engine.graph.copy(), batch, seed=17)
+    )
+    before_digest = engine_digest(engine)
+    base = set(engine.solution())
+
+    def what_if():
+        fork = engine.fork()
+        fork.apply_batch(list(hypothetical), coalesce=True)
+        after = set(fork.solution())
+        return len(after), after - base, base - after
+
+    times = []
+    answer = None
+    for _ in range(max(rounds * 5, 10)):
+        start = time.perf_counter()
+        answer = what_if()
+        times.append(time.perf_counter() - start)
+    return {
+        "live_slots": engine.graph.num_vertices,
+        "hypothetical_ops": len(hypothetical),
+        "what_if_ms_best": min(times) * 1e3,
+        "what_if_ms_median": statistics.median(times) * 1e3,
+        "size": answer[0],
+        "added": len(answer[1]),
+        "removed": len(answer[2]),
+        "tenant_unperturbed": engine_digest(engine) == before_digest,
+    }
+
+
+def bench_prefetch(rounds, num_events):
+    with tempfile.TemporaryDirectory(prefix="bench-prefetch-") as scratch:
+        source = Path(scratch) / "events.txt"
+        write_temporal_edge_list(
+            synthetic_temporal_events(num_events, num_vertices=400, seed=29),
+            source,
+        )
+        cached_temporal_stream(source, window=12.0)  # warm the disk cache
+
+        def replay():
+            stream = cached_temporal_stream(source, window=12.0)
+            assert stream.metadata["cache"] == "hit"
+            measurement = run_algorithm(
+                "DyOneSwap", DynamicGraph(), stream, batch_size=32
+            )
+            return measurement
+
+        results = {}
+        for flag in ("0", "1"):
+            os.environ["REPRO_PREFETCH"] = flag
+            elapsed, measurement = _best_of(rounds, replay)
+            tracemalloc.start()
+            baseline, _ = tracemalloc.get_traced_memory()
+            replay()
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            results[flag] = {
+                "seconds": elapsed,
+                "peak_kb": (peak - baseline) / 1024.0,
+                "final_size": measurement.final_size,
+                "updates": measurement.num_updates,
+            }
+        os.environ.pop("REPRO_PREFETCH", None)
+
+    off, on = results["0"], results["1"]
+    return {
+        "num_events": num_events,
+        "updates": on["updates"],
+        "inline_s": off["seconds"],
+        "prefetch_s": on["seconds"],
+        "speedup": off["seconds"] / on["seconds"],
+        "inline_peak_kb": off["peak_kb"],
+        "prefetch_peak_kb": on["peak_kb"],
+        "results_identical": (off["final_size"], off["updates"])
+        == (on["final_size"], on["updates"]),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--vertices", type=int, default=DEFAULT_VERTICES)
+    parser.add_argument("--edges", type=int, default=DEFAULT_EDGES)
+    parser.add_argument("--events", type=int, default=6_000)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fork must beat both full-copy baselines by this factor",
+    )
+    parser.add_argument(
+        "--memory-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional tracemalloc-peak excess of the prefetch "
+        "replay over the inline replay",
+    )
+    parser.add_argument("--output", default=None, help="write results JSON here")
+    parser.add_argument("--gate-mode", choices=("fail", "warn"), default="fail")
+    args = parser.parse_args(argv)
+
+    if args.vertices < 10_000:
+        print(
+            f"note: --vertices {args.vertices} is below the 10k-live-slot "
+            "acceptance floor; numbers are informational only"
+        )
+
+    fork = bench_fork(args.rounds, args.vertices, args.edges)
+    what_if = bench_what_if(args.rounds, args.vertices, args.edges)
+    prefetch = bench_prefetch(args.rounds, args.events)
+
+    print(f"fork @ {fork['live_slots']} live slots:")
+    print(
+        f"  fork {fork['fork_ms']:.3f} ms  |  deepcopy "
+        f"{fork['deepcopy_ms']:.1f} ms ({fork['speedup_vs_deepcopy']:.1f}x)  |  "
+        f"snapshot round-trip {fork['snapshot_roundtrip_ms']:.1f} ms "
+        f"({fork['speedup_vs_snapshot']:.1f}x)"
+    )
+    print(
+        f"what_if ({what_if['hypothetical_ops']} ops on "
+        f"{what_if['live_slots']} live): best "
+        f"{what_if['what_if_ms_best']:.2f} ms, median "
+        f"{what_if['what_if_ms_median']:.2f} ms"
+    )
+    print(
+        f"prefetch replay ({prefetch['updates']} ops): inline "
+        f"{prefetch['inline_s']:.3f} s, prefetch {prefetch['prefetch_s']:.3f} s "
+        f"({prefetch['speedup']:.2f}x), peaks "
+        f"{prefetch['inline_peak_kb']:.0f} / {prefetch['prefetch_peak_kb']:.0f} kB"
+    )
+
+    failures = []
+    if not fork["divergence_bit_identical"]:
+        failures.append("fork divergence is NOT bit-identical to deepcopy")
+    if not fork["parent_diverged_from_fork"]:
+        failures.append("divergence stream was a no-op (benchmark is vacuous)")
+    if fork["speedup_vs_deepcopy"] < args.min_speedup:
+        failures.append(
+            f"fork only {fork['speedup_vs_deepcopy']:.1f}x cheaper than "
+            f"deepcopy (need >= {args.min_speedup}x)"
+        )
+    if fork["speedup_vs_snapshot"] < args.min_speedup:
+        failures.append(
+            f"fork only {fork['speedup_vs_snapshot']:.1f}x cheaper than the "
+            f"snapshot round-trip (need >= {args.min_speedup}x)"
+        )
+    if not what_if["tenant_unperturbed"]:
+        failures.append("what_if perturbed the base engine digest")
+    if not prefetch["results_identical"]:
+        failures.append("prefetch replay result differs from inline replay")
+    if prefetch["prefetch_peak_kb"] > prefetch["inline_peak_kb"] * (
+        1.0 + args.memory_tolerance
+    ) + 512.0:
+        failures.append(
+            f"prefetch peak {prefetch['prefetch_peak_kb']:.0f} kB exceeds "
+            f"inline peak {prefetch['inline_peak_kb']:.0f} kB by more than "
+            f"{args.memory_tolerance:.0%} (+512 kB slack)"
+        )
+
+    document = {
+        "benchmark": "fork-whatif-prefetch",
+        "python": platform.python_version(),
+        "rounds": args.rounds,
+        "fork": fork,
+        "what_if": what_if,
+        "prefetch": prefetch,
+        "gates": {"min_speedup": args.min_speedup, "failures": failures},
+    }
+    if args.output:
+        Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"results written to {args.output}")
+
+    if failures:
+        banner = "GATE FAILED" if args.gate_mode == "fail" else "GATE WARNING"
+        for failure in failures:
+            print(f"{banner}: {failure}", file=sys.stderr)
+        if args.gate_mode == "fail":
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

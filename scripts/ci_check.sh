@@ -18,6 +18,10 @@
 #   BENCH_SWEEP_OUTPUT  optional JSON file receiving only the sharded
 #                    worker-sweep results; CI uploads it as the worker-sweep
 #                    artifact (unset: the sweep still runs, no extra file)
+#   FORK_BENCH_ROUNDS  best-of-N rounds for the fork/what-if/prefetch gate
+#                    (default 3); BENCH_MODE warn downgrades its gate too
+#   FORK_BENCH_OUTPUT  optional JSON file receiving the fork/prefetch results;
+#                    CI uploads it as an artifact
 #   COVERAGE         set to 1 to run the tier-1 tests under pytest-cov with a
 #                    hard floor (requires pytest-cov; CI enables this)
 #   COVERAGE_MIN     coverage floor in percent (default 85)
@@ -66,6 +70,15 @@ python benchmarks/bench_core_operations.py \
     --tolerance "${BENCH_TOLERANCE:-0.15}" \
     --compare-mode "${BENCH_MODE:-fail}" \
     ${BENCH_SWEEP_OUTPUT:+--sweep-output "$BENCH_SWEEP_OUTPUT"}
+
+echo
+echo "== fork / what-if / prefetch gate (fork >= 5x cheaper than both full-"
+echo "   copy baselines at >= 10k live slots; what-if leaves the base engine"
+echo "   untouched; prefetch replay bit-identical at matched memory) =="
+python benchmarks/bench_fork_whatif.py \
+    --rounds "${FORK_BENCH_ROUNDS:-3}" \
+    --gate-mode "${BENCH_MODE:-fail}" \
+    ${FORK_BENCH_OUTPUT:+--output "$FORK_BENCH_OUTPUT"}
 
 echo
 echo "ci_check OK (benchmark results: $scratch)"

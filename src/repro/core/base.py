@@ -182,6 +182,66 @@ class DynamicMISBase(abc.ABC):
             size += sum(len(c) for c in level.values())
         return size
 
+    def fork(self) -> "DynamicMISBase":
+        """Return a logically independent copy-on-write fork of this engine.
+
+        The fork shares the graph's adjacency sets and the eager state's
+        ``I(v)``/hierarchy buckets with this engine behind ownership bitmaps
+        (see :meth:`DynamicGraph.fork` / :meth:`MISState.fork`), so creating
+        it costs O(slots) spine copies instead of the O(n·d) per-element
+        copies of a deep copy — and the two engines then diverge at
+        O(touched slots) cost.  Either side may be mutated or discarded
+        freely; results are bit-identical to running on a deep copy.
+
+        Must be called at a batch boundary (candidate queues drained — the
+        same precondition snapshots impose), because the candidate queues
+        are not forked.  ``ShardedEngine`` delegates this method to its
+        inner engine, so forking a sharded tenant yields a plain
+        single-process fork — the right engine for a throwaway branch.
+        """
+        if self.has_pending_candidates():
+            raise SolutionInvariantError(
+                "cannot fork mid-repair: candidate queues are not drained"
+            )
+        clone = object.__new__(type(self))
+        # Plain attributes first (config flags plus any subclass counters
+        # like KSwapFramework.search_limit_hits — all immutable values);
+        # the stateful ones are rebuilt over the forked graph/state below.
+        rebuilt = {
+            "state",
+            "stats",
+            "_candidates",
+            "_in_sol",
+            "_counts",
+            "_adj",
+            "_slot_map",
+            "_orders",
+            "_labels",
+            "_sn_list",
+        }
+        for name, value in self.__dict__.items():
+            if name not in rebuilt:
+                clone.__dict__[name] = value
+        graph_fork = self.state.graph.fork()
+        clone.state = self.state.fork(graph_fork)
+        clone.stats = AlgorithmStatistics(
+            updates_processed=self.stats.updates_processed,
+            swaps_performed=Counter(self.stats.swaps_performed),
+            perturbations=self.stats.perturbations,
+            candidates_processed=self.stats.candidates_processed,
+            operations_coalesced=self.stats.operations_coalesced,
+            batches_applied=self.stats.batches_applied,
+        )
+        clone._candidates = [{} for _ in range(self.k + 1)]
+        clone._in_sol = clone.state.in_solution_view()
+        clone._counts = clone.state.counts_slots_view()
+        clone._adj = graph_fork.adjacency_slots_view()
+        clone._slot_map = graph_fork.slot_map_view()
+        clone._orders = graph_fork.orders_view()
+        clone._labels = graph_fork.labels_view()
+        clone._sn_list = clone.state.sn_list_view()
+        return clone
+
     def apply_update(self, operation: UpdateOperation) -> None:
         """Apply one structural update and restore k-maximality of the solution."""
         self._dispatch(operation)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.core import kernels
-from repro.core.state import CountEvent, StateStatistics
+from repro.core.state import CountEvent, StateStatistics, _privatize_adj_pairs
 from repro.exceptions import (
     EdgeExistsError,
     EdgeNotFoundError,
@@ -55,6 +55,27 @@ class LazyMISState:
         while len(self._count) <= slot:
             self._in_sol.append(0)
             self._count.append(0)
+
+    def fork(self, graph_fork: DynamicGraph) -> "LazyMISState":
+        """Return a fork of this state over ``graph_fork`` (see :meth:`MISState.fork`).
+
+        The lazy state stores only flat scalar arrays, so its fork is pure
+        memcpy-level copies; all structural sharing lives in the graph's
+        adjacency CoW (the inlined mutators below honour its bitmap).
+        """
+        clone = object.__new__(type(self))
+        clone.graph = graph_fork
+        clone.k = self.k
+        clone._adj = graph_fork.adjacency_slots_view()
+        clone._in_sol = bytearray(self._in_sol)
+        clone._sol_slots = set(self._sol_slots)
+        clone._count = list(self._count)
+        clone.stats = StateStatistics(
+            move_in_calls=self.stats.move_in_calls,
+            move_out_calls=self.stats.move_out_calls,
+            count_updates=self.stats.count_updates,
+        )
+        return clone
 
     # ------------------------------------------------------------------ #
     # Queries (label boundary)
@@ -302,8 +323,9 @@ class LazyMISState:
         if neighbors:
             slot_of = graph.slot_of
             adj = self._adj
-            adj_s = adj[slot]
+            adj_s = adj[slot]  # freshly allocated: _alloc made it private
             in_sol = self._in_sol
+            gcow = graph._cow_adj
             n = 0
             for nbr in neighbors:
                 t = slot_of(nbr)
@@ -312,6 +334,9 @@ class LazyMISState:
                 if t in adj_s:
                     raise EdgeExistsError(vertex, nbr)
                 adj_s.add(t)
+                if gcow is not None and not gcow[t]:
+                    adj[t] = set(adj[t])
+                    gcow[t] = 1
                 adj[t].add(slot)
                 n += 1
                 if in_sol[t]:
@@ -386,6 +411,14 @@ class LazyMISState:
         adj_u = adj[su]
         if sv in adj_u:
             raise EdgeExistsError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
+        gcow = self.graph._cow_adj
+        if gcow is not None:
+            if not gcow[su]:
+                adj[su] = adj_u = set(adj_u)
+                gcow[su] = 1
+            if not gcow[sv]:
+                adj[sv] = set(adj[sv])
+                gcow[sv] = 1
         adj_u.add(sv)
         adj[sv].add(su)
         self.graph._num_edges += 1
@@ -405,6 +438,14 @@ class LazyMISState:
         adj_u = adj[su]
         if sv not in adj_u:
             raise EdgeNotFoundError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
+        gcow = self.graph._cow_adj
+        if gcow is not None:
+            if not gcow[su]:
+                adj[su] = adj_u = set(adj_u)
+                gcow[su] = 1
+            if not gcow[sv]:
+                adj[sv] = set(adj[sv])
+                gcow[sv] = 1
         adj_u.remove(sv)
         try:
             adj[sv].remove(su)
@@ -437,6 +478,7 @@ class LazyMISState:
         in_sol = self._in_sol
         counts = self._count
         graph = self.graph
+        _privatize_adj_pairs(graph, adj, pairs)
         bumped: List[int] = []
         conflicts: List[Tuple[int, int]] = []
         if kernels.vectorizes(len(pairs)):
@@ -480,6 +522,7 @@ class LazyMISState:
         in_sol = self._in_sol
         counts = self._count
         graph = self.graph
+        _privatize_adj_pairs(graph, adj, pairs)
         dropped: List[int] = []
         outside: List[Tuple[int, int]] = []
         remove = self._remove_pair_symmetric
@@ -533,6 +576,7 @@ class LazyMISState:
         """Insert a run of edges with no count bookkeeping (validated, atomic)."""
         adj = self._adj
         kernels.validate_edge_insertions(self.graph, adj, pairs)
+        _privatize_adj_pairs(self.graph, adj, pairs)
         for su, sv in pairs:
             adj[su].add(sv)
             adj[sv].add(su)
@@ -542,6 +586,7 @@ class LazyMISState:
         """Delete a run of edges with no count bookkeeping (validated, atomic)."""
         adj = self._adj
         kernels.validate_edge_deletions(self.graph, adj, pairs)
+        _privatize_adj_pairs(self.graph, adj, pairs)
         remove = self._remove_pair_symmetric
         for su, sv in pairs:
             remove(adj, su, sv)

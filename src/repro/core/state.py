@@ -57,6 +57,27 @@ CountEvent = Tuple[Vertex, Optional[int], int]
 _EMPTY: FrozenSet[int] = frozenset()
 
 
+def _privatize_adj_pairs(
+    graph: DynamicGraph, adj: List[Set[int]], pairs: Iterable[Tuple[int, int]]
+) -> None:
+    """CoW barrier for a bulk pass: privatise every adjacency set ``pairs`` touches.
+
+    Called once per bulk mutator when the graph has been forked (no-op check
+    otherwise), so the per-pair hot loops below run on owned sets with zero
+    extra branching.  Shared by the eager and lazy states.
+    """
+    gcow = graph._cow_adj
+    if gcow is None:
+        return
+    for su, sv in pairs:
+        if not gcow[su]:
+            adj[su] = set(adj[su])
+            gcow[su] = 1
+        if not gcow[sv]:
+            adj[sv] = set(adj[sv])
+            gcow[sv] = 1
+
+
 @dataclass
 class StateStatistics:
     """Running counters describing the work a state instance has performed."""
@@ -111,14 +132,86 @@ class MISState:
         self._tight_keys = 0
         self._tight_total = 0
         self.stats = StateStatistics()
+        # Copy-on-write ownership bitmaps for the inner ``I(v)`` sets and the
+        # level-1 hierarchy buckets (``None`` until the first fork — mutators
+        # then pay a single ``is None`` check).  See :meth:`fork`.
+        self._cow_sn: Optional[bytearray] = None
+        self._cow_t1: Optional[bytearray] = None
 
     def _ensure_slot(self, slot: int) -> None:
         """Grow the flat arrays to cover a freshly allocated graph slot."""
+        cow = self._cow_sn
         while len(self._count) <= slot:
             self._in_sol.append(0)
             self._count.append(0)
             self._sn.append(set())
             self._tight1.append(None)
+            if cow is not None:
+                cow.append(1)
+                self._cow_t1.append(1)
+
+    def fork(self, graph_fork: DynamicGraph) -> "MISState":
+        """Return a copy-on-write fork of this state over ``graph_fork``.
+
+        ``graph_fork`` must be the result of ``self.graph.fork()``.  Flat
+        scalar arrays (membership bytes, counts, solution slots, footprint
+        counters, statistics) are copied outright — C-level memcpy — while
+        the per-slot ``I(v)`` sets and level-1 hierarchy buckets are shared
+        behind fresh ownership bitmaps on **both** sides, exactly like the
+        graph's adjacency CoW.  Levels ≥ 2 of the hierarchy are deep-copied:
+        their total size is bounded by the few vertices with ``2 ≤ count ≤ k``
+        (empty for k=1 algorithms), so sharing machinery would cost more
+        than it saves.
+        """
+        clone = object.__new__(type(self))
+        clone.graph = graph_fork
+        clone.k = self.k
+        clone._adj = graph_fork.adjacency_slots_view()
+        clone._in_sol = bytearray(self._in_sol)
+        clone._sol_slots = set(self._sol_slots)
+        clone._count = list(self._count)
+        clone._sn = list(self._sn)  # shares the inner sets
+        clone._tight1 = list(self._tight1)  # shares the buckets
+        clone._tight = [
+            {key: set(bucket) for key, bucket in level.items()}
+            for level in self._tight
+        ]
+        n = len(self._count)
+        clone._cow_sn = bytearray(n)
+        clone._cow_t1 = bytearray(n)
+        self._cow_sn = bytearray(n)
+        self._cow_t1 = bytearray(n)
+        clone._sn_total = self._sn_total
+        clone._tight_keys = self._tight_keys
+        clone._tight_total = self._tight_total
+        clone.stats = StateStatistics(
+            move_in_calls=self.stats.move_in_calls,
+            move_out_calls=self.stats.move_out_calls,
+            count_updates=self.stats.count_updates,
+        )
+        return clone
+
+    def _owned_sn(self, slot: int) -> Set[int]:
+        """Return ``I(v)`` for ``slot`` privately owned (the CoW write barrier)."""
+        sn = self._sn
+        cow = self._cow_sn
+        if cow is not None and not cow[slot]:
+            sn[slot] = nbrs = set(sn[slot])
+            cow[slot] = 1
+            return nbrs
+        return sn[slot]
+
+    def _owned_t1(self, owner: int) -> Optional[Set[int]]:
+        """Return the ``¯I_1({owner})`` bucket privately owned (may be ``None``)."""
+        tight1 = self._tight1
+        cow = self._cow_t1
+        if cow is not None and not cow[owner]:
+            bucket = tight1[owner]
+            if bucket is not None:
+                tight1[owner] = bucket = set(bucket)
+            cow[owner] = 1
+            return bucket
+        return tight1[owner]
 
     # ------------------------------------------------------------------ #
     # Queries (label boundary)
@@ -381,6 +474,8 @@ class MISState:
         sn = self._sn
         counts = self._count
         tight1 = self._tight1
+        cow_sn = self._cow_sn
+        cow_t1 = self._cow_t1
         k = self.k
         touched = 0
         total_delta = 0
@@ -389,6 +484,9 @@ class MISState:
             # No neighbour can be in the solution (count was zero), so every
             # neighbour gains a solution neighbour.
             nbrs = sn[t]
+            if cow_sn is not None and not cow_sn[t]:
+                sn[t] = nbrs = set(nbrs)
+                cow_sn[t] = 1
             old = counts[t]
             if old == 0:
                 nbrs.add(slot)
@@ -398,6 +496,11 @@ class MISState:
                     if bucket_new is None:
                         bucket_new = tight1[slot] = set()
                         self._tight_keys += 1
+                        if cow_t1 is not None:
+                            cow_t1[slot] = 1
+                    elif cow_t1 is not None and not cow_t1[slot]:
+                        tight1[slot] = bucket_new = set(bucket_new)
+                        cow_t1[slot] = 1
                 bucket_new.add(t)
                 total_delta += 1
                 touched += 1
@@ -407,6 +510,9 @@ class MISState:
                     (owner,) = nbrs
                     bucket = tight1[owner]
                     if bucket is not None:
+                        if cow_t1 is not None and not cow_t1[owner]:
+                            tight1[owner] = bucket = set(bucket)
+                            cow_t1[owner] = 1
                         bucket.discard(t)
                         total_delta -= 1
                         if not bucket:
@@ -448,18 +554,23 @@ class MISState:
         sn = self._sn
         counts = self._count
         tight1 = self._tight1
+        cow_sn = self._cow_sn
+        cow_t1 = self._cow_t1
         k = self.k
         touched = 0
         total_delta = 0
         # Neighbours leaving count 1 all leave ¯I_1({slot}); fetch the
         # bucket once (it only shrinks below: nothing repositions under an
-        # owner that just left the solution).
-        bucket_old = tight1[slot]
+        # owner that just left the solution).  _owned_t1 is the CoW barrier.
+        bucket_old = self._owned_t1(slot)
         for t in self._adj[slot]:
             if in_sol[t]:
                 own_neighbors.add(t)
                 continue
             nbrs = sn[t]
+            if cow_sn is not None and not cow_sn[t]:
+                sn[t] = nbrs = set(nbrs)
+                cow_sn[t] = 1
             old = counts[t]
             if old <= k:
                 if old == 1:
@@ -479,6 +590,11 @@ class MISState:
                         if bucket is None:
                             bucket = tight1[owner] = set()
                             self._tight_keys += 1
+                            if cow_t1 is not None:
+                                cow_t1[owner] = 1
+                        elif cow_t1 is not None and not cow_t1[owner]:
+                            tight1[owner] = bucket = set(bucket)
+                            cow_t1[owner] = 1
                         bucket.add(t)
                         total_delta += 1
                     else:
@@ -493,6 +609,8 @@ class MISState:
         # The stored set of a solution vertex is always empty, so the new
         # entries are exactly len(own_neighbors).
         self._sn[slot] = own_neighbors
+        if cow_sn is not None:
+            cow_sn[slot] = 1
         self._sn_total += len(own_neighbors)
         self._count[slot] = len(own_neighbors)
         self._position(slot)
@@ -519,8 +637,9 @@ class MISState:
         if neighbors:
             slot_of = graph.slot_of
             adj = self._adj
-            adj_s = adj[slot]
+            adj_s = adj[slot]  # freshly allocated: _alloc made it private
             in_sol = self._in_sol
+            gcow = graph._cow_adj
             n = 0
             for nbr in neighbors:
                 t = slot_of(nbr)
@@ -529,12 +648,17 @@ class MISState:
                 if t in adj_s:
                     raise EdgeExistsError(vertex, nbr)
                 adj_s.add(t)
+                if gcow is not None and not gcow[t]:
+                    adj[t] = set(adj[t])
+                    gcow[t] = 1
                 adj[t].add(slot)
                 n += 1
                 if in_sol[t]:
                     own.add(t)
             graph._num_edges += n
         self._sn[slot] = own
+        if self._cow_sn is not None:
+            self._cow_sn[slot] = 1
         self._sn_total += len(own)
         self._count[slot] = len(own)
         self._position(slot)
@@ -582,6 +706,8 @@ class MISState:
         stored = self._sn[slot]
         self._sn_total -= len(stored)
         self._sn[slot] = set()
+        if self._cow_sn is not None:
+            self._cow_sn[slot] = 1
         self._count[slot] = 0
         return was_in_solution, neighbor_slots
 
@@ -633,6 +759,14 @@ class MISState:
         adj_u = adj[su]
         if sv in adj_u:
             raise EdgeExistsError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
+        gcow = self.graph._cow_adj
+        if gcow is not None:
+            if not gcow[su]:
+                adj[su] = adj_u = set(adj_u)
+                gcow[su] = 1
+            if not gcow[sv]:
+                adj[sv] = set(adj[sv])
+                gcow[sv] = 1
         adj_u.add(sv)
         adj[sv].add(su)
         self.graph._num_edges += 1
@@ -650,6 +784,14 @@ class MISState:
         adj_u = adj[su]
         if sv not in adj_u:
             raise EdgeNotFoundError(self.graph.vertex_of(su), self.graph.vertex_of(sv))
+        gcow = self.graph._cow_adj
+        if gcow is not None:
+            if not gcow[su]:
+                adj[su] = adj_u = set(adj_u)
+                gcow[su] = 1
+            if not gcow[sv]:
+                adj[sv] = set(adj[sv])
+                gcow[sv] = 1
         adj_u.remove(sv)
         try:
             adj[sv].remove(su)
@@ -689,6 +831,7 @@ class MISState:
         adj = self._adj
         in_sol = self._in_sol
         graph = self.graph
+        _privatize_adj_pairs(graph, adj, pairs)
         bumped: List[int] = []
         conflicts: List[Tuple[int, int]] = []
         add_sn = self._add_solution_neighbor
@@ -741,6 +884,7 @@ class MISState:
         adj = self._adj
         in_sol = self._in_sol
         graph = self.graph
+        _privatize_adj_pairs(graph, adj, pairs)
         dropped: List[int] = []
         outside: List[Tuple[int, int]] = []
         remove_sn = self._remove_solution_neighbor
@@ -801,6 +945,7 @@ class MISState:
         """Insert a run of edges with no count bookkeeping (validated, atomic)."""
         adj = self._adj
         kernels.validate_edge_insertions(self.graph, adj, pairs)
+        _privatize_adj_pairs(self.graph, adj, pairs)
         for su, sv in pairs:
             adj[su].add(sv)
             adj[sv].add(su)
@@ -810,6 +955,7 @@ class MISState:
         """Delete a run of edges with no count bookkeeping (validated, atomic)."""
         adj = self._adj
         kernels.validate_edge_deletions(self.graph, adj, pairs)
+        _privatize_adj_pairs(self.graph, adj, pairs)
         remove = self._remove_pair_symmetric
         for su, sv in pairs:
             remove(adj, su, sv)
@@ -938,7 +1084,7 @@ class MISState:
     # ------------------------------------------------------------------ #
     def _add_solution_neighbor(self, slot: int, solution_slot: int) -> Tuple[int, int]:
         self.stats.count_updates += 1
-        nbrs = self._sn[slot]
+        nbrs = self._owned_sn(slot)
         old = self._count[slot]
         if 0 < old <= self.k:
             self._unposition_level(slot, nbrs, old)
@@ -952,7 +1098,7 @@ class MISState:
 
     def _remove_solution_neighbor(self, slot: int, solution_slot: int) -> Tuple[int, int]:
         self.stats.count_updates += 1
-        nbrs = self._sn[slot]
+        nbrs = self._owned_sn(slot)
         old = self._count[slot]
         if 0 < old <= self.k:
             self._unposition_level(slot, nbrs, old)
@@ -986,7 +1132,7 @@ class MISState:
         """Insert into the level bucket; ``level == len(nbrs)`` in ``[1, k]``."""
         if level == 1:
             (owner,) = nbrs
-            bucket = self._tight1[owner]
+            bucket = self._owned_t1(owner)
             if bucket is None:
                 bucket = self._tight1[owner] = set()
                 self._tight_keys += 1
@@ -1003,7 +1149,7 @@ class MISState:
         """Remove from the level bucket; ``level == len(nbrs)`` in ``[1, k]``."""
         if level == 1:
             (owner,) = nbrs
-            bucket = self._tight1[owner]
+            bucket = self._owned_t1(owner)
             if bucket is None:
                 return
             bucket.discard(slot)

@@ -49,6 +49,7 @@ from repro.updates.protocol import (
 )
 from repro.updates.streams import UpdateStream
 from repro.workloads.replay import (
+    AsyncCheckpointWriter,
     CheckpointConfig,
     latest_valid_checkpoint,
     load_checkpoint,
@@ -564,76 +565,17 @@ def _run_single_inner(
             if batch_size > 1
             else CHECKPOINT_CHUNK
         )
-        pending = 0  # operations applied since the last checkpoint write
-        since_guard = 0  # operations applied since the last guard pass
-        last_write = time.monotonic()
-        while True:
-            if checkpoint.every is not None:
-                stride = min(checkpoint.every - pending, chunk_cap)
-                if checkpoint.every_seconds is not None:
-                    stride = min(stride, clock_stride)
-            else:
-                stride = clock_stride
-            chunk = cursor.take(stride)
-            if not chunk:
-                break
-            with stopwatch:
-                done, chunk_finished = _timed_stream_run(
-                    algorithm,
-                    chunk,
-                    stopwatch,
-                    session_limit,
-                    check_interval,
-                    batch_size,
-                )
-            processed += done
-            pending += done
-            since_guard += done
-            if not chunk_finished:
-                finished = False
-                break
-            if guard is not None and (
-                guard_every is None or since_guard >= guard_every
-            ):
-                # Outside the stopwatch: first-principles verification is
-                # supervision overhead, never measured update time.
-                guard(algorithm)
-                since_guard = 0
-            due = (
-                checkpoint.every is not None and pending >= checkpoint.every
-            ) or (
-                checkpoint.every_seconds is not None
-                and time.monotonic() - last_write >= checkpoint.every_seconds
-            )
-            if due:
-                # Checkpoint I/O happens outside the stopwatch: persisting
-                # state must not count as update time.
-                save_checkpoint(
-                    algorithm,
-                    checkpoint,
-                    algorithm_name=name,
-                    processed=processed,
-                    initial_size=initial_size,
-                    elapsed_seconds=elapsed_offset + stopwatch.elapsed,
-                    dataset=dataset,
-                    stream_length=stream_length,
-                    stream_description=description,
-                    stream_identity=cursor.fingerprint,
-                    batch_size=batch_size,
-                )
-                pending = 0
-                last_write = time.monotonic()
-            if len(chunk) < stride:
-                break
-        if guard is not None and finished and since_guard:
-            # End-of-stream guard pass: the final partial interval is
-            # verified too, so a violation in the last chunk cannot slip
-            # into the returned measurement unchecked.
-            guard(algorithm)
-        if finished and pending:
-            # Wall-clock-only configs still leave a resumable checkpoint at
-            # end of stream (operation-interval configs wrote it in-loop).
-            save_checkpoint(
+        # Write-behind: the engine is captured as a cheap copy-on-write fork
+        # at the boundary and the serialization + fsync run on the writer's
+        # thread, overlapping the next chunk's update work.  The close() in
+        # the finally block below is the synchronous flush barrier: by the
+        # time this function returns (or unwinds into a crash-recovery
+        # path), every checkpoint the loop decided to write is durable.
+        writer = AsyncCheckpointWriter() if checkpoint.write_behind else None
+
+        def persist() -> None:
+            target = save_checkpoint if writer is None else writer.save
+            target(
                 algorithm,
                 checkpoint,
                 algorithm_name=name,
@@ -646,6 +588,77 @@ def _run_single_inner(
                 stream_identity=cursor.fingerprint,
                 batch_size=batch_size,
             )
+
+        try:
+            pending = 0  # operations applied since the last checkpoint write
+            since_guard = 0  # operations applied since the last guard pass
+            last_write = time.monotonic()
+            while True:
+                if checkpoint.every is not None:
+                    stride = min(checkpoint.every - pending, chunk_cap)
+                    if checkpoint.every_seconds is not None:
+                        stride = min(stride, clock_stride)
+                else:
+                    stride = clock_stride
+                chunk = cursor.take(stride)
+                if not chunk:
+                    break
+                with stopwatch:
+                    done, chunk_finished = _timed_stream_run(
+                        algorithm,
+                        chunk,
+                        stopwatch,
+                        session_limit,
+                        check_interval,
+                        batch_size,
+                    )
+                processed += done
+                pending += done
+                since_guard += done
+                if not chunk_finished:
+                    finished = False
+                    break
+                if guard is not None and (
+                    guard_every is None or since_guard >= guard_every
+                ):
+                    # Outside the stopwatch: first-principles verification is
+                    # supervision overhead, never measured update time.
+                    guard(algorithm)
+                    since_guard = 0
+                due = (
+                    checkpoint.every is not None and pending >= checkpoint.every
+                ) or (
+                    checkpoint.every_seconds is not None
+                    and time.monotonic() - last_write >= checkpoint.every_seconds
+                )
+                if due:
+                    # Checkpoint I/O happens outside the stopwatch: persisting
+                    # state must not count as update time.
+                    persist()
+                    pending = 0
+                    last_write = time.monotonic()
+                if len(chunk) < stride:
+                    break
+            if guard is not None and finished and since_guard:
+                # End-of-stream guard pass: the final partial interval is
+                # verified too, so a violation in the last chunk cannot slip
+                # into the returned measurement unchecked.
+                guard(algorithm)
+            if finished and pending:
+                # Wall-clock-only configs still leave a resumable checkpoint
+                # at end of stream (operation-interval configs wrote it
+                # in-loop).
+                persist()
+        except BaseException:
+            if writer is not None:
+                try:
+                    writer.close()
+                except Exception:  # the in-flight crash takes precedence
+                    pass
+            raise
+        else:
+            if writer is not None:
+                writer.close()
     measurement = RunMeasurement(
         algorithm=name,
         dataset=dataset,
@@ -739,61 +752,21 @@ def run_algorithm(
     return measurement
 
 
-def run_competition(
+def _run_sequential(
     graph: DynamicGraph,
     stream: Iterable,
     *,
-    dataset: str = "",
-    algorithms: Sequence[str] = PAPER_ALGORITHMS,
-    initial_solution: Optional[Iterable[Vertex]] = None,
-    time_limit_seconds: Optional[float] = None,
-    check_interval: int = 64,
-    batch_size: int = 1,
-    reference_node_budget: int = 150_000,
-    attach_reference: bool = True,
-    algorithm_options: Optional[Dict[str, Dict]] = None,
-    checkpoint: Optional[CheckpointConfig] = None,
-    resume: bool = False,
-) -> Dict[str, RunMeasurement]:
-    """Run several algorithms on the same dataset/stream and attach a shared reference.
-
-    Returns a mapping ``algorithm name -> RunMeasurement``.  When
-    ``attach_reference`` is true, the reference size of the *final* graph is
-    computed once (exact if possible, best-known otherwise, seeded with every
-    algorithm's final solution) and attached to each measurement.  With
-    ``batch_size > 1`` every batch-capable algorithm processes the stream
-    through the batched update engine (the DGDIS baselines fall back to
-    per-operation application).
-
-    With ``checkpoint`` set, every snapshot-capable algorithm (the
-    :class:`~repro.core.base.DynamicMISBase` maintainers) writes resumable
-    checkpoints into the shared directory — filenames embed the algorithm
-    name, so one directory serves the whole competition; algorithms without
-    snapshot support run straight through.  With ``resume=True`` each
-    algorithm restarts from its newest checkpoint in that directory (fresh
-    when it has none), which makes an interrupted competition restartable
-    with the completed prefix priced in.
-    """
-    algorithm_options = algorithm_options or {}
-    if len(algorithms) > 1:
-        replayable = getattr(stream, "replayable", None)
-        if iter(stream) is stream or (
-            callable(replayable) and not replayable()
-        ):
-            # A competition replays the stream once per algorithm; feeding a
-            # one-shot iterator would hand algorithm 1 everything and every
-            # later algorithm a silently empty run.
-            raise ExperimentError(
-                "run_competition replays the stream once per algorithm; got a "
-                "one-shot stream — pass a replayable one (an UpdateStream, or "
-                "a lazy stream over a replayable source such as "
-                "iter_temporal_edge_list)"
-            )
-    if resume and checkpoint is None:
-        raise ExperimentError(
-            "resume=True requires checkpoint=CheckpointConfig(...): without a "
-            "checkpoint directory there is nothing to resume from"
-        )
+    dataset: str,
+    algorithms: Sequence[str],
+    initial_solution: Optional[Iterable[Vertex]],
+    time_limit_seconds: Optional[float],
+    check_interval: int,
+    batch_size: int,
+    algorithm_options: Dict[str, Dict],
+    checkpoint: Optional[CheckpointConfig],
+    resume: bool,
+) -> Tuple[Dict[str, RunMeasurement], List, Optional[DynamicGraph]]:
+    """Classic competition: one full (re)play of the stream per algorithm."""
     measurements: Dict[str, RunMeasurement] = {}
     final_solutions = []
     final_graph: Optional[DynamicGraph] = None
@@ -826,6 +799,212 @@ def run_competition(
         if measurement.finished:
             final_solutions.append(algorithm.solution())
             final_graph = algorithm.graph
+    return measurements, final_solutions, final_graph
+
+
+def _run_fanout(
+    graph: DynamicGraph,
+    stream: Iterable,
+    *,
+    dataset: str,
+    algorithms: Sequence[str],
+    initial_solution: Optional[Iterable[Vertex]],
+    time_limit_seconds: Optional[float],
+    check_interval: int,
+    batch_size: int,
+    algorithm_options: Dict[str, Dict],
+) -> Tuple[Dict[str, RunMeasurement], List, Optional[DynamicGraph]]:
+    """One ingest pass fanned out to every algorithm over engine forks.
+
+    The input graph is deep-copied once; each algorithm is constructed over
+    a :meth:`~repro.graphs.dynamic_graph.DynamicGraph.fork` of that copy, so
+    per-algorithm isolation costs O(slots) spine copies instead of a full
+    deep copy each, and the engines diverge at O(touched slots) as they
+    mutate.  The stream is consumed through a single iterator in
+    batch-aligned chunks (every chunk is a multiple of ``batch_size``, so
+    coalescing groups land exactly where a sequential full-stream replay
+    would put them) and each chunk is applied to every still-running
+    algorithm under its own stopwatch.  A one-shot stream is therefore
+    consumed exactly once per competition run — nothing in this function may
+    call ``iter(stream)`` a second time.
+    """
+    base = graph.copy()
+    names = list(algorithms)
+    engines: Dict[str, object] = {}
+    created: List[object] = []
+    try:
+        for name in names:
+            options = algorithm_options.get(name, {})
+            engine = create_algorithm(
+                name, base.fork(), initial_solution, **options
+            )
+            created.append(engine)
+            engines[name] = engine
+        initial_sizes = {name: engines[name].solution_size for name in names}
+        stopwatches = {name: Stopwatch() for name in names}
+        processed = {name: 0 for name in names}
+        running = {name: True for name in names}
+        chunk_size = (
+            max(batch_size, (CHECKPOINT_CHUNK // batch_size) * batch_size)
+            if batch_size > 1
+            else CHECKPOINT_CHUNK
+        )
+        iterator = iter(stream)
+        consumed = 0
+        while any(running.values()):
+            chunk = list(islice(iterator, chunk_size))
+            if not chunk:
+                break
+            consumed += len(chunk)
+            for name in names:
+                if not running[name]:
+                    continue
+                stopwatch = stopwatches[name]
+                with stopwatch:
+                    done, chunk_finished = _timed_stream_run(
+                        engines[name],
+                        chunk,
+                        stopwatch,
+                        time_limit_seconds,
+                        check_interval,
+                        batch_size,
+                    )
+                processed[name] += done
+                if not chunk_finished:
+                    running[name] = False
+            if len(chunk) < chunk_size:
+                break
+        # The single pass above is the whole consumption — a second
+        # iteration of a one-shot stream would silently hand later work
+        # empty chunks, so pin the contract: every algorithm that ran to
+        # completion saw exactly the operations of the single pass.
+        assert all(
+            processed[name] == consumed for name in names if running[name]
+        ), "fan-out double-fed or starved an algorithm within the single pass"
+        measurements: Dict[str, RunMeasurement] = {}
+        final_solutions = []
+        final_graph: Optional[DynamicGraph] = None
+        for name in names:
+            engine = engines[name]
+            finished = running[name]
+            measurements[name] = RunMeasurement(
+                algorithm=name,
+                dataset=dataset,
+                num_updates=processed[name],
+                initial_size=initial_sizes[name],
+                final_size=engine.solution_size,
+                elapsed_seconds=stopwatches[name].elapsed,
+                memory_footprint=engine.memory_footprint(),
+                finished=finished,
+                extra=_algorithm_extras(engine),
+            )
+            if finished:
+                final_solutions.append(engine.solution())
+                final_graph = engine.graph
+        return measurements, final_solutions, final_graph
+    except BaseException:
+        for engine in created:
+            try:
+                release_engine(engine)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        raise
+
+
+def run_competition(
+    graph: DynamicGraph,
+    stream: Iterable,
+    *,
+    dataset: str = "",
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    initial_solution: Optional[Iterable[Vertex]] = None,
+    time_limit_seconds: Optional[float] = None,
+    check_interval: int = 64,
+    batch_size: int = 1,
+    reference_node_budget: int = 150_000,
+    attach_reference: bool = True,
+    algorithm_options: Optional[Dict[str, Dict]] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    resume: bool = False,
+) -> Dict[str, RunMeasurement]:
+    """Run several algorithms on the same dataset/stream and attach a shared reference.
+
+    Returns a mapping ``algorithm name -> RunMeasurement``.  When
+    ``attach_reference`` is true, the reference size of the *final* graph is
+    computed once (exact if possible, best-known otherwise, seeded with every
+    algorithm's final solution) and attached to each measurement.  With
+    ``batch_size > 1`` every batch-capable algorithm processes the stream
+    through the batched update engine (the DGDIS baselines fall back to
+    per-operation application).
+
+    A replayable stream is replayed once per algorithm (the classic
+    sequential protocol).  A **one-shot** stream — a bare iterator, or a
+    lazy stream over a non-replayable source — is instead consumed exactly
+    once and fanned out to every algorithm through copy-on-write engine
+    forks: the input graph is copied once, each algorithm starts on a fork
+    of that copy, and every batch-aligned chunk of the single pass is
+    applied to all algorithms.  Results are identical to the sequential
+    protocol; only checkpoint/resume requires a replayable stream (the
+    fan-out has no per-algorithm stream cursor).
+
+    With ``checkpoint`` set, every snapshot-capable algorithm (the
+    :class:`~repro.core.base.DynamicMISBase` maintainers) writes resumable
+    checkpoints into the shared directory — filenames embed the algorithm
+    name, so one directory serves the whole competition; algorithms without
+    snapshot support run straight through.  With ``resume=True`` each
+    algorithm restarts from its newest checkpoint in that directory (fresh
+    when it has none), which makes an interrupted competition restartable
+    with the completed prefix priced in.
+    """
+    algorithm_options = algorithm_options or {}
+    replayable = getattr(stream, "replayable", None)
+    one_shot = iter(stream) is stream or (
+        callable(replayable) and not replayable()
+    )
+    if resume and checkpoint is None:
+        raise ExperimentError(
+            "resume=True requires checkpoint=CheckpointConfig(...): without a "
+            "checkpoint directory there is nothing to resume from"
+        )
+    if one_shot and len(algorithms) > 1:
+        # A one-shot stream cannot be replayed once per algorithm, so the
+        # competition takes the fork fan-out path instead: the input graph
+        # is copied once, every algorithm starts on a cheap copy-on-write
+        # fork of that copy, and the single pass over the stream feeds each
+        # chunk to all algorithms — results are identical to sequential
+        # replays of a replayable stream (regression-pinned).
+        if checkpoint is not None:
+            raise ExperimentError(
+                "run_competition cannot checkpoint a one-shot stream: the "
+                "fork fan-out consumes the stream once for all algorithms "
+                "with no per-algorithm cursor — pass a replayable stream "
+                "to use checkpoint/resume"
+            )
+        measurements, final_solutions, final_graph = _run_fanout(
+            graph,
+            stream,
+            dataset=dataset,
+            algorithms=algorithms,
+            initial_solution=initial_solution,
+            time_limit_seconds=time_limit_seconds,
+            check_interval=check_interval,
+            batch_size=batch_size,
+            algorithm_options=algorithm_options,
+        )
+    else:
+        measurements, final_solutions, final_graph = _run_sequential(
+            graph,
+            stream,
+            dataset=dataset,
+            algorithms=algorithms,
+            initial_solution=initial_solution,
+            time_limit_seconds=time_limit_seconds,
+            check_interval=check_interval,
+            batch_size=batch_size,
+            algorithm_options=algorithm_options,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
     if attach_reference and final_graph is not None:
         reference = compute_reference(
             final_graph,

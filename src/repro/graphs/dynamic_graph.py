@@ -71,7 +71,16 @@ class DynamicGraph:
     False
     """
 
-    __slots__ = ("_slot", "_label", "_adj", "_order", "_free", "_num_edges", "_next_order")
+    __slots__ = (
+        "_slot",
+        "_label",
+        "_adj",
+        "_order",
+        "_free",
+        "_num_edges",
+        "_next_order",
+        "_cow_adj",
+    )
 
     def __init__(
         self,
@@ -93,6 +102,13 @@ class DynamicGraph:
         self._free: List[int] = []
         self._num_edges = 0
         self._next_order = 0
+        # Copy-on-write ownership bitmap for the inner adjacency sets, or
+        # ``None`` for a graph that has never been forked (the common case:
+        # mutators then pay a single ``is None`` check).  After a
+        # :meth:`fork`, parent and child share inner sets and each side
+        # owns none of them (all zeros); a mutator must privatise a set
+        # (``adj[s] = set(adj[s])``) before its first write to slot ``s``.
+        self._cow_adj: bytearray | None = None
         if vertices is not None:
             slot_map = self._slot
             for v in vertices:
@@ -119,18 +135,42 @@ class DynamicGraph:
     def _alloc(self, vertex: Vertex) -> int:
         """Assign ``vertex`` a slot (recycling a free one when available)."""
         free = self._free
+        cow = self._cow_adj
         if free:
             s = free.pop()
             self._label[s] = vertex
             self._order[s] = self._next_order
+            # A recycled slot's (empty) adjacency set may still be shared
+            # with a fork; the new vertex must start on a private set.
+            if cow is not None and not cow[s]:
+                self._adj[s] = set()
+                cow[s] = 1
         else:
             s = len(self._label)
             self._label.append(vertex)
             self._adj.append(set())
             self._order.append(self._next_order)
+            if cow is not None:
+                cow.append(1)
         self._slot[vertex] = s
         self._next_order += 1
         return s
+
+    def _owned_adj(self, slot: int) -> Set[int]:
+        """Return ``adj[slot]`` privately owned (the CoW write barrier).
+
+        Mutators call this (or inline it on hot loops) before the first
+        write to a slot's adjacency set.  Never-forked graphs pay one
+        ``is None`` check; after a fork, the first write to a shared set
+        copies it and marks the slot owned.
+        """
+        adj = self._adj
+        cow = self._cow_adj
+        if cow is not None and not cow[slot]:
+            adj[slot] = nbrs = set(adj[slot])
+            cow[slot] = 1
+            return nbrs
+        return adj[slot]
 
     def pop_vertex_slot(self, slot: int) -> Set[int]:
         """Delete the vertex at ``slot``; return its former neighbour slots.
@@ -144,10 +184,23 @@ class DynamicGraph:
             raise VertexNotFoundError(slot)
         del self._slot[label]
         adj = self._adj
+        cow = self._cow_adj
         nbrs = adj[slot]
+        if cow is not None and not cow[slot]:
+            # The popped set is shared with a fork: hand the caller a
+            # private copy and leave the shared original untouched.
+            nbrs = set(nbrs)
+            cow[slot] = 1
         adj[slot] = set()
-        for t in nbrs:
-            adj[t].discard(slot)
+        if cow is None:
+            for t in nbrs:
+                adj[t].discard(slot)
+        else:
+            for t in nbrs:
+                if not cow[t]:
+                    adj[t] = set(adj[t])
+                    cow[t] = 1
+                adj[t].discard(slot)
         self._num_edges -= len(nbrs)
         self._label[slot] = _FREE
         self._free.append(slot)
@@ -267,8 +320,12 @@ class DynamicGraph:
         adj = self._adj
         if sv in adj[su]:
             raise EdgeExistsError(self._label[su], self._label[sv])
-        adj[su].add(sv)
-        adj[sv].add(su)
+        if self._cow_adj is None:
+            adj[su].add(sv)
+            adj[sv].add(su)
+        else:
+            self._owned_adj(su).add(sv)
+            self._owned_adj(sv).add(su)
         self._num_edges += 1
 
     def remove_edge_slots(self, su: int, sv: int) -> None:
@@ -280,8 +337,12 @@ class DynamicGraph:
         adj = self._adj
         if sv not in adj[su]:
             raise EdgeNotFoundError(self._label[su], self._label[sv])
-        adj[su].discard(sv)
-        adj[sv].discard(su)
+        if self._cow_adj is None:
+            adj[su].discard(sv)
+            adj[sv].discard(su)
+        else:
+            self._owned_adj(su).discard(sv)
+            self._owned_adj(sv).discard(su)
         self._num_edges -= 1
 
     # ------------------------------------------------------------------ #
@@ -477,8 +538,12 @@ class DynamicGraph:
         adj = self._adj
         if sv in adj[su]:
             raise EdgeExistsError(u, v)
-        adj[su].add(sv)
-        adj[sv].add(su)
+        if self._cow_adj is None:
+            adj[su].add(sv)
+            adj[sv].add(su)
+        else:
+            self._owned_adj(su).add(sv)
+            self._owned_adj(sv).add(su)
         self._num_edges += 1
 
     def add_edge_if_missing(self, u: Vertex, v: Vertex) -> bool:
@@ -499,8 +564,12 @@ class DynamicGraph:
         adj = self._adj
         if sv in adj[su]:
             return False
-        adj[su].add(sv)
-        adj[sv].add(su)
+        if self._cow_adj is None:
+            adj[su].add(sv)
+            adj[sv].add(su)
+        else:
+            self._owned_adj(su).add(sv)
+            self._owned_adj(sv).add(su)
         self._num_edges += 1
         return True
 
@@ -524,8 +593,12 @@ class DynamicGraph:
         adj = self._adj
         if sv not in adj[su]:
             raise EdgeNotFoundError(u, v)
-        adj[su].discard(sv)
-        adj[sv].discard(su)
+        if self._cow_adj is None:
+            adj[su].discard(sv)
+            adj[sv].discard(su)
+        else:
+            self._owned_adj(su).discard(sv)
+            self._owned_adj(sv).discard(su)
         self._num_edges -= 1
 
     # ------------------------------------------------------------------ #
@@ -546,6 +619,39 @@ class DynamicGraph:
         clone._free = list(self._free)
         clone._num_edges = self._num_edges
         clone._next_order = self._next_order
+        return clone
+
+    def fork(self) -> "DynamicGraph":
+        """Return a copy-on-write fork: O(slots) spine copies, shared sets.
+
+        The child gets fresh *spine* containers (slot map, label table,
+        adjacency list, orders, free-list) whose inner adjacency sets are
+        **shared** with the parent; both sides get a fresh all-zeros
+        ownership bitmap, so the first mutation of any slot's neighbourhood
+        on either side privatises just that one set.  Compared with
+        :meth:`copy` this skips the O(n·d) per-element set copies — the
+        dominant cost — and divergence later costs O(touched slots) only.
+
+        The parent's container *identities* are untouched (only its
+        ownership bitmap is replaced), so cached views held by algorithm
+        instances (``adjacency_slots_view`` etc.) stay valid across forks.
+        Like :meth:`copy`, slots, interned orders and the free-list are
+        preserved, so a fork walks exactly the same slot trajectories.
+        """
+        clone = DynamicGraph()
+        clone._slot = dict(self._slot)
+        clone._label = list(self._label)
+        clone._adj = list(self._adj)  # shares the inner sets
+        clone._order = list(self._order)
+        clone._free = list(self._free)
+        clone._num_edges = self._num_edges
+        clone._next_order = self._next_order
+        n = len(self._label)
+        # Fresh bitmaps on BOTH sides: sets are shared symmetrically, and
+        # with no refcounting the worst case is privatising a set nobody
+        # else holds anymore — harmless over-copying, never aliased writes.
+        clone._cow_adj = bytearray(n)
+        self._cow_adj = bytearray(n)
         return clone
 
     def subgraph(self, vertices: Iterable[Vertex]) -> "DynamicGraph":
@@ -792,6 +898,8 @@ class DynamicGraph:
         n_slots = len(self._label)
         assert len(self._adj) == n_slots, "adjacency table size out of sync"
         assert len(self._order) == n_slots, "order table size out of sync"
+        if self._cow_adj is not None:
+            assert len(self._cow_adj) == n_slots, "CoW bitmap size out of sync"
         assert len(self._slot) + len(self._free) == n_slots, (
             f"{len(self._slot)} live + {len(self._free)} free != {n_slots} slots"
         )

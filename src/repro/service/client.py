@@ -125,6 +125,20 @@ class ServiceClient:
     def digest(self, tenant: str) -> Dict:
         return self.request({"cmd": "digest", "tenant": tenant})
 
+    def what_if(
+        self, tenant: str, operations: Sequence[UpdateOperation]
+    ) -> Dict:
+        """Hypothetical query: solution size/delta after ``operations``,
+        answered on a discarded copy-on-write fork — the live tenant engine
+        and its digest are unchanged."""
+        return self.request(
+            {
+                "cmd": "what_if",
+                "tenant": tenant,
+                "ops": operations_to_wire(operations),
+            }
+        )
+
     def subscribe(self, tenant: str) -> Dict:
         return self.request({"cmd": "subscribe", "tenant": tenant})
 

@@ -337,6 +337,17 @@ class MISGateway:
         await asyncio.wait_for(tenant.flush(), self.config.drain_timeout)
         return {"digest": tenant.digest(), "applied": tenant.applied}
 
+    async def _cmd_what_if(self, request: Dict, writer, subscriptions) -> Dict:
+        trip(SERVICE_QUERY)
+        tenant = self._tenant(request)
+        await self._await_ready(tenant, request)
+        # Flush first so the hypothetical branches off the state every
+        # admitted operation is part of — and so the engine sits at a batch
+        # boundary, the precondition for forking it.
+        await asyncio.wait_for(tenant.flush(), self.config.drain_timeout)
+        operations = operations_from_wire(request.get("ops", []))
+        return dict(tenant.what_if(operations))
+
     async def _cmd_subscribe(self, request: Dict, writer, subscriptions) -> Dict:
         tenant = self._tenant(request)
 

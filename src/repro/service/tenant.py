@@ -223,6 +223,35 @@ class Tenant:
             raise ServiceError(f"tenant {self.spec.name!r} engine is down")
         return engine_digest(self.engine)
 
+    def what_if(self, operations: Sequence[UpdateOperation]) -> Dict:
+        """Answer a hypothetical batch without touching the live engine.
+
+        Forks the engine (cheap copy-on-write — O(live-delta), not a deep
+        copy), applies ``operations`` to the fork through the coalescing
+        batch engine, and reports the resulting solution size plus the
+        membership delta; the fork is then discarded.  The live engine, its
+        counters and its digest are byte-unchanged afterwards
+        (regression-pinned by the service suite) — a ``what_if`` is
+        invisible to ingest, recovery and checkpointing.
+        """
+        if self.engine is None:
+            raise ServiceError(f"tenant {self.spec.name!r} engine is down")
+        # ShardedEngine delegates fork() to its inner engine; the throwaway
+        # branch is always a plain single-process fork.
+        engine = getattr(self.engine, "snapshot_delegate", self.engine)
+        before = set(engine.solution())
+        fork = engine.fork()
+        if operations:
+            fork.apply_batch(list(operations), coalesce=True)
+        after = set(fork.solution())
+        return {
+            "base_size": len(before),
+            "size": len(after),
+            "added": sorted(after - before, key=repr),
+            "removed": sorted(before - after, key=repr),
+            "applied": self.applied,
+        }
+
     def subscribe(self, callback: Callable[[Dict], None]) -> None:
         self._subscribers.append(callback)
 

@@ -17,9 +17,12 @@ each is discoverable by filename alone.
 
 from __future__ import annotations
 
+import bisect
 import json
 import os
+import queue
 import re
+import threading
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,6 +35,7 @@ from repro.workloads.snapshot import (
     algorithm_from_payload,
     algorithm_to_payload,
     atomic_writer,
+    fork_for_capture,
 )
 
 PathLike = Union[str, Path]
@@ -80,12 +84,21 @@ class CheckpointConfig:
         operations) or used alone for runs whose per-operation cost is
         unpredictable.  At least one of ``every`` / ``every_seconds`` must
         be set.
+    write_behind:
+        Move checkpoint serialization + fsync off the hot loop: the runner
+        forks the engine at the checkpoint boundary (cheap, copy-on-write)
+        and an :class:`AsyncCheckpointWriter` worker thread serializes and
+        commits the fork while the run continues.  Durability shifts by at
+        most the in-flight window (the writer flushes at end of run and on
+        any failure); recovery semantics are otherwise unchanged, which is
+        why the resilience and service layers keep the synchronous default.
     """
 
     directory: PathLike
     every: Optional[int] = None
     keep: Optional[int] = None
     every_seconds: Optional[float] = None
+    write_behind: bool = False
 
     def __post_init__(self) -> None:
         if self.every is None and self.every_seconds is None:
@@ -137,6 +150,70 @@ def checkpoint_path(directory: PathLike, algorithm_name: str, processed: int) ->
     """The canonical file path for a checkpoint of ``algorithm_name`` at ``processed``."""
     safe = _SAFE.sub("_", algorithm_name)
     return Path(directory) / f"{safe}-{processed:010d}.ckpt.json"
+
+
+#: Known checkpoints per (resolved directory, algorithm name), kept sorted by
+#: offset.  Maintained incrementally by :func:`save_checkpoint` so keep-N
+#: pruning does not re-list the directory on every write; a directory scan
+#: happens only on first use of a key or when the ledger disagrees with disk
+#: (a file it expected to prune is already gone — some other process owns the
+#: directory too, so the cached view is rebuilt from a fresh scan).
+_PRUNE_LEDGER: Dict[Tuple[str, str], List[Tuple[int, Path]]] = {}
+_PRUNE_LOCK = threading.Lock()
+
+
+def invalidate_prune_ledger(directory: Optional[PathLike] = None) -> None:
+    """Drop cached checkpoint listings (all of them, or one directory's).
+
+    For callers that mutate a checkpoint directory behind
+    :func:`save_checkpoint`'s back (tests, manual cleanup): the next write
+    falls back to a directory scan instead of trusting the stale ledger.
+    """
+    with _PRUNE_LOCK:
+        if directory is None:
+            _PRUNE_LEDGER.clear()
+            return
+        resolved = str(Path(directory).resolve())
+        for key in [k for k in _PRUNE_LEDGER if k[0] == resolved]:
+            del _PRUNE_LEDGER[key]
+
+
+def _record_and_prune(
+    directory: Path, algorithm_name: str, processed: int, path: Path, keep: int
+) -> None:
+    """Register a just-committed checkpoint and prune beyond the keep limit.
+
+    Runs strictly *after* the durable commit (see :func:`save_checkpoint`).
+    Pruning is best-effort — a file another process already removed
+    invalidates the ledger (rescan next write), and a file we lack
+    permission to unlink degrades to a warning; neither may fail the run
+    that just checkpointed successfully.
+    """
+    key = (str(directory.resolve()), _SAFE.sub("_", algorithm_name))
+    with _PRUNE_LOCK:
+        known = _PRUNE_LEDGER.get(key)
+        if known is None:
+            known = _PRUNE_LEDGER[key] = find_checkpoints(directory, algorithm_name)
+        entry = (processed, path)
+        index = bisect.bisect_left(known, entry)
+        if index >= len(known) or known[index] != entry:
+            known.insert(index, entry)
+        stale = known[: max(0, len(known) - keep)]
+        del known[: len(stale)]
+        for _, victim in stale:
+            try:
+                victim.unlink()
+            except FileNotFoundError:
+                # Disk disagrees with the ledger: another writer pruned (or a
+                # test cleaned up) behind our back.  Rebuild from a scan next
+                # time instead of trusting any other cached entry.
+                _PRUNE_LEDGER.pop(key, None)
+            except OSError as exc:
+                warnings.warn(
+                    f"could not prune stale checkpoint {victim}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
 
 def save_checkpoint(
@@ -204,21 +281,125 @@ def save_checkpoint(
         stream.write(text[half:])
     # Prune strictly *after* the new checkpoint is durably committed: a
     # crash between write and prune leaves extra files (harmless), never
-    # fewer resumable states than promised.  Pruning is best-effort — a
-    # file another process already removed, or one we lack permission to
-    # unlink, must not fail the run that just checkpointed successfully.
+    # fewer resumable states than promised.  The known-checkpoint list is
+    # maintained incrementally (the directory is scanned only on first use
+    # of this directory/algorithm pair, or after a disk/ledger mismatch).
     if keep is not None:
-        existing = find_checkpoints(directory, algorithm_name)
-        for _, stale in existing[: max(0, len(existing) - keep)]:
-            try:
-                stale.unlink(missing_ok=True)
-            except OSError as exc:
-                warnings.warn(
-                    f"could not prune stale checkpoint {stale}: {exc}",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+        _record_and_prune(directory, algorithm_name, processed, path, keep)
     return path
+
+
+class AsyncCheckpointWriter:
+    """Write-behind checkpoint writer: fork on the hot loop, serialize off it.
+
+    ``save(...)`` captures the engine as a copy-on-write fork
+    (:func:`~repro.workloads.snapshot.fork_for_capture` — O(live-delta), the
+    only part that happens on the caller's thread) and queues the expensive
+    part — payload serialization, JSON encoding, the fsynced atomic write and
+    keep-N pruning — for a single worker thread.  ``flush()`` is the
+    synchronous barrier: it blocks until every queued checkpoint is durably
+    committed and re-raises the first failure, which is what drain and crash
+    points call before reporting durability.
+
+    At most ``depth`` captures are in flight; when the queue is full,
+    ``save`` blocks (backpressure) so a slow disk bounds the number of live
+    forks instead of accumulating them.  After a write failure the writer
+    drops the queued tail and re-raises on the next ``save``/``flush`` —
+    half-written trails must not masquerade as progress.  Usable as a
+    context manager; exit flushes and stops the worker.
+    """
+
+    def __init__(self, *, depth: int = 2) -> None:
+        if depth < 1:
+            raise CheckpointError("write-behind depth must be at least 1")
+        self._jobs: "queue.Queue" = queue.Queue(maxsize=depth)
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._failure: Optional[BaseException] = None
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-ckpt-writer", daemon=True
+        )
+        self._worker.start()
+
+    def _run(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                return
+            fork, args, kwargs = job
+            try:
+                with self._lock:
+                    failed = self._failure is not None
+                if not failed:
+                    save_checkpoint(fork, *args, **kwargs)
+            except BaseException as exc:
+                with self._lock:
+                    if self._failure is None:
+                        self._failure = exc
+            finally:
+                with self._done:
+                    self._in_flight -= 1
+                    self._done.notify_all()
+
+    def _raise_failure(self) -> None:
+        failure = self._failure
+        if failure is not None:
+            self._failure = None
+            raise failure
+
+    def save(self, algorithm, config_or_directory, **kwargs) -> Path:
+        """Capture ``algorithm`` now; commit it in the background.
+
+        Accepts :func:`save_checkpoint`'s keyword surface and returns the
+        path the checkpoint will be committed to (deterministic from
+        directory/name/offset).  A failure of an *earlier* queued write is
+        re-raised here — before another fork is taken — or at the latest by
+        :meth:`flush`.
+        """
+        with self._lock:
+            if self._closed:
+                raise CheckpointError("AsyncCheckpointWriter is closed")
+            self._raise_failure()
+        fork = fork_for_capture(algorithm)
+        directory = (
+            config_or_directory.directory
+            if isinstance(config_or_directory, CheckpointConfig)
+            else config_or_directory
+        )
+        path = checkpoint_path(
+            directory, kwargs["algorithm_name"], kwargs["processed"]
+        )
+        with self._done:
+            self._in_flight += 1
+        self._jobs.put((fork, (config_or_directory,), kwargs))
+        return path
+
+    def flush(self) -> None:
+        """Block until every queued checkpoint is durable; re-raise failures."""
+        with self._done:
+            while self._in_flight:
+                self._done.wait()
+            self._raise_failure()
+
+    def close(self) -> None:
+        """Flush, then stop the worker thread.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self.flush()
+        finally:
+            self._jobs.put(None)
+            self._worker.join()
+
+    def __enter__(self) -> "AsyncCheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def load_checkpoint(path: PathLike) -> Checkpoint:

@@ -169,6 +169,33 @@ def graph_from_payload(payload: Dict) -> DynamicGraph:
 # --------------------------------------------------------------------- #
 # Algorithm payloads
 # --------------------------------------------------------------------- #
+def fork_for_capture(algorithm):
+    """Cheap copy-on-write fork of ``algorithm`` for off-loop capture.
+
+    The two-phase capture path: on the hot loop, fork the engine in
+    O(live-delta) (:meth:`~repro.core.base.DynamicMISBase.fork`); the
+    expensive part — :func:`algorithm_to_payload` plus JSON encoding and the
+    fsynced atomic write — then runs against the immutable fork, on a
+    background thread if the caller wants
+    (:class:`~repro.workloads.replay.AsyncCheckpointWriter`), while the live
+    engine keeps processing updates.  Wrappers exposing ``snapshot_delegate``
+    (:class:`~repro.core.sharded.ShardedEngine`) are unwrapped first,
+    mirroring :func:`algorithm_to_payload` — the fork of a sharded engine is
+    a plain single-process engine, which serializes to the same payload.
+
+    Raises :class:`SnapshotError` for algorithms without fork support (the
+    index-based baselines), the same population that cannot snapshot.
+    """
+    algorithm = getattr(algorithm, "snapshot_delegate", algorithm)
+    fork = getattr(algorithm, "fork", None)
+    if fork is None:
+        raise SnapshotError(
+            f"{type(algorithm).__name__} does not support engine forks; "
+            "only DynamicMISBase algorithms can be captured off-loop"
+        )
+    return fork()
+
+
 def algorithm_to_payload(algorithm) -> Dict:
     """Capture a maintenance algorithm at an operation boundary.
 

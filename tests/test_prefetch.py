@@ -1,0 +1,360 @@
+"""Pipelined stream prefetch (``REPRO_PREFETCH``) and write-behind checkpoints.
+
+The perf layer this PR adds must be *invisible* except in wall-clock time:
+
+* a cached temporal replay under ``REPRO_PREFETCH=1`` yields bit-identical
+  operations, engine results and checkpoint payloads to the inline path,
+* an injected crash during a prefetch (the ``cache.read`` fault point) is
+  delivered at exactly the same chunk boundary the synchronous reader would
+  crash on, and the worker thread never outlives its consumer,
+* write-behind checkpointing (:class:`AsyncCheckpointWriter` behind
+  ``CheckpointConfig(write_behind=True)``) commits the same checkpoints a
+  synchronous run commits, they resume identically, and a write failure
+  surfaces at the flush barrier instead of vanishing in the background,
+* keep-N pruning stays correct while its ledger is maintained
+  incrementally (no directory scan per write), including when another
+  process deletes files behind its back.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.exceptions import CheckpointError, InjectedFault
+from repro.experiments import run_algorithm
+from repro.generators.random_graphs import gnm_random_graph
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.core.one_swap import DyOneSwap
+from repro.resilience.faults import (
+    CACHE_READ,
+    CHECKPOINT_WRITE,
+    FaultPlan,
+    inject_faults,
+)
+from repro.updates.protocol import prefetch_chunks, prefetch_enabled
+from repro.workloads import (
+    CheckpointConfig,
+    checkpoint_path,
+    find_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.workloads.replay import AsyncCheckpointWriter, invalidate_prune_ledger
+from repro.workloads.temporal import (
+    CACHE_CHUNK,
+    cached_temporal_stream,
+    synthetic_temporal_events,
+    write_temporal_edge_list,
+)
+
+
+def _cached_stream(tmp_path, num_events=1_400, seed=5):
+    """A warmed stream cache spanning several :data:`CACHE_CHUNK` lines."""
+    path = tmp_path / "events.txt"
+    if not path.exists():
+        events = synthetic_temporal_events(num_events, num_vertices=60, seed=seed)
+        write_temporal_edge_list(events, path)
+        warm = cached_temporal_stream(path, window=8.0)
+        assert warm.metadata["cache"] == "miss"
+    stream = cached_temporal_stream(path, window=8.0)
+    assert stream.metadata["cache"] == "hit"
+    assert len(stream) > 2 * CACHE_CHUNK  # several chunk boundaries in play
+    return stream
+
+
+def _measurement_fingerprint(measurement):
+    return (
+        measurement.num_updates,
+        measurement.initial_size,
+        measurement.final_size,
+        measurement.memory_footprint,
+        measurement.finished,
+        measurement.extra,
+    )
+
+
+class TestPrefetchEquivalence:
+    def test_flag_gates_the_pipeline(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PREFETCH", raising=False)
+        assert not prefetch_enabled()
+        monkeypatch.setenv("REPRO_PREFETCH", "0")
+        assert not prefetch_enabled()
+        monkeypatch.setenv("REPRO_PREFETCH", "")
+        assert not prefetch_enabled()
+        monkeypatch.setenv("REPRO_PREFETCH", "1")
+        assert prefetch_enabled()
+
+    def test_operations_bit_identical(self, tmp_path, monkeypatch):
+        stream = _cached_stream(tmp_path)
+        monkeypatch.setenv("REPRO_PREFETCH", "0")
+        inline = list(stream)
+        monkeypatch.setenv("REPRO_PREFETCH", "1")
+        prefetched = list(stream)
+        assert prefetched == inline
+
+    def test_replay_and_checkpoints_bit_identical(self, tmp_path, monkeypatch):
+        """Full pipeline — prefetch + write-behind vs. fully synchronous.
+
+        Same measurement, same checkpoint offsets, and bit-identical
+        checkpointed engine payloads at every offset.
+        """
+        stream = _cached_stream(tmp_path)
+        results = {}
+        for flag, write_behind in (("0", False), ("1", True)):
+            monkeypatch.setenv("REPRO_PREFETCH", flag)
+            directory = tmp_path / f"ckpt-{flag}"
+            measurement = run_algorithm(
+                "DyOneSwap",
+                DynamicGraph(),
+                stream,
+                dataset="prefetch-equivalence",
+                batch_size=32,
+                checkpoint=CheckpointConfig(
+                    directory=directory, every=1_024, write_behind=write_behind
+                ),
+            )
+            checkpoints = find_checkpoints(directory, "DyOneSwap")
+            results[flag] = (
+                _measurement_fingerprint(measurement),
+                [processed for processed, _ in checkpoints],
+                [
+                    json.dumps(load_checkpoint(path).payload, sort_keys=True)
+                    for _, path in checkpoints
+                ],
+            )
+        assert results["1"] == results["0"]
+
+    def test_resume_across_modes(self, tmp_path, monkeypatch):
+        """A checkpoint written by the pipelined run resumes under the
+        synchronous reader (and vice versa) — durability is mode-free."""
+        stream = _cached_stream(tmp_path)
+        monkeypatch.setenv("REPRO_PREFETCH", "1")
+        directory = tmp_path / "ckpt-cross"
+        reference = run_algorithm(
+            "DyOneSwap",
+            DynamicGraph(),
+            stream,
+            dataset="cross",
+            checkpoint=CheckpointConfig(
+                directory=directory, every=1_024, write_behind=True
+            ),
+        )
+        mid = find_checkpoints(directory, "DyOneSwap")[0][1]
+        monkeypatch.setenv("REPRO_PREFETCH", "0")
+        resumed = run_algorithm(
+            "DyOneSwap", DynamicGraph(), stream, dataset="cross", resume_from=mid
+        )
+        assert _measurement_fingerprint(resumed) == _measurement_fingerprint(
+            reference
+        )
+
+
+class TestPrefetchFaults:
+    def test_crash_during_prefetch_hits_the_same_boundary(
+        self, tmp_path, monkeypatch
+    ):
+        """``cache.read`` fault under prefetch surfaces as the same exception
+        after the same number of delivered operations as the inline path."""
+        stream = _cached_stream(tmp_path)
+        outcomes = {}
+        for flag in ("0", "1"):
+            monkeypatch.setenv("REPRO_PREFETCH", flag)
+            delivered = 0
+            with inject_faults(FaultPlan.at(CACHE_READ, 3)):
+                with pytest.raises(InjectedFault) as excinfo:
+                    for _ in stream:
+                        delivered += 1
+            outcomes[flag] = (delivered, excinfo.value.point)
+        assert outcomes["1"] == outcomes["0"]
+        # Two full chunks were delivered before the third read crashed.
+        assert outcomes["1"][0] == 2 * CACHE_CHUNK
+
+    def test_abandoned_iteration_reaps_the_worker(self, tmp_path, monkeypatch):
+        stream = _cached_stream(tmp_path)
+        monkeypatch.setenv("REPRO_PREFETCH", "1")
+        before = threading.active_count()
+        iterator = iter(stream)
+        for _ in range(CACHE_CHUNK + 5):  # cross at least one chunk boundary
+            next(iterator)
+        iterator.close()
+        assert threading.active_count() == before
+        # A full pass cleans up too.
+        list(stream)
+        assert threading.active_count() == before
+
+    def test_producer_error_delivered_in_order(self):
+        """Chunks queued before the failure are still delivered first."""
+
+        def chunks():
+            yield [1, 2]
+            yield [3]
+            raise ValueError("source broke")
+
+        received = []
+        with pytest.raises(ValueError, match="source broke"):
+            for chunk in prefetch_chunks(chunks()):
+                received.append(chunk)
+        assert received == [[1, 2], [3]]
+
+
+class TestPrefetchMemory:
+    #: Same bound as the lazy-pipeline test: the prefetch buffer holds at
+    #: most ``depth`` decoded chunks, so residency stays O(chunk), far from
+    #: the materialised stream (the cached file here decodes to >3k
+    #: operations; ``depth * CACHE_CHUNK`` of them may be resident).
+    PEAK_BOUND_BYTES = 6 * 1024 * 1024
+
+    def test_prefetched_replay_stays_o_chunk(self, tmp_path, monkeypatch):
+        stream = _cached_stream(tmp_path)
+        monkeypatch.setenv("REPRO_PREFETCH", "1")
+        tracemalloc.start()
+        try:
+            baseline, _ = tracemalloc.get_traced_memory()
+            measurement = run_algorithm(
+                "DyOneSwap", DynamicGraph(), stream, batch_size=32
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert measurement.finished
+        assert peak - baseline < self.PEAK_BOUND_BYTES
+
+
+class TestAsyncCheckpointWriter:
+    def _engine(self):
+        return DyOneSwap(gnm_random_graph(24, 40, seed=7))
+
+    def _kwargs(self, processed):
+        return dict(
+            algorithm_name="DyOneSwap",
+            processed=processed,
+            initial_size=0,
+            dataset="writer-test",
+        )
+
+    def test_save_returns_the_committed_path(self, tmp_path):
+        engine = self._engine()
+        with AsyncCheckpointWriter() as writer:
+            promised = writer.save(engine, tmp_path, **self._kwargs(10))
+            assert promised == checkpoint_path(tmp_path, "DyOneSwap", 10)
+            writer.flush()
+            assert promised.exists()
+        loaded = load_checkpoint(promised)
+        assert loaded.processed == 10
+        # The capture forked the engine: mutating it after save() must not
+        # race the background serialization.
+        restored = loaded.restore()
+        assert sorted(restored.solution()) == sorted(engine.solution())
+
+    def test_flush_is_a_durability_barrier(self, tmp_path):
+        engine = self._engine()
+        with AsyncCheckpointWriter() as writer:
+            paths = [
+                writer.save(engine, tmp_path, **self._kwargs(step))
+                for step in (1, 2, 3)
+            ]
+            writer.flush()
+            assert all(path.exists() for path in paths)
+
+    def test_write_failure_surfaces_at_the_barrier(self, tmp_path):
+        engine = self._engine()
+        writer = AsyncCheckpointWriter()
+        try:
+            with inject_faults(FaultPlan.at(CHECKPOINT_WRITE, 1)):
+                writer.save(engine, tmp_path, **self._kwargs(1))
+                with pytest.raises(InjectedFault):
+                    writer.flush()
+            # The torn write left no file and the writer recovers cleanly.
+            assert find_checkpoints(tmp_path, "DyOneSwap") == []
+            writer.save(engine, tmp_path, **self._kwargs(2))
+            writer.flush()
+            assert find_checkpoints(tmp_path, "DyOneSwap") == [
+                (2, checkpoint_path(tmp_path, "DyOneSwap", 2))
+            ]
+        finally:
+            writer.close()
+
+    def test_closed_writer_refuses_saves(self, tmp_path):
+        writer = AsyncCheckpointWriter()
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(CheckpointError, match="closed"):
+            writer.save(self._engine(), tmp_path, **self._kwargs(1))
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(CheckpointError, match="depth"):
+            AsyncCheckpointWriter(depth=0)
+
+    def test_runner_write_behind_failure_aborts_the_run(self, tmp_path):
+        graph = gnm_random_graph(16, 24, seed=3)
+        from repro.updates.streams import mixed_update_stream
+
+        operations = list(mixed_update_stream(graph.copy(), 300, seed=9))
+        config = CheckpointConfig(
+            directory=tmp_path, every=100, write_behind=True
+        )
+        with inject_faults(FaultPlan.at(CHECKPOINT_WRITE, 2)):
+            with pytest.raises(InjectedFault):
+                run_algorithm("DyOneSwap", graph, operations, checkpoint=config)
+        # The failed run still committed everything before the fault and
+        # nothing after it (no half-written trail).
+        committed = find_checkpoints(tmp_path, "DyOneSwap")
+        assert [processed for processed, _ in committed] == [100]
+
+
+class TestPruneLedger:
+    def _save(self, engine, config, processed):
+        return save_checkpoint(
+            engine,
+            config,
+            algorithm_name="DyOneSwap",
+            processed=processed,
+            initial_size=0,
+        )
+
+    def test_incremental_keep_matches_a_fresh_scan(self, tmp_path):
+        engine = DyOneSwap(gnm_random_graph(12, 18, seed=1))
+        config = CheckpointConfig(directory=tmp_path, every=1, keep=2)
+        for step in range(1, 7):
+            self._save(engine, config, step)
+            survivors = find_checkpoints(tmp_path, "DyOneSwap")
+            expected = [max(1, step - 1), step][: step if step < 2 else 2]
+            assert [processed for processed, _ in survivors] == expected
+
+    def test_external_deletion_triggers_a_rescan(self, tmp_path):
+        engine = DyOneSwap(gnm_random_graph(12, 18, seed=2))
+        config = CheckpointConfig(directory=tmp_path, every=1, keep=2)
+        for step in (1, 2, 3):
+            self._save(engine, config, step)
+        # Another process empties the directory behind the ledger's back.
+        for _, path in find_checkpoints(tmp_path, "DyOneSwap"):
+            path.unlink()
+        # The next pruning write notices its victim is gone, drops the
+        # stale ledger entry and rebuilds from disk — no crash, and the
+        # retention invariant holds against reality, not the cached view.
+        self._save(engine, config, 4)
+        self._save(engine, config, 5)
+        self._save(engine, config, 6)
+        assert [
+            processed for processed, _ in find_checkpoints(tmp_path, "DyOneSwap")
+        ] == [5, 6]
+
+    def test_invalidate_prune_ledger(self, tmp_path):
+        engine = DyOneSwap(gnm_random_graph(12, 18, seed=3))
+        config = CheckpointConfig(directory=tmp_path, every=1, keep=3)
+        for step in (1, 2, 3):
+            self._save(engine, config, step)
+        invalidate_prune_ledger(tmp_path)  # forget one directory
+        self._save(engine, config, 4)
+        assert [
+            processed for processed, _ in find_checkpoints(tmp_path, "DyOneSwap")
+        ] == [2, 3, 4]
+        invalidate_prune_ledger()  # forget everything
+        self._save(engine, config, 5)
+        assert [
+            processed for processed, _ in find_checkpoints(tmp_path, "DyOneSwap")
+        ] == [3, 4, 5]

@@ -224,6 +224,42 @@ class TestGateway:
         assert report.clean
         assert report.tenants[0].durable == len(ops)
 
+    def test_what_if_answers_without_perturbing_tenant(self, tmp_path):
+        ops = build_ops(128)
+        hypothetical = build_ops(24, seed=11)
+        spec = TenantSpec(name="wi", batch_size=32, window_max=64, adaptive=False)
+        with service(tmp_path, spec) as svc:
+            with svc.client() as client:
+                client.ingest_stream("wi", ops, chunk=32)
+                client.flush("wi")
+                before = client.digest("wi")["digest"]
+                reply = client.what_if("wi", hypothetical)
+                assert reply["ok"]
+                # ``applied`` anchors the answer to the base stream position.
+                assert reply["applied"] == len(ops)
+                # The live engine is byte-for-byte unperturbed.
+                assert client.digest("wi")["digest"] == before
+                # The hypothetical answer matches an engine that really
+                # walked the same trajectory (admitted batches, then the
+                # what-if operations as one coalesced batch).
+                engine = create_algorithm("DyOneSwap", DynamicGraph(), None)
+                try:
+                    for group in chunked(iter(ops), 32):
+                        engine.apply_batch(group, coalesce=True)
+                    assert reply["base_size"] == len(engine.solution())
+                    base = set(engine.solution())
+                    engine.apply_batch(list(hypothetical), coalesce=True)
+                    expected = set(engine.solution())
+                    assert reply["size"] == len(expected)
+                    assert set(reply["added"]) == expected - base
+                    assert set(reply["removed"]) == base - expected
+                finally:
+                    release_engine(engine)
+                # Repeatable: the discarded fork left no trace, so the same
+                # question gets the same answer.
+                assert client.what_if("wi", hypothetical) == reply
+                assert client.digest("wi")["digest"] == before
+
     def test_sequence_gap_duplicate_and_overlap(self, tmp_path):
         ops = build_ops(64)
         spec = TenantSpec(name="seq", batch_size=8, window_max=16, adaptive=False)
